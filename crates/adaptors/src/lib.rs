@@ -1,0 +1,18 @@
+//! # adaptors — Interaction Adaptors for the Themis reproduction
+//!
+//! The paper's third component (Figure 10): the only DFS-specific part of
+//! Themis. This crate implements the [`themis::DfsAdaptor`] trait for the
+//! four simulated flavors of [`simdfs`], including the flavor-specific
+//! command translation a real deployment would execute ([`commands`]).
+//!
+//! Adapting Themis to a new DFS means implementing two interfaces —
+//! `operation.send()` and `LoadMonitor()` — which in this crate correspond
+//! to the adaptor's `send` and `load_report` methods. The
+//! `custom_adaptor` example in the workspace root shows a from-scratch
+//! implementation for a toy target.
+
+pub mod commands;
+pub mod sim_adaptor;
+
+pub use commands::{render_command, render_monitor_command};
+pub use sim_adaptor::{SimAdaptor, SimHandle};

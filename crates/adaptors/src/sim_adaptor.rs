@@ -1,0 +1,363 @@
+//! The Interaction Adaptor for simulated DFS flavors.
+//!
+//! [`SimAdaptor`] implements [`themis::DfsAdaptor`] over a shared
+//! [`simdfs::DfsSim`]. Themis only ever sees the trait; the shared handle
+//! exists so the *evaluation harness* (not Themis) can consult the
+//! simulator's ground-truth bug oracle to attribute confirmed failures.
+
+use crate::commands::render_command;
+use simdfs::{BugSet, DfsRequest, DfsSim, Flavor, NodeRole, RebalanceStatus, SimError};
+use std::cell::RefCell;
+use std::rc::Rc;
+use themis::adaptor::{AdaptorError, DfsAdaptor, LoadReport, NodeInventory, NodeLoad, Role};
+use themis::spec::{Operand, Operation, Operator};
+
+/// A shared simulator handle.
+pub type SimHandle = Rc<RefCell<DfsSim>>;
+
+/// Adaptor binding Themis to one simulated DFS instance.
+pub struct SimAdaptor {
+    sim: SimHandle,
+    /// Rendered command log (what a real deployment would have executed).
+    pub command_log: Vec<String>,
+    /// Cap on the retained command log (old entries are dropped).
+    pub command_log_cap: usize,
+}
+
+impl SimAdaptor {
+    /// Builds a fresh simulator for `flavor` with the given bug set and
+    /// wraps it.
+    pub fn new(flavor: Flavor, bugs: BugSet) -> Self {
+        Self::from_handle(Rc::new(RefCell::new(DfsSim::new(flavor, bugs))))
+    }
+
+    /// Wraps an existing simulator handle.
+    pub fn from_handle(sim: SimHandle) -> Self {
+        SimAdaptor { sim, command_log: Vec::new(), command_log_cap: 4096 }
+    }
+
+    /// The shared simulator handle (for harness-side oracle access).
+    pub fn handle(&self) -> SimHandle {
+        Rc::clone(&self.sim)
+    }
+
+    /// Translates a Themis operation into a simulator request.
+    ///
+    /// Returns `None` for operations whose operands cannot be represented
+    /// (e.g. a node id that is not a valid u32) — these are rejected like a
+    /// malformed CLI invocation would be.
+    fn translate(&self, op: &Operation) -> Option<DfsRequest> {
+        let path = |i: usize| -> Option<String> {
+            match op.opds.get(i) {
+                Some(Operand::FileName(p)) => Some(p.clone()),
+                _ => None,
+            }
+        };
+        let size = |i: usize| -> Option<u64> {
+            match op.opds.get(i) {
+                Some(Operand::Size(s)) => Some(*s),
+                _ => None,
+            }
+        };
+        let node = |i: usize| -> Option<simdfs::NodeId> {
+            match op.opds.get(i) {
+                Some(Operand::NodeId(n)) => u32::try_from(*n).ok().map(simdfs::NodeId),
+                _ => None,
+            }
+        };
+        let volume = |i: usize| -> Option<simdfs::VolumeId> {
+            match op.opds.get(i) {
+                Some(Operand::VolumeId(v)) => u32::try_from(*v).ok().map(simdfs::VolumeId),
+                _ => None,
+            }
+        };
+        let volumes_per_node = self.sim.borrow().config().volumes_per_node;
+        Some(match op.opt {
+            Operator::Create => DfsRequest::Create { path: path(0)?, size: size(1)? },
+            Operator::Delete => DfsRequest::Delete { path: path(0)? },
+            Operator::Append => DfsRequest::Append { path: path(0)?, delta: size(1)? },
+            Operator::Overwrite => DfsRequest::Overwrite { path: path(0)?, size: size(1)? },
+            Operator::Open => DfsRequest::Open { path: path(0)? },
+            Operator::TruncateOverwrite => {
+                DfsRequest::TruncateOverwrite { path: path(0)?, size: size(1)? }
+            }
+            Operator::Mkdir => DfsRequest::Mkdir { path: path(0)? },
+            Operator::Rmdir => DfsRequest::Rmdir { path: path(0)? },
+            Operator::Rename => DfsRequest::Rename { from: path(0)?, to: path(1)? },
+            Operator::AddMn => DfsRequest::AddMgmtNode,
+            Operator::RemoveMn => DfsRequest::RemoveMgmtNode { node: node(0)? },
+            Operator::AddStorage => {
+                DfsRequest::AddStorageNode { volumes: volumes_per_node, capacity: size(0)? }
+            }
+            Operator::RemoveStorage => DfsRequest::RemoveStorageNode { node: node(0)? },
+            Operator::AddVolume => {
+                DfsRequest::AddVolume { node: node(0)?, capacity: size(1)? }
+            }
+            Operator::RemoveVolume => DfsRequest::RemoveVolume { volume: volume(0)? },
+            Operator::ExpandVolume => {
+                DfsRequest::ExpandVolume { volume: volume(0)?, delta: size(1)? }
+            }
+            Operator::ReduceVolume => {
+                DfsRequest::ReduceVolume { volume: volume(0)?, delta: size(1)? }
+            }
+        })
+    }
+}
+
+impl DfsAdaptor for SimAdaptor {
+    fn name(&self) -> String {
+        let sim = self.sim.borrow();
+        format!("{} {}", sim.flavor().name(), sim.flavor().version())
+    }
+
+    fn send(&mut self, op: &Operation) -> Result<(), AdaptorError> {
+        let flavor = self.sim.borrow().flavor();
+        if self.command_log.len() >= self.command_log_cap {
+            let drop_n = self.command_log.len() - self.command_log_cap + 1;
+            self.command_log.drain(..drop_n);
+        }
+        self.command_log.push(render_command(flavor, op));
+        let req = self
+            .translate(op)
+            .ok_or_else(|| AdaptorError::Rejected(format!("untranslatable operation: {op}")))?;
+        match self.sim.borrow_mut().execute(&req) {
+            Ok(_) => Ok(()),
+            Err(SimError::ClusterDown) => Err(AdaptorError::Down("cluster down".into())),
+            Err(e) => Err(AdaptorError::Rejected(e.to_string())),
+        }
+    }
+
+    fn load_report(&mut self) -> LoadReport {
+        let mut sim = self.sim.borrow_mut();
+        let crashed: Vec<u64> = sim.crashed_nodes().iter().map(|n| n.0 as u64).collect();
+        let snap = sim.load_snapshot();
+        LoadReport {
+            time_ms: snap.time.as_millis(),
+            nodes: snap
+                .nodes
+                .iter()
+                .map(|n| NodeLoad {
+                    node: n.node.0 as u64,
+                    role: match n.role {
+                        NodeRole::Management => Role::Management,
+                        NodeRole::Storage => Role::Storage,
+                    },
+                    online: n.online,
+                    crashed: crashed.contains(&(n.node.0 as u64)),
+                    cpu: n.cpu,
+                    rps: n.rps,
+                    read_io: n.read_io,
+                    write_io: n.write_io,
+                    storage: n.storage,
+                    capacity: n.capacity,
+                    uptime_ms: n.uptime_ms,
+                })
+                .collect(),
+        }
+    }
+
+    fn rebalance(&mut self) {
+        self.sim.borrow_mut().rebalance();
+    }
+
+    fn rebalance_done(&mut self) -> bool {
+        self.sim.borrow().rebalance_status() == RebalanceStatus::Done
+    }
+
+    fn wait(&mut self, ms: u64) {
+        self.sim.borrow_mut().tick(ms);
+    }
+
+    fn reset(&mut self) {
+        self.sim.borrow_mut().reset();
+    }
+
+    fn coverage(&mut self) -> u64 {
+        self.sim.borrow().coverage_count()
+    }
+
+    fn now_ms(&mut self) -> u64 {
+        self.sim.borrow().now().as_millis()
+    }
+
+    fn inventory(&mut self) -> NodeInventory {
+        let sim = self.sim.borrow();
+        let cluster = sim.cluster();
+        let mut mgmt = Vec::new();
+        let mut storage = Vec::new();
+        for (id, role, online) in cluster.node_ids() {
+            if !online {
+                continue;
+            }
+            match role {
+                NodeRole::Management => mgmt.push(id.0 as u64),
+                NodeRole::Storage => storage.push(id.0 as u64),
+            }
+        }
+        let mut volumes: Vec<u64> =
+            cluster.volume_owner.keys().map(|v| v.0 as u64).collect();
+        volumes.sort_unstable();
+        let ns = sim.namespace();
+        // `/sys` holds the deployment's pre-existing data; the tester's
+        // FUSE mount only exposes its own test directory.
+        NodeInventory {
+            mgmt,
+            storage,
+            volumes,
+            free_space: sim.free_space(),
+            files: ns
+                .files()
+                .into_iter()
+                .map(|(p, _, _)| p)
+                .filter(|p| !p.starts_with("/sys"))
+                .collect(),
+            dirs: ns.directories().into_iter().filter(|p| !p.starts_with("/sys")).collect(),
+        }
+    }
+
+    fn free_space(&mut self) -> u64 {
+        self.sim.borrow().free_space()
+    }
+
+    fn topology(&mut self) -> NodeInventory {
+        let sim = self.sim.borrow();
+        let cluster = sim.cluster();
+        let mut mgmt = Vec::new();
+        let mut storage = Vec::new();
+        for (id, role, online) in cluster.node_ids() {
+            if !online {
+                continue;
+            }
+            match role {
+                NodeRole::Management => mgmt.push(id.0 as u64),
+                NodeRole::Storage => storage.push(id.0 as u64),
+            }
+        }
+        let mut volumes: Vec<u64> = cluster.volume_owner.keys().map(|v| v.0 as u64).collect();
+        volumes.sort_unstable();
+        NodeInventory {
+            mgmt,
+            storage,
+            volumes,
+            free_space: sim.free_space(),
+            files: Vec::new(),
+            dirs: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use themis::spec::{Operand, Operation, Operator};
+
+    fn adaptor(flavor: Flavor) -> SimAdaptor {
+        SimAdaptor::new(flavor, BugSet::None)
+    }
+
+    fn create(path: &str, size: u64) -> Operation {
+        Operation::new(
+            Operator::Create,
+            vec![Operand::FileName(path.into()), Operand::Size(size)],
+        )
+    }
+
+    #[test]
+    fn send_executes_against_the_sim() {
+        let mut a = adaptor(Flavor::Hdfs);
+        a.send(&create("/x", 1 << 20)).unwrap();
+        let inv = a.inventory();
+        assert_eq!(inv.files, vec!["/x".to_string()]);
+        assert!(a.coverage() > 0);
+        assert!(a.now_ms() > 0);
+    }
+
+    #[test]
+    fn rejected_operations_surface_as_errors() {
+        let mut a = adaptor(Flavor::GlusterFs);
+        let del = Operation::new(Operator::Delete, vec![Operand::FileName("/nope".into())]);
+        match a.send(&del) {
+            Err(AdaptorError::Rejected(msg)) => assert!(msg.contains("no such path")),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn untranslatable_node_id_is_rejected() {
+        let mut a = adaptor(Flavor::LeoFs);
+        let bad = Operation::new(Operator::RemoveStorage, vec![Operand::NodeId(u64::MAX)]);
+        assert!(matches!(a.send(&bad), Err(AdaptorError::Rejected(_))));
+    }
+
+    #[test]
+    fn load_report_covers_ten_nodes() {
+        let mut a = adaptor(Flavor::CephFs);
+        let report = a.load_report();
+        assert_eq!(report.nodes.len(), 10);
+        assert_eq!(report.by_role(Role::Management).count(), 3);
+        assert_eq!(report.by_role(Role::Storage).count(), 7);
+    }
+
+    #[test]
+    fn inventory_tracks_topology_changes() {
+        let mut a = adaptor(Flavor::Hdfs);
+        let before = a.inventory();
+        a.send(&Operation::new(Operator::AddStorage, vec![Operand::Size(1 << 30)])).unwrap();
+        let after = a.inventory();
+        assert_eq!(after.storage.len(), before.storage.len() + 1);
+        assert!(after.volumes.len() > before.volumes.len());
+    }
+
+    #[test]
+    fn reset_restores_initial_inventory() {
+        let mut a = adaptor(Flavor::Hdfs);
+        a.send(&create("/x", 1 << 20)).unwrap();
+        a.send(&Operation::new(Operator::AddStorage, vec![Operand::Size(1 << 30)])).unwrap();
+        a.reset();
+        let inv = a.inventory();
+        assert!(inv.files.is_empty());
+        assert_eq!(inv.storage.len(), 8);
+    }
+
+    #[test]
+    fn rebalance_api_roundtrip() {
+        let mut a = adaptor(Flavor::GlusterFs);
+        for i in 0..30 {
+            a.send(&create(&format!("/f{i}"), 16 << 20)).unwrap();
+        }
+        a.send(&Operation::new(Operator::AddStorage, vec![Operand::Size(4 << 30)])).unwrap();
+        a.rebalance();
+        let mut guard = 0;
+        while !a.rebalance_done() && guard < 10_000 {
+            a.wait(1_000);
+            guard += 1;
+        }
+        assert!(a.rebalance_done());
+    }
+
+    #[test]
+    fn command_log_records_rendered_commands() {
+        let mut a = adaptor(Flavor::GlusterFs);
+        a.send(&create("/x", 1)).unwrap();
+        assert_eq!(a.command_log.len(), 1);
+        assert!(a.command_log[0].contains("dd if=/dev/urandom"));
+    }
+
+    #[test]
+    fn command_log_is_bounded() {
+        let mut a = adaptor(Flavor::Hdfs);
+        a.command_log_cap = 10;
+        for i in 0..50 {
+            let _ = a.send(&create(&format!("/f{i}"), 1));
+        }
+        assert!(a.command_log.len() <= 10);
+    }
+
+    #[test]
+    fn free_space_shrinks_with_data() {
+        let mut a = adaptor(Flavor::Hdfs);
+        let before = a.free_space();
+        a.send(&create("/big", 64 << 20)).unwrap();
+        assert!(a.free_space() < before);
+    }
+}

@@ -1,0 +1,52 @@
+//! Regenerates every table and figure of the paper into `results/`.
+//!
+//! Usage: `repro [artifact...]` where artifact is one of
+//! `table1..table8`, `figure2`, `figure12`, or `all` (default). The
+//! comparison tables share one matrix run (Table 3 / Table 5 / Figure 12).
+
+use bench::tables;
+use std::fs;
+use std::path::Path;
+
+const HOURS: u64 = 24;
+const SEED: u64 = 0x7e15;
+
+fn write(name: &str, content: &str) {
+    fs::create_dir_all("results").expect("create results dir");
+    let path = Path::new("results").join(name);
+    fs::write(&path, content).expect("write artifact");
+    println!("--- {name} ---\n{content}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |n: &str| args.is_empty() || args.iter().any(|a| a == n || a == "all");
+
+    if want("table1") {
+        write("table1.txt", &tables::table1());
+    }
+    if want("figure2") {
+        write("figure2.txt", &tables::figure2());
+    }
+    if want("table2") {
+        write("table2.txt", &tables::table2(HOURS, SEED));
+    }
+    if want("table3") || want("table5") || want("figure12") {
+        let (t3, matrix) = tables::table3(HOURS, SEED);
+        write("table3.txt", &t3);
+        write("table5.txt", &tables::table5(&matrix));
+        write("figure12.txt", &tables::figure12(&matrix));
+    }
+    if want("table4") {
+        write("table4.txt", &tables::table4(HOURS, SEED));
+    }
+    if want("table6") {
+        write("table6.txt", &tables::table6(HOURS, SEED));
+    }
+    if want("table7") {
+        write("table7.txt", &tables::table7(HOURS, SEED));
+    }
+    if want("table8") {
+        write("table8.txt", &tables::table8(HOURS, SEED));
+    }
+}

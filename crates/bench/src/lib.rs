@@ -1,0 +1,12 @@
+//! # bench — evaluation harness regenerating the Themis paper's artifacts
+//!
+//! This crate turns the `themis` + `simdfs` + `adaptors` stack into the
+//! paper's evaluation: attributed campaigns ([`harness`]) and one generator
+//! per table/figure ([`tables`]). The `repro` binary writes the full-budget
+//! artifacts under `results/`; `cargo bench` runs reduced-budget versions
+//! under Criterion for timing.
+
+pub mod harness;
+pub mod tables;
+
+pub use harness::{render_table, run_eval, run_matrix, run_strategy_all_flavors, EvalResult};

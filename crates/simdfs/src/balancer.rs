@@ -1,0 +1,376 @@
+//! The storage load balancer: collector, calculator, planner and executor.
+//!
+//! This implements the generic pipeline of Figure 1: a *Load Collector*
+//! gathers per-node usage, a *Load Calculator* decides whether the
+//! distribution exceeds the flavor threshold, a *Migration Planner*
+//! computes file moves from over- to under-utilized nodes, and a
+//! *Migration Executor* applies them a few moves per virtual time step.
+//! Triggered bug effects hook into the planner and executor exactly where
+//! the corresponding real bugs lived (plan filtering, lossy moves,
+//! misreported completion).
+
+use crate::cluster::Cluster;
+use crate::types::{Bytes, FileId, NodeId, VolumeId};
+use std::collections::VecDeque;
+
+/// One planned file move.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationMove {
+    /// File whose replica moves.
+    pub file: FileId,
+    /// Source volume.
+    pub from: VolumeId,
+    /// Source node (for effect hooks and accounting).
+    pub from_node: NodeId,
+    /// Destination volume.
+    pub to: VolumeId,
+    /// Destination node.
+    pub to_node: NodeId,
+    /// Replica bytes to move.
+    pub bytes: Bytes,
+}
+
+/// Whether the balancer is idle or executing a migration plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RebalancePhase {
+    /// No rebalance in flight.
+    Idle,
+    /// A migration plan is being executed.
+    Migrating,
+}
+
+/// Externally visible rebalance status (the paper's `rebalance state` API).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RebalanceStatus {
+    /// The balancer is idle and the last round (if any) completed.
+    Done,
+    /// A rebalance round is still migrating data.
+    Running,
+}
+
+/// Balancer state for one simulated DFS.
+#[derive(Debug, Clone)]
+pub struct Balancer {
+    /// Imbalance threshold `t` (fraction over the mean).
+    pub threshold: f64,
+    /// Current phase.
+    pub phase: RebalancePhase,
+    /// Remaining moves of the in-flight plan.
+    pub queue: VecDeque<MigrationMove>,
+    /// Rounds started since simulator start.
+    pub rounds: u64,
+    /// Moves successfully executed since simulator start.
+    pub total_moves: u64,
+    /// Bytes migrated since simulator start.
+    pub total_bytes_moved: u64,
+}
+
+impl Balancer {
+    /// Creates an idle balancer with the given threshold.
+    pub fn new(threshold: f64) -> Self {
+        Balancer {
+            threshold,
+            phase: RebalancePhase::Idle,
+            queue: VecDeque::new(),
+            rounds: 0,
+            total_moves: 0,
+            total_bytes_moved: 0,
+        }
+    }
+
+    /// Load Calculator: whether the per-node storage utilization exceeds
+    /// the threshold (max fill > mean fill * (1 + t)). Real balancers
+    /// compare utilization, not raw bytes (the HDFS Balancer's definition),
+    /// which stays meaningful when volume attach/detach makes node
+    /// capacities differ.
+    pub fn needs_rebalance(&self, cluster: &Cluster) -> bool {
+        let fills = Self::fills(cluster);
+        if fills.len() < 2 {
+            return false;
+        }
+        let mean = fills.iter().map(|(_, f)| f).sum::<f64>() / fills.len() as f64;
+        if mean <= f64::EPSILON {
+            return false;
+        }
+        let max = fills.iter().map(|(_, f)| *f).fold(f64::MIN, f64::max);
+        max > mean * (1.0 + self.threshold)
+    }
+
+    /// Per-node utilization for online storage nodes.
+    fn fills(cluster: &Cluster) -> Vec<(NodeId, f64)> {
+        cluster
+            .node_fill()
+            .into_iter()
+            .filter(|(_, _, cap)| *cap > 0)
+            .map(|(n, used, cap)| (n, used as f64 / cap as f64))
+            .collect()
+    }
+
+    /// The most utilized online storage node (the "hotspot" candidate).
+    pub fn hottest_node(cluster: &Cluster) -> Option<NodeId> {
+        Self::fills(cluster)
+            .into_iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(n, _)| n)
+    }
+
+    /// Migration Planner: plans moves that bring every node's utilization
+    /// within the threshold band around the mean utilization.
+    ///
+    /// Over-utilized nodes shed their largest replicas first (as the HDFS
+    /// balancer and Gluster rebalance do) toward the volume with the most
+    /// free space on the least-utilized node. The plan is a pure function
+    /// of cluster state.
+    pub fn plan(&self, cluster: &Cluster) -> Vec<MigrationMove> {
+        let caps: std::collections::BTreeMap<NodeId, f64> = cluster
+            .node_fill()
+            .into_iter()
+            .filter(|(_, _, cap)| *cap > 0)
+            .map(|(n, _, cap)| (n, cap as f64))
+            .collect();
+        let fills = Self::fills(cluster);
+        if fills.len() < 2 {
+            return Vec::new();
+        }
+        let mean = fills.iter().map(|(_, f)| f).sum::<f64>() / fills.len() as f64;
+        if mean <= f64::EPSILON {
+            return Vec::new();
+        }
+        // Projected node utilization, updated as we assign moves.
+        let mut projected: Vec<(NodeId, f64)> = fills.clone();
+        // Donor replicas, largest first.
+        let mut donors: Vec<(NodeId, Vec<(FileId, VolumeId, Bytes)>)> = Vec::new();
+        for (node, fill) in &fills {
+            if *fill > mean * (1.0 + self.threshold * 0.5) {
+                let mut replicas: Vec<(FileId, VolumeId, Bytes)> = Vec::new();
+                if let Some(sn) = cluster.storage.get(node) {
+                    let vol_ids: Vec<VolumeId> = sn.volumes.iter().map(|v| v.id).collect();
+                    for (fid, meta) in &cluster.files {
+                        for r in &meta.replicas {
+                            if vol_ids.contains(&r.volume) && r.bytes > 0 {
+                                replicas.push((*fid, r.volume, r.bytes));
+                            }
+                        }
+                    }
+                }
+                replicas.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+                donors.push((*node, replicas));
+            }
+        }
+        // Deterministic order: most utilized donor first.
+        donors.sort_by(|a, b| {
+            let fa = fills.iter().find(|(n, _)| *n == a.0).map(|(_, f)| *f).unwrap_or(0.0);
+            let fb = fills.iter().find(|(n, _)| *n == b.0).map(|(_, f)| *f).unwrap_or(0.0);
+            fb.partial_cmp(&fa).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        });
+        let mut moves = Vec::new();
+        for (donor, replicas) in donors {
+            let donor_cap = caps.get(&donor).copied().unwrap_or(1.0);
+            for (fid, from_vol, bytes) in replicas {
+                let donor_fill = projected
+                    .iter()
+                    .find(|(n, _)| *n == donor)
+                    .map(|(_, f)| *f)
+                    .unwrap_or(0.0);
+                if donor_fill <= mean * (1.0 + self.threshold * 0.25) {
+                    break;
+                }
+                // Receiver: least-utilized other node that stays within the
+                // threshold band after taking the replica.
+                let mut receivers: Vec<(NodeId, f64)> = projected
+                    .iter()
+                    .filter(|(n, f)| {
+                        *n != donor && {
+                            let cap = caps.get(n).copied().unwrap_or(1.0);
+                            f + bytes as f64 / cap <= mean * (1.0 + self.threshold)
+                        }
+                    })
+                    .cloned()
+                    .collect();
+                receivers.sort_by(|a, b| {
+                    a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+                });
+                let Some((recv, _)) = receivers.first().cloned() else { continue };
+                let Some(sn) = cluster.storage.get(&recv) else { continue };
+                let Some(best_vol) = sn
+                    .volumes
+                    .iter()
+                    .filter(|v| v.free() >= bytes)
+                    .max_by_key(|v| (v.free(), std::cmp::Reverse(v.id)))
+                else {
+                    continue;
+                };
+                moves.push(MigrationMove {
+                    file: fid,
+                    from: from_vol,
+                    from_node: donor,
+                    to: best_vol.id,
+                    to_node: recv,
+                    bytes,
+                });
+                let recv_cap = caps.get(&recv).copied().unwrap_or(1.0);
+                for (n, f) in &mut projected {
+                    if *n == donor {
+                        *f -= bytes as f64 / donor_cap;
+                    } else if *n == recv {
+                        *f += bytes as f64 / recv_cap;
+                    }
+                }
+            }
+        }
+        moves
+    }
+
+    /// Starts a round with the given (possibly effect-filtered) plan.
+    pub fn start_round(&mut self, plan: Vec<MigrationMove>) {
+        self.rounds += 1;
+        self.queue = plan.into();
+        self.phase =
+            if self.queue.is_empty() { RebalancePhase::Idle } else { RebalancePhase::Migrating };
+    }
+
+    /// Pops up to `n` moves for the executor.
+    pub fn next_moves(&mut self, n: usize) -> Vec<MigrationMove> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            match self.queue.pop_front() {
+                Some(m) => out.push(m),
+                None => break,
+            }
+        }
+        if self.queue.is_empty() {
+            self.phase = RebalancePhase::Idle;
+        }
+        out
+    }
+
+    /// Externally visible status.
+    pub fn status(&self) -> RebalanceStatus {
+        match self.phase {
+            RebalancePhase::Idle => RebalanceStatus::Done,
+            RebalancePhase::Migrating => RebalanceStatus::Running,
+        }
+    }
+
+    /// Drops the in-flight plan (reset).
+    pub fn abort(&mut self) {
+        self.queue.clear();
+        self.phase = RebalancePhase::Idle;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::FileId;
+
+    /// Builds a 3-node cluster with a deliberately skewed load.
+    fn skewed_cluster() -> Cluster {
+        let mut c = Cluster::new();
+        c.add_mgmt(6);
+        let (_, v0) = c.add_storage(1, 10_000);
+        let (_, v1) = c.add_storage(1, 10_000);
+        let (_, v2) = c.add_storage(1, 10_000);
+        // Node 1 (v0) holds 6 files of 1000B, others are nearly empty.
+        for i in 0..6 {
+            c.store(FileId(i), v0[0], 1_000).unwrap();
+        }
+        c.store(FileId(100), v1[0], 500).unwrap();
+        c.store(FileId(101), v2[0], 500).unwrap();
+        c
+    }
+
+    #[test]
+    fn needs_rebalance_detects_skew() {
+        let c = skewed_cluster();
+        let b = Balancer::new(0.10);
+        assert!(b.needs_rebalance(&c));
+    }
+
+    #[test]
+    fn balanced_cluster_needs_no_rebalance() {
+        let mut c = Cluster::new();
+        c.add_mgmt(6);
+        let (_, v0) = c.add_storage(1, 10_000);
+        let (_, v1) = c.add_storage(1, 10_000);
+        c.store(FileId(1), v0[0], 1_000).unwrap();
+        c.store(FileId(2), v1[0], 1_000).unwrap();
+        let b = Balancer::new(0.10);
+        assert!(!b.needs_rebalance(&c));
+    }
+
+    #[test]
+    fn empty_cluster_needs_no_rebalance() {
+        let mut c = Cluster::new();
+        c.add_mgmt(6);
+        c.add_storage(1, 10_000);
+        c.add_storage(1, 10_000);
+        let b = Balancer::new(0.10);
+        assert!(!b.needs_rebalance(&c));
+    }
+
+    #[test]
+    fn plan_reduces_imbalance() {
+        let mut c = skewed_cluster();
+        let b = Balancer::new(0.10);
+        let plan = b.plan(&c);
+        assert!(!plan.is_empty());
+        for m in &plan {
+            c.migrate(m.file, m.from, m.to, m.bytes).unwrap();
+        }
+        assert!(!b.needs_rebalance(&c), "plan execution should rebalance the cluster");
+    }
+
+    #[test]
+    fn plan_moves_from_hottest_node() {
+        let c = skewed_cluster();
+        let b = Balancer::new(0.10);
+        let hottest = Balancer::hottest_node(&c).unwrap();
+        let plan = b.plan(&c);
+        assert!(plan.iter().all(|m| m.from_node == hottest));
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let c = skewed_cluster();
+        let b = Balancer::new(0.10);
+        assert_eq!(b.plan(&c), b.plan(&c));
+    }
+
+    #[test]
+    fn round_lifecycle() {
+        let c = skewed_cluster();
+        let mut b = Balancer::new(0.10);
+        assert_eq!(b.status(), RebalanceStatus::Done);
+        let plan = b.plan(&c);
+        let planned = plan.len();
+        b.start_round(plan);
+        assert_eq!(b.status(), RebalanceStatus::Running);
+        assert_eq!(b.rounds, 1);
+        let mut executed = 0;
+        while b.status() == RebalanceStatus::Running {
+            executed += b.next_moves(2).len();
+        }
+        assert_eq!(executed, planned);
+        assert_eq!(b.status(), RebalanceStatus::Done);
+    }
+
+    #[test]
+    fn empty_plan_round_is_immediately_done() {
+        let mut b = Balancer::new(0.10);
+        b.start_round(Vec::new());
+        assert_eq!(b.status(), RebalanceStatus::Done);
+        assert_eq!(b.rounds, 1);
+    }
+
+    #[test]
+    fn abort_clears_queue() {
+        let c = skewed_cluster();
+        let mut b = Balancer::new(0.10);
+        b.start_round(b.plan(&c));
+        assert_eq!(b.status(), RebalanceStatus::Running);
+        b.abort();
+        assert_eq!(b.status(), RebalanceStatus::Done);
+        assert!(b.queue.is_empty());
+    }
+}

@@ -1,0 +1,129 @@
+//! Virtual clock driving the discrete-event simulation.
+
+use crate::types::SimTime;
+
+/// A monotonically advancing virtual clock.
+///
+/// All time in the simulator is virtual: request costs, balancer periods and
+/// campaign budgets are expressed against this clock, which makes the
+/// paper's 24-hour campaigns reproducible in seconds of real time and fully
+/// deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    now: SimTime,
+}
+
+impl SimClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        SimClock { now: SimTime::ZERO }
+    }
+
+    /// The current instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances the clock by `ms` milliseconds and returns the new instant.
+    pub fn advance(&mut self, ms: u64) -> SimTime {
+        self.now = self.now.advanced(ms);
+        self.now
+    }
+
+    /// Resets the clock to time zero.
+    pub fn reset(&mut self) {
+        self.now = SimTime::ZERO;
+    }
+}
+
+/// A repeating timer used for periodic balancer activations.
+///
+/// `PeriodicTimer` fires every `period_ms` of virtual time; `due` reports
+/// how many whole periods elapsed since the last call, so a large clock jump
+/// (e.g. a single expensive operation) still accounts for every missed
+/// activation.
+#[derive(Debug, Clone)]
+pub struct PeriodicTimer {
+    period_ms: u64,
+    last_fire: SimTime,
+}
+
+impl PeriodicTimer {
+    /// Creates a timer with the given period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_ms` is zero.
+    pub fn new(period_ms: u64) -> Self {
+        assert!(period_ms > 0, "timer period must be positive");
+        PeriodicTimer { period_ms, last_fire: SimTime::ZERO }
+    }
+
+    /// Returns the number of periods that elapsed since the last call and
+    /// advances the internal fire marker accordingly.
+    pub fn due(&mut self, now: SimTime) -> u64 {
+        let elapsed = now.saturating_since(self.last_fire);
+        let fires = elapsed / self.period_ms;
+        if fires > 0 {
+            self.last_fire = self.last_fire.advanced(fires * self.period_ms);
+        }
+        fires
+    }
+
+    /// Resets the timer so the next period starts at `now`.
+    pub fn reset(&mut self, now: SimTime) {
+        self.last_fire = now;
+    }
+
+    /// The configured period in milliseconds.
+    pub fn period_ms(&self) -> u64 {
+        self.period_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut c = SimClock::new();
+        assert_eq!(c.now(), SimTime::ZERO);
+        c.advance(100);
+        c.advance(50);
+        assert_eq!(c.now().as_millis(), 150);
+        c.reset();
+        assert_eq!(c.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn timer_fires_once_per_period() {
+        let mut t = PeriodicTimer::new(1_000);
+        assert_eq!(t.due(SimTime(999)), 0);
+        assert_eq!(t.due(SimTime(1_000)), 1);
+        assert_eq!(t.due(SimTime(1_500)), 0);
+        assert_eq!(t.due(SimTime(2_000)), 1);
+    }
+
+    #[test]
+    fn timer_accounts_for_skipped_periods() {
+        let mut t = PeriodicTimer::new(100);
+        assert_eq!(t.due(SimTime(1_050)), 10);
+        // Residual 50 ms still pending toward the next fire.
+        assert_eq!(t.due(SimTime(1_100)), 1);
+    }
+
+    #[test]
+    fn timer_reset_rebases_period() {
+        let mut t = PeriodicTimer::new(100);
+        t.reset(SimTime(250));
+        assert_eq!(t.due(SimTime(300)), 0);
+        assert_eq!(t.due(SimTime(350)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_panics() {
+        let _ = PeriodicTimer::new(0);
+    }
+}

@@ -1,0 +1,586 @@
+//! Cluster topology and physical data placement state.
+//!
+//! [`Cluster`] owns the management and storage nodes, their volumes, and
+//! the map from file ids to physical replicas. It provides *primitive*
+//! mutations (store/free/migrate bytes, add/remove nodes and volumes);
+//! policy decisions — which volume receives data, when to rebalance — are
+//! made by [`crate::sim::DfsSim`] using the flavor's placement policy and
+//! balancer.
+
+use crate::error::{SimError, SimResult};
+use crate::node::{MgmtNode, StorageNode, Volume};
+use crate::placement::VolumeView;
+use crate::types::{Bytes, NodeId, NodeRole, VolumeId};
+use std::collections::BTreeMap;
+
+/// One physical replica of a file's data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Replica {
+    /// The volume storing the replica.
+    pub volume: VolumeId,
+    /// Bytes actually stored (may be less than the file's logical size if a
+    /// data-loss bug corrupted a migration).
+    pub bytes: Bytes,
+}
+
+/// Physical metadata for one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileMeta {
+    /// Placement key (hash of the path at creation; renames rehash it).
+    pub key: u64,
+    /// Replicas currently holding data.
+    pub replicas: Vec<Replica>,
+    /// DHT linkfile location: set when the file's data no longer lives at
+    /// its hash location (GlusterFS semantics).
+    pub linkfile_at: Option<VolumeId>,
+}
+
+/// The full cluster state.
+#[derive(Debug, Clone, Default)]
+pub struct Cluster {
+    /// Management nodes by id.
+    pub mgmt: BTreeMap<NodeId, MgmtNode>,
+    /// Storage nodes by id.
+    pub storage: BTreeMap<NodeId, StorageNode>,
+    /// Physical file metadata by file id (ordered for deterministic
+    /// balancer planning).
+    pub files: BTreeMap<crate::types::FileId, FileMeta>,
+    /// Owner node of each live volume.
+    pub volume_owner: BTreeMap<VolumeId, NodeId>,
+    next_node: u32,
+    next_volume: u32,
+}
+
+impl Cluster {
+    /// Creates an empty cluster (nodes are added by the simulator).
+    pub fn new() -> Self {
+        Cluster::default()
+    }
+
+    /// Adds a management node with the given core count.
+    pub fn add_mgmt(&mut self, cores: u32) -> NodeId {
+        let id = NodeId(self.next_node);
+        self.next_node += 1;
+        self.mgmt.insert(
+            id,
+            MgmtNode { id, online: true, cores, load: Default::default(), joined: Default::default() },
+        );
+        id
+    }
+
+    /// Removes a management node. Fails if it is the last online one.
+    pub fn remove_mgmt(&mut self, id: NodeId) -> SimResult<()> {
+        if !self.mgmt.contains_key(&id) {
+            return Err(SimError::NoSuchNode(id));
+        }
+        if self.mgmt.values().filter(|m| m.online).count() <= 1 {
+            return Err(SimError::LastNode(id));
+        }
+        self.mgmt.remove(&id);
+        Ok(())
+    }
+
+    /// Adds a storage node with `volumes` volumes of `capacity` bytes each.
+    pub fn add_storage(&mut self, volumes: u32, capacity: Bytes) -> (NodeId, Vec<VolumeId>) {
+        let id = NodeId(self.next_node);
+        self.next_node += 1;
+        let mut vols = Vec::with_capacity(volumes as usize);
+        let mut vol_ids = Vec::with_capacity(volumes as usize);
+        for _ in 0..volumes.max(1) {
+            let vid = VolumeId(self.next_volume);
+            self.next_volume += 1;
+            vols.push(Volume { id: vid, capacity, used: 0 });
+            self.volume_owner.insert(vid, id);
+            vol_ids.push(vid);
+        }
+        self.storage.insert(
+            id,
+            StorageNode {
+                id,
+                online: true,
+                volumes: vols,
+                load: Default::default(),
+                joined: Default::default(),
+            },
+        );
+        (id, vol_ids)
+    }
+
+    /// Removes a storage node, returning every replica that was stored on
+    /// it (the simulator re-places or loses them). Fails if it is the last
+    /// online storage node.
+    pub fn remove_storage(
+        &mut self,
+        id: NodeId,
+    ) -> SimResult<Vec<(crate::types::FileId, Replica)>> {
+        if !self.storage.contains_key(&id) {
+            return Err(SimError::NoSuchNode(id));
+        }
+        if self.storage.values().filter(|s| s.online).count() <= 1 {
+            return Err(SimError::LastNode(id));
+        }
+        let node = self.storage.remove(&id).expect("checked above");
+        let dead_vols: Vec<VolumeId> = node.volumes.iter().map(|v| v.id).collect();
+        for v in &dead_vols {
+            self.volume_owner.remove(v);
+        }
+        Ok(self.strip_replicas(&dead_vols))
+    }
+
+    /// Detaches the replicas living on the given volumes from the file map
+    /// and returns them.
+    fn strip_replicas(&mut self, vols: &[VolumeId]) -> Vec<(crate::types::FileId, Replica)> {
+        let mut displaced = Vec::new();
+        for (fid, meta) in self.files.iter_mut() {
+            let mut i = 0;
+            while i < meta.replicas.len() {
+                if vols.contains(&meta.replicas[i].volume) {
+                    displaced.push((*fid, meta.replicas.remove(i)));
+                } else {
+                    i += 1;
+                }
+            }
+            if meta.linkfile_at.is_some_and(|v| vols.contains(&v)) {
+                meta.linkfile_at = None;
+            }
+        }
+        displaced
+    }
+
+    /// Attaches a new volume to a storage node.
+    pub fn add_volume(&mut self, node: NodeId, capacity: Bytes) -> SimResult<VolumeId> {
+        let n = self.storage.get_mut(&node).ok_or(SimError::NoSuchNode(node))?;
+        let vid = VolumeId(self.next_volume);
+        self.next_volume += 1;
+        n.volumes.push(Volume { id: vid, capacity, used: 0 });
+        self.volume_owner.insert(vid, node);
+        Ok(vid)
+    }
+
+    /// Detaches a volume, returning its displaced replicas. Fails if it is
+    /// the only volume left in the cluster.
+    pub fn remove_volume(
+        &mut self,
+        vol: VolumeId,
+    ) -> SimResult<Vec<(crate::types::FileId, Replica)>> {
+        let owner = *self.volume_owner.get(&vol).ok_or(SimError::NoSuchVolume(vol))?;
+        let live_volumes: usize = self.storage.values().map(|n| n.volumes.len()).sum();
+        if live_volumes <= 1 {
+            return Err(SimError::LastNode(owner));
+        }
+        let node = self.storage.get_mut(&owner).expect("owner map consistent");
+        node.volumes.retain(|v| v.id != vol);
+        self.volume_owner.remove(&vol);
+        Ok(self.strip_replicas(&[vol]))
+    }
+
+    /// Grows a volume by `delta` bytes.
+    pub fn expand_volume(&mut self, vol: VolumeId, delta: Bytes) -> SimResult<()> {
+        let v = self.volume_mut(vol)?;
+        v.capacity = v.capacity.saturating_add(delta);
+        Ok(())
+    }
+
+    /// Shrinks a volume by `delta` bytes; fails if stored data would no
+    /// longer fit.
+    pub fn reduce_volume(&mut self, vol: VolumeId, delta: Bytes) -> SimResult<()> {
+        let v = self.volume_mut(vol)?;
+        let new_cap = v.capacity.saturating_sub(delta);
+        if v.used > new_cap {
+            return Err(SimError::VolumeBusy {
+                volume: vol,
+                used: v.used,
+                requested_capacity: new_cap,
+            });
+        }
+        v.capacity = new_cap;
+        Ok(())
+    }
+
+    fn volume_mut(&mut self, vol: VolumeId) -> SimResult<&mut Volume> {
+        let owner = *self.volume_owner.get(&vol).ok_or(SimError::NoSuchVolume(vol))?;
+        self.storage
+            .get_mut(&owner)
+            .and_then(|n| n.volume_mut(vol))
+            .ok_or(SimError::NoSuchVolume(vol))
+    }
+
+    /// Shared access to a volume.
+    pub fn volume(&self, vol: VolumeId) -> Option<&Volume> {
+        let owner = self.volume_owner.get(&vol)?;
+        self.storage.get(owner)?.volume(vol)
+    }
+
+    /// Views of every volume on online storage nodes, for placement.
+    pub fn volume_views(&self) -> Vec<VolumeView> {
+        let mut views = Vec::new();
+        for node in self.storage.values().filter(|n| n.online) {
+            for v in &node.volumes {
+                views.push(VolumeView {
+                    volume: v.id,
+                    node: node.id,
+                    capacity: v.capacity,
+                    used: v.used,
+                    online: true,
+                });
+            }
+        }
+        views
+    }
+
+    /// Stores `bytes` of file `fid` on `vol` as a new replica.
+    pub fn store(&mut self, fid: crate::types::FileId, vol: VolumeId, bytes: Bytes) -> SimResult<()> {
+        let v = self.volume_mut(vol)?;
+        if v.free() < bytes {
+            return Err(SimError::OutOfSpace { requested: bytes, free: v.free() });
+        }
+        v.used += bytes;
+        self.files.entry(fid).or_default().replicas.push(Replica { volume: vol, bytes });
+        Ok(())
+    }
+
+    /// Frees every replica of a file and removes its metadata.
+    pub fn free_file(&mut self, fid: crate::types::FileId) -> Bytes {
+        let Some(meta) = self.files.remove(&fid) else { return 0 };
+        let mut freed = 0;
+        for r in meta.replicas {
+            if let Ok(v) = self.volume_mut(r.volume) {
+                v.used = v.used.saturating_sub(r.bytes);
+                freed += r.bytes;
+            }
+        }
+        freed
+    }
+
+    /// Rescales every fragment of `fid` proportionally for a logical resize
+    /// from `old_size` to `new_size` bytes.
+    ///
+    /// Fragment sizes are multiplied by `new_size / old_size`, so a striped
+    /// file keeps its distribution shape. Fails with `OutOfSpace` if any
+    /// fragment's volume cannot absorb its growth; on failure nothing is
+    /// changed.
+    pub fn rescale_file(
+        &mut self,
+        fid: crate::types::FileId,
+        old_size: Bytes,
+        new_size: Bytes,
+    ) -> SimResult<()> {
+        if old_size == new_size {
+            return Ok(());
+        }
+        let meta = match self.files.get(&fid) {
+            Some(m) => m.clone(),
+            None => return Ok(()), // file had no physical placement
+        };
+        let scale = |bytes: Bytes| -> Bytes {
+            if old_size == 0 {
+                0
+            } else {
+                ((bytes as u128 * new_size as u128) / old_size as u128) as Bytes
+            }
+        };
+        // Validate growth first so the whole rescale is atomic.
+        for r in &meta.replicas {
+            let target = scale(r.bytes);
+            if target > r.bytes {
+                let grow = target - r.bytes;
+                let v = self.volume(r.volume).ok_or(SimError::NoSuchVolume(r.volume))?;
+                if v.free() < grow {
+                    return Err(SimError::OutOfSpace { requested: grow, free: v.free() });
+                }
+            }
+        }
+        for r in &meta.replicas {
+            let target = scale(r.bytes);
+            let old = r.bytes;
+            let v = self.volume_mut(r.volume)?;
+            v.used = v.used - old + target;
+        }
+        if let Some(m) = self.files.get_mut(&fid) {
+            for r in &mut m.replicas {
+                r.bytes = scale(r.bytes);
+            }
+            m.replicas.retain(|r| r.bytes > 0);
+        }
+        Ok(())
+    }
+
+    /// Moves one replica of `fid` from `from` to `to`, storing `kept`
+    /// bytes at the destination (normally the full replica; less when a
+    /// data-loss effect corrupts the migration). Returns the bytes freed at
+    /// the source.
+    pub fn migrate(
+        &mut self,
+        fid: crate::types::FileId,
+        from: VolumeId,
+        to: VolumeId,
+        kept: Bytes,
+    ) -> SimResult<Bytes> {
+        let meta = self.files.get(&fid).ok_or(SimError::NoSuchPath(format!("{fid}")))?;
+        let idx = meta
+            .replicas
+            .iter()
+            .position(|r| r.volume == from)
+            .ok_or(SimError::NoSuchVolume(from))?;
+        let moved = meta.replicas[idx].bytes;
+        let kept = kept.min(moved);
+        {
+            let dest = self.volume_mut(to)?;
+            if dest.free() < kept {
+                return Err(SimError::OutOfSpace { requested: kept, free: dest.free() });
+            }
+            dest.used += kept;
+        }
+        {
+            let src = self.volume_mut(from)?;
+            src.used = src.used.saturating_sub(moved);
+        }
+        let meta = self.files.get_mut(&fid).expect("checked above");
+        meta.replicas[idx] = Replica { volume: to, bytes: kept };
+        Ok(moved)
+    }
+
+    /// Bytes stored per online storage node with at least one volume.
+    ///
+    /// Diskless nodes (all volumes detached) are excluded: they are out of
+    /// the storage pool and neither hold nor can receive data.
+    pub fn node_storage(&self) -> Vec<(NodeId, Bytes)> {
+        self.storage
+            .values()
+            .filter(|n| n.online && !n.volumes.is_empty())
+            .map(|n| (n.id, n.used()))
+            .collect()
+    }
+
+    /// Per-node (used, capacity) for online storage nodes with volumes.
+    pub fn node_fill(&self) -> Vec<(NodeId, Bytes, Bytes)> {
+        self.storage
+            .values()
+            .filter(|n| n.online && !n.volumes.is_empty())
+            .map(|n| (n.id, n.used(), n.capacity()))
+            .collect()
+    }
+
+    /// Total free bytes across online storage nodes.
+    pub fn total_free(&self) -> Bytes {
+        self.storage.values().filter(|n| n.online).map(|n| n.free()).sum()
+    }
+
+    /// Total capacity across online storage nodes.
+    pub fn total_capacity(&self) -> Bytes {
+        self.storage.values().filter(|n| n.online).map(|n| n.capacity()).sum()
+    }
+
+    /// Total bytes stored across online storage nodes.
+    pub fn total_used(&self) -> Bytes {
+        self.storage.values().filter(|n| n.online).map(|n| n.used()).sum()
+    }
+
+    /// Online management nodes, in id order.
+    pub fn online_mgmt(&self) -> Vec<NodeId> {
+        self.mgmt.values().filter(|m| m.online).map(|m| m.id).collect()
+    }
+
+    /// Online storage nodes, in id order.
+    pub fn online_storage(&self) -> Vec<NodeId> {
+        self.storage.values().filter(|s| s.online).map(|s| s.id).collect()
+    }
+
+    /// Ids of every node (for inventory reporting).
+    pub fn node_ids(&self) -> Vec<(NodeId, NodeRole, bool)> {
+        let mut out: Vec<(NodeId, NodeRole, bool)> = self
+            .mgmt
+            .values()
+            .map(|m| (m.id, NodeRole::Management, m.online))
+            .chain(self.storage.values().map(|s| (s.id, NodeRole::Storage, s.online)))
+            .collect();
+        out.sort_by_key(|(id, _, _)| *id);
+        out
+    }
+
+    /// Marks a node offline (crash) without removing it.
+    pub fn set_offline(&mut self, id: NodeId) {
+        if let Some(n) = self.storage.get_mut(&id) {
+            n.online = false;
+        }
+        if let Some(n) = self.mgmt.get_mut(&id) {
+            n.online = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::FileId;
+
+    fn cluster_with(nodes: u32, vols_per: u32, cap: Bytes) -> Cluster {
+        let mut c = Cluster::new();
+        c.add_mgmt(6);
+        for _ in 0..nodes {
+            c.add_storage(vols_per, cap);
+        }
+        c
+    }
+
+    #[test]
+    fn store_and_free_conserve_bytes() {
+        let mut c = cluster_with(3, 1, 1000);
+        let vid = c.volume_views()[0].volume;
+        c.store(FileId(1), vid, 400).unwrap();
+        assert_eq!(c.total_used(), 400);
+        assert_eq!(c.free_file(FileId(1)), 400);
+        assert_eq!(c.total_used(), 0);
+    }
+
+    #[test]
+    fn store_rejects_overflow() {
+        let mut c = cluster_with(1, 1, 100);
+        let vid = c.volume_views()[0].volume;
+        assert!(matches!(
+            c.store(FileId(1), vid, 200),
+            Err(SimError::OutOfSpace { .. })
+        ));
+        assert_eq!(c.total_used(), 0);
+    }
+
+    #[test]
+    fn migrate_moves_bytes_between_volumes() {
+        let mut c = cluster_with(2, 1, 1000);
+        let views = c.volume_views();
+        let (a, b) = (views[0].volume, views[1].volume);
+        c.store(FileId(1), a, 300).unwrap();
+        let moved = c.migrate(FileId(1), a, b, 300).unwrap();
+        assert_eq!(moved, 300);
+        assert_eq!(c.volume(a).unwrap().used, 0);
+        assert_eq!(c.volume(b).unwrap().used, 300);
+        assert_eq!(c.files[&FileId(1)].replicas[0].volume, b);
+    }
+
+    #[test]
+    fn lossy_migration_sheds_bytes() {
+        let mut c = cluster_with(2, 1, 1000);
+        let views = c.volume_views();
+        let (a, b) = (views[0].volume, views[1].volume);
+        c.store(FileId(1), a, 300).unwrap();
+        c.migrate(FileId(1), a, b, 100).unwrap();
+        assert_eq!(c.total_used(), 100, "200 bytes were lost in migration");
+        assert_eq!(c.files[&FileId(1)].replicas[0].bytes, 100);
+    }
+
+    #[test]
+    fn remove_storage_returns_displaced_replicas() {
+        let mut c = cluster_with(2, 1, 1000);
+        let views = c.volume_views();
+        let (a_vol, a_node) = (views[0].volume, views[0].node);
+        c.store(FileId(1), a_vol, 250).unwrap();
+        let displaced = c.remove_storage(a_node).unwrap();
+        assert_eq!(displaced.len(), 1);
+        assert_eq!(displaced[0].0, FileId(1));
+        assert_eq!(displaced[0].1.bytes, 250);
+        assert!(c.files[&FileId(1)].replicas.is_empty());
+    }
+
+    #[test]
+    fn cannot_remove_last_storage_node() {
+        let mut c = cluster_with(1, 1, 1000);
+        let node = c.online_storage()[0];
+        assert!(matches!(c.remove_storage(node), Err(SimError::LastNode(_))));
+    }
+
+    #[test]
+    fn cannot_remove_last_mgmt_node() {
+        let mut c = cluster_with(1, 1, 1000);
+        let m = c.online_mgmt()[0];
+        assert!(matches!(c.remove_mgmt(m), Err(SimError::LastNode(_))));
+    }
+
+    #[test]
+    fn reduce_volume_respects_stored_data() {
+        let mut c = cluster_with(1, 1, 1000);
+        let vid = c.volume_views()[0].volume;
+        c.store(FileId(1), vid, 600).unwrap();
+        assert!(matches!(c.reduce_volume(vid, 500), Err(SimError::VolumeBusy { .. })));
+        c.reduce_volume(vid, 300).unwrap();
+        assert_eq!(c.volume(vid).unwrap().capacity, 700);
+    }
+
+    #[test]
+    fn expand_volume_grows_capacity() {
+        let mut c = cluster_with(1, 1, 1000);
+        let vid = c.volume_views()[0].volume;
+        c.expand_volume(vid, 500).unwrap();
+        assert_eq!(c.volume(vid).unwrap().capacity, 1500);
+        assert_eq!(c.total_capacity(), 1500);
+    }
+
+    #[test]
+    fn rescale_file_scales_fragments_proportionally() {
+        let mut c = cluster_with(2, 1, 10_000);
+        let views = c.volume_views();
+        // A striped file: 100 B on one volume, 300 B on another (logical
+        // size 400, single copy).
+        c.store(FileId(1), views[0].volume, 100).unwrap();
+        c.store(FileId(1), views[1].volume, 300).unwrap();
+        c.rescale_file(FileId(1), 400, 800).unwrap();
+        assert_eq!(c.files[&FileId(1)].replicas[0].bytes, 200);
+        assert_eq!(c.files[&FileId(1)].replicas[1].bytes, 600);
+        c.rescale_file(FileId(1), 800, 200).unwrap();
+        assert_eq!(c.total_used(), 200);
+    }
+
+    #[test]
+    fn rescale_file_growth_is_atomic() {
+        let mut c = cluster_with(2, 1, 300);
+        let views = c.volume_views();
+        c.store(FileId(1), views[0].volume, 100).unwrap();
+        c.store(FileId(1), views[1].volume, 100).unwrap();
+        // Fill volume 1 so growth fails there.
+        c.store(FileId(2), views[1].volume, 180).unwrap();
+        assert!(c.rescale_file(FileId(1), 100, 250).is_err());
+        // Nothing changed.
+        assert_eq!(c.files[&FileId(1)].replicas[0].bytes, 100);
+        assert_eq!(c.files[&FileId(1)].replicas[1].bytes, 100);
+    }
+
+    #[test]
+    fn rescale_to_zero_drops_fragments() {
+        let mut c = cluster_with(2, 1, 1000);
+        let views = c.volume_views();
+        c.store(FileId(1), views[0].volume, 100).unwrap();
+        c.rescale_file(FileId(1), 100, 0).unwrap();
+        assert_eq!(c.total_used(), 0);
+        assert!(c.files[&FileId(1)].replicas.is_empty());
+    }
+
+    #[test]
+    fn remove_volume_displaces_data_and_clears_linkfile() {
+        let mut c = cluster_with(2, 2, 1000);
+        let views = c.volume_views();
+        let v0 = views[0].volume;
+        c.store(FileId(1), v0, 100).unwrap();
+        c.files.get_mut(&FileId(1)).unwrap().linkfile_at = Some(v0);
+        let displaced = c.remove_volume(v0).unwrap();
+        assert_eq!(displaced.len(), 1);
+        assert_eq!(c.files[&FileId(1)].linkfile_at, None);
+        assert!(c.volume(v0).is_none());
+    }
+
+    #[test]
+    fn set_offline_hides_node_from_views() {
+        let mut c = cluster_with(2, 1, 1000);
+        let node = c.online_storage()[0];
+        assert_eq!(c.volume_views().len(), 2);
+        c.set_offline(node);
+        assert_eq!(c.volume_views().len(), 1);
+        assert_eq!(c.online_storage().len(), 1);
+    }
+
+    #[test]
+    fn node_ids_lists_everyone() {
+        let c = cluster_with(2, 1, 1000);
+        let ids = c.node_ids();
+        assert_eq!(ids.len(), 3);
+        assert_eq!(ids.iter().filter(|(_, r, _)| *r == NodeRole::Management).count(), 1);
+    }
+}

@@ -1,0 +1,74 @@
+//! Deterministic, seed-free hashing helpers.
+//!
+//! Every data-path decision in the simulator (placement, routing, coverage
+//! branch ids) is a pure function of its inputs through these hashes, which
+//! keeps whole campaigns bit-reproducible given the fuzzer seed.
+
+/// 64-bit FNV-1a over a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Hashes a string (used for DHT placement keyed on file names).
+pub fn hash_str(s: &str) -> u64 {
+    fnv1a(s.as_bytes())
+}
+
+/// Mixes two 64-bit values into one (splitmix64-style finalizer).
+pub fn mix(a: u64, b: u64) -> u64 {
+    let mut x = a
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(b.rotate_left(31).wrapping_mul(0xd6e8_feb8_6659_fd93));
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Maps a hash to a float in the open interval `(0, 1)`.
+///
+/// The input is re-mixed first so that nearby integers map to well-spread
+/// floats, and the result is never exactly 0, so it is safe as input to
+/// `ln`.
+pub fn hash01(h: u64) -> f64 {
+    let m = mix(h, 0x7531_d0_c0_ffee);
+    ((m >> 11) as f64 + 1.0) / ((1u64 << 53) as f64 + 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable() {
+        // Known FNV-1a vector: empty input hashes to the offset basis.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), fnv1a(b"a"));
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+
+    #[test]
+    fn mix_spreads_inputs() {
+        assert_ne!(mix(1, 2), mix(2, 1));
+        assert_ne!(mix(0, 0), 0);
+    }
+
+    #[test]
+    fn hash01_in_open_unit_interval() {
+        for h in [0u64, 1, u64::MAX, 0xdead_beef] {
+            let x = hash01(h);
+            assert!(x > 0.0 && x < 1.0, "hash01({h}) = {x}");
+        }
+    }
+
+    #[test]
+    fn hash01_distinguishes_values() {
+        assert_ne!(hash01(1), hash01(2));
+    }
+}

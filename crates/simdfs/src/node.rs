@@ -1,0 +1,124 @@
+//! Node and volume state for the simulated cluster.
+
+use crate::metrics::NodeLoadAccount;
+use crate::types::{Bytes, NodeId, SimTime, VolumeId};
+
+/// A storage volume (disk / brick) attached to a storage node.
+#[derive(Debug, Clone)]
+pub struct Volume {
+    /// Stable volume id.
+    pub id: VolumeId,
+    /// Total capacity in bytes.
+    pub capacity: Bytes,
+    /// Bytes of file data currently stored.
+    pub used: Bytes,
+}
+
+impl Volume {
+    /// Remaining free bytes.
+    pub fn free(&self) -> Bytes {
+        self.capacity.saturating_sub(self.used)
+    }
+
+    /// Utilization in `[0, 1]` (0 for zero-capacity volumes).
+    pub fn util(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.used as f64 / self.capacity as f64
+        }
+    }
+}
+
+/// A data storage node hosting one or more volumes.
+#[derive(Debug, Clone)]
+pub struct StorageNode {
+    /// Stable node id.
+    pub id: NodeId,
+    /// Whether the node is currently online.
+    pub online: bool,
+    /// Attached volumes.
+    pub volumes: Vec<Volume>,
+    /// Live load counters (IO, CPU from migrations).
+    pub load: NodeLoadAccount,
+    /// When the node joined the cluster.
+    pub joined: SimTime,
+}
+
+impl StorageNode {
+    /// Bytes stored across all volumes.
+    pub fn used(&self) -> Bytes {
+        self.volumes.iter().map(|v| v.used).sum()
+    }
+
+    /// Total capacity across all volumes.
+    pub fn capacity(&self) -> Bytes {
+        self.volumes.iter().map(|v| v.capacity).sum()
+    }
+
+    /// Free bytes across all volumes.
+    pub fn free(&self) -> Bytes {
+        self.volumes.iter().map(|v| v.free()).sum()
+    }
+
+    /// Mutable reference to a volume by id.
+    pub fn volume_mut(&mut self, id: VolumeId) -> Option<&mut Volume> {
+        self.volumes.iter_mut().find(|v| v.id == id)
+    }
+
+    /// Shared reference to a volume by id.
+    pub fn volume(&self, id: VolumeId) -> Option<&Volume> {
+        self.volumes.iter().find(|v| v.id == id)
+    }
+}
+
+/// A metadata management node (NameNode / MDS / gateway).
+#[derive(Debug, Clone)]
+pub struct MgmtNode {
+    /// Stable node id.
+    pub id: NodeId,
+    /// Whether the node is currently online.
+    pub online: bool,
+    /// Number of CPU cores (homogeneous per the paper's system model).
+    pub cores: u32,
+    /// Live load counters (requests, CPU, IO).
+    pub load: NodeLoadAccount,
+    /// When the node joined the cluster.
+    pub joined: SimTime,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vol(id: u32, cap: Bytes, used: Bytes) -> Volume {
+        Volume { id: VolumeId(id), capacity: cap, used }
+    }
+
+    #[test]
+    fn volume_free_saturates() {
+        let v = vol(0, 100, 150);
+        assert_eq!(v.free(), 0);
+    }
+
+    #[test]
+    fn volume_util_zero_capacity() {
+        assert_eq!(vol(0, 0, 0).util(), 0.0);
+    }
+
+    #[test]
+    fn storage_node_aggregates_volumes() {
+        let node = StorageNode {
+            id: NodeId(1),
+            online: true,
+            volumes: vec![vol(0, 100, 30), vol(1, 200, 50)],
+            load: NodeLoadAccount::default(),
+            joined: SimTime::ZERO,
+        };
+        assert_eq!(node.used(), 80);
+        assert_eq!(node.capacity(), 300);
+        assert_eq!(node.free(), 220);
+        assert!(node.volume(VolumeId(1)).is_some());
+        assert!(node.volume(VolumeId(9)).is_none());
+    }
+}

@@ -1,0 +1,381 @@
+//! Data placement policies.
+//!
+//! Each DFS flavor places file replicas with a different algorithm, matching
+//! the families the paper names (Section 2.1): hash partitioning (GlusterFS
+//! DHT), consistent hashing with virtual nodes (LeoFS ring), CRUSH-style
+//! weighted rendezvous hashing (Ceph), and free-space-weighted selection
+//! (the HDFS block placement heuristic). All policies are deterministic
+//! functions of the placement key and the current volume views.
+
+use crate::hashing::{hash01, mix};
+use crate::types::{Bytes, NodeId, VolumeId};
+
+/// A read-only view of one candidate volume offered to a policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VolumeView {
+    /// The volume.
+    pub volume: VolumeId,
+    /// The storage node hosting it.
+    pub node: NodeId,
+    /// Volume capacity in bytes.
+    pub capacity: Bytes,
+    /// Bytes currently stored.
+    pub used: Bytes,
+    /// Whether the hosting node is online.
+    pub online: bool,
+}
+
+impl VolumeView {
+    /// Free bytes on the volume.
+    pub fn free(&self) -> Bytes {
+        self.capacity.saturating_sub(self.used)
+    }
+
+    /// Relative weight used by weighted policies (capacity in GiB units;
+    /// zero-capacity volumes get a tiny epsilon weight so hashing stays
+    /// well-defined).
+    pub fn weight(&self) -> f64 {
+        (self.capacity as f64 / (1u64 << 30) as f64).max(1e-9)
+    }
+}
+
+/// A replica placement decision: one volume per replica.
+pub type Placement = Vec<VolumeId>;
+
+/// A deterministic replica placement policy.
+pub trait PlacementPolicy: std::fmt::Debug + Send {
+    /// Human-readable policy name.
+    fn name(&self) -> &'static str;
+
+    /// Chooses up to `replicas` volumes (on distinct nodes where possible)
+    /// for the data identified by `key`. `views` lists candidate volumes on
+    /// online nodes; policies must not return duplicates. An empty result
+    /// means no placement is possible.
+    fn place(&self, key: u64, size: Bytes, replicas: usize, views: &[VolumeView]) -> Placement;
+}
+
+/// Selects up to `replicas` entries from scored candidates, preferring
+/// distinct nodes first, then filling with remaining volumes if the cluster
+/// has fewer nodes than requested replicas.
+fn pick_distinct_nodes(
+    mut scored: Vec<(f64, VolumeView)>,
+    replicas: usize,
+    size: Bytes,
+) -> Placement {
+    // Sort by score descending; ties broken by volume id for determinism.
+    scored.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.volume.cmp(&b.1.volume))
+    });
+    let mut out = Vec::with_capacity(replicas);
+    let mut used_nodes = Vec::new();
+    for (_, v) in scored.iter().filter(|(_, v)| v.free() >= size) {
+        if out.len() == replicas {
+            break;
+        }
+        if !used_nodes.contains(&v.node) {
+            used_nodes.push(v.node);
+            out.push(v.volume);
+        }
+    }
+    // Second pass: allow same-node volumes when nodes are scarce.
+    if out.len() < replicas {
+        for (_, v) in scored.iter().filter(|(_, v)| v.free() >= size) {
+            if out.len() == replicas {
+                break;
+            }
+            if !out.contains(&v.volume) {
+                out.push(v.volume);
+            }
+        }
+    }
+    out
+}
+
+/// GlusterFS-style DHT hash partitioning.
+///
+/// Volumes own contiguous arcs of a 64-bit hash ring (one point per volume,
+/// positioned by hashing the volume id). A key is placed on the volume whose
+/// point is the smallest value ≥ the key hash (wrapping), and further
+/// replicas walk the ring clockwise to distinct nodes.
+#[derive(Debug, Default, Clone)]
+pub struct DhtHashRing;
+
+impl PlacementPolicy for DhtHashRing {
+    fn name(&self) -> &'static str {
+        "dht-hash-ring"
+    }
+
+    fn place(&self, key: u64, size: Bytes, replicas: usize, views: &[VolumeView]) -> Placement {
+        let mut ring: Vec<(u64, VolumeView)> =
+            views.iter().map(|v| (mix(v.volume.0 as u64, 0x6c75_7374_6572), *v)).collect();
+        ring.sort_by_key(|(h, v)| (*h, v.volume));
+        if ring.is_empty() {
+            return Vec::new();
+        }
+        let start = ring.partition_point(|(h, _)| *h < key) % ring.len();
+        let mut out = Vec::with_capacity(replicas);
+        let mut used_nodes = Vec::new();
+        for i in 0..ring.len() {
+            let v = &ring[(start + i) % ring.len()].1;
+            if out.len() == replicas {
+                break;
+            }
+            if v.free() >= size && !used_nodes.contains(&v.node) {
+                used_nodes.push(v.node);
+                out.push(v.volume);
+            }
+        }
+        if out.len() < replicas {
+            for i in 0..ring.len() {
+                let v = &ring[(start + i) % ring.len()].1;
+                if out.len() == replicas {
+                    break;
+                }
+                if v.free() >= size && !out.contains(&v.volume) {
+                    out.push(v.volume);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// LeoFS-style consistent hashing with virtual nodes.
+///
+/// Each volume is hashed to `vnodes` points on the ring, smoothing arc sizes
+/// and reducing the data moved when membership changes.
+#[derive(Debug, Clone)]
+pub struct VnodeRing {
+    /// Virtual nodes per volume (LeoFS defaults to 168; we scale down).
+    pub vnodes: u32,
+}
+
+impl Default for VnodeRing {
+    fn default() -> Self {
+        VnodeRing { vnodes: 32 }
+    }
+}
+
+impl PlacementPolicy for VnodeRing {
+    fn name(&self) -> &'static str {
+        "vnode-ring"
+    }
+
+    fn place(&self, key: u64, size: Bytes, replicas: usize, views: &[VolumeView]) -> Placement {
+        let mut ring: Vec<(u64, usize)> = Vec::with_capacity(views.len() * self.vnodes as usize);
+        for (idx, v) in views.iter().enumerate() {
+            for vn in 0..self.vnodes {
+                ring.push((mix(v.volume.0 as u64, vn as u64 + 1), idx));
+            }
+        }
+        ring.sort_unstable();
+        if ring.is_empty() {
+            return Vec::new();
+        }
+        let start = ring.partition_point(|(h, _)| *h < key) % ring.len();
+        let mut out = Vec::with_capacity(replicas);
+        let mut used_nodes = Vec::new();
+        for i in 0..ring.len() {
+            let v = &views[ring[(start + i) % ring.len()].1];
+            if out.len() == replicas {
+                break;
+            }
+            if v.free() >= size && !used_nodes.contains(&v.node) && !out.contains(&v.volume) {
+                used_nodes.push(v.node);
+                out.push(v.volume);
+            }
+        }
+        out
+    }
+}
+
+/// Ceph-style CRUSH placement, modelled as straw2 (weighted rendezvous
+/// hashing): each volume draws a straw `-ln(u) / weight` with `u` a
+/// deterministic hash of `(key, volume)`, and the shortest straws win.
+#[derive(Debug, Default, Clone)]
+pub struct CrushStraw2;
+
+impl PlacementPolicy for CrushStraw2 {
+    fn name(&self) -> &'static str {
+        "crush-straw2"
+    }
+
+    fn place(&self, key: u64, size: Bytes, replicas: usize, views: &[VolumeView]) -> Placement {
+        let scored: Vec<(f64, VolumeView)> = views
+            .iter()
+            .map(|v| {
+                let u = hash01(mix(key, v.volume.0 as u64));
+                // Larger score wins in `pick_distinct_nodes`; straw2 picks
+                // the *minimum* -ln(u)/w, i.e. the maximum of its negation.
+                (-(-u.ln() / v.weight()), *v)
+            })
+            .collect();
+        pick_distinct_nodes(scored, replicas, size)
+    }
+}
+
+/// HDFS-style free-space-weighted placement.
+///
+/// The NameNode prefers DataNode volumes with more free space; we score by
+/// free fraction with a deterministic per-key jitter, reproducing the
+/// "available = weighted random" feel of the HDFS block placement policy
+/// without nondeterminism.
+#[derive(Debug, Default, Clone)]
+pub struct FreeSpaceWeighted;
+
+impl PlacementPolicy for FreeSpaceWeighted {
+    fn name(&self) -> &'static str {
+        "free-space-weighted"
+    }
+
+    fn place(&self, key: u64, size: Bytes, replicas: usize, views: &[VolumeView]) -> Placement {
+        let scored: Vec<(f64, VolumeView)> = views
+            .iter()
+            .map(|v| {
+                let free_frac = if v.capacity == 0 {
+                    0.0
+                } else {
+                    v.free() as f64 / v.capacity as f64
+                };
+                let jitter = hash01(mix(key, v.volume.0 as u64 ^ 0x4846_5353));
+                (free_frac * (0.75 + 0.5 * jitter), *v)
+            })
+            .collect();
+        pick_distinct_nodes(scored, replicas, size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn views(n: u32, cap: Bytes) -> Vec<VolumeView> {
+        (0..n)
+            .map(|i| VolumeView {
+                volume: VolumeId(i),
+                node: NodeId(i),
+                capacity: cap,
+                used: 0,
+                online: true,
+            })
+            .collect()
+    }
+
+    fn policies() -> Vec<Box<dyn PlacementPolicy>> {
+        vec![
+            Box::new(DhtHashRing),
+            Box::new(VnodeRing::default()),
+            Box::new(CrushStraw2),
+            Box::new(FreeSpaceWeighted),
+        ]
+    }
+
+    #[test]
+    fn all_policies_place_requested_replicas() {
+        let vs = views(6, 1 << 30);
+        for p in policies() {
+            let placed = p.place(12345, 1024, 3, &vs);
+            assert_eq!(placed.len(), 3, "{} placed {:?}", p.name(), placed);
+            let mut dedup = placed.clone();
+            dedup.sort();
+            dedup.dedup();
+            assert_eq!(dedup.len(), 3, "{} returned duplicates", p.name());
+        }
+    }
+
+    #[test]
+    fn all_policies_are_deterministic() {
+        let vs = views(6, 1 << 30);
+        for p in policies() {
+            assert_eq!(p.place(7, 10, 2, &vs), p.place(7, 10, 2, &vs), "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn policies_respect_free_space() {
+        let mut vs = views(3, 1000);
+        vs[0].used = 1000;
+        vs[1].used = 1000;
+        for p in policies() {
+            let placed = p.place(99, 500, 1, &vs);
+            assert_eq!(placed, vec![VolumeId(2)], "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn empty_views_place_nothing() {
+        for p in policies() {
+            assert!(p.place(1, 1, 3, &[]).is_empty(), "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn replicas_prefer_distinct_nodes() {
+        // Two volumes on node 0, one on node 1: a 2-replica placement must
+        // span both nodes.
+        let vs = vec![
+            VolumeView { volume: VolumeId(0), node: NodeId(0), capacity: 1 << 30, used: 0, online: true },
+            VolumeView { volume: VolumeId(1), node: NodeId(0), capacity: 1 << 30, used: 0, online: true },
+            VolumeView { volume: VolumeId(2), node: NodeId(1), capacity: 1 << 30, used: 0, online: true },
+        ];
+        for p in policies() {
+            let placed = p.place(42, 1, 2, &vs);
+            assert_eq!(placed.len(), 2, "{}", p.name());
+            let has_node1 = placed.contains(&VolumeId(2));
+            assert!(has_node1, "{} did not spread across nodes: {:?}", p.name(), placed);
+        }
+    }
+
+    #[test]
+    fn hash_ring_moves_few_keys_on_node_addition() {
+        // Consistent hashing property: adding one volume to a 8-volume ring
+        // should relocate well under half the keys.
+        let before = views(8, 1 << 30);
+        let after = views(9, 1 << 30);
+        let ring = VnodeRing::default();
+        let total = 2000;
+        let mut moved = 0;
+        for k in 0..total {
+            let key = mix(k, 0xfeed);
+            if ring.place(key, 1, 1, &before) != ring.place(key, 1, 1, &after) {
+                moved += 1;
+            }
+        }
+        let frac = moved as f64 / total as f64;
+        assert!(frac < 0.35, "vnode ring moved {frac:.2} of keys on single-node add");
+        assert!(frac > 0.01, "adding a node should move some keys");
+    }
+
+    #[test]
+    fn crush_distributes_roughly_by_weight() {
+        // One volume with 3x capacity should receive roughly 3x the keys.
+        let mut vs = views(4, 1 << 30);
+        vs[3].capacity = 3 << 30;
+        let p = CrushStraw2;
+        let mut counts = [0usize; 4];
+        for k in 0..3000u64 {
+            let placed = p.place(mix(k, 1), 1, 1, &vs);
+            counts[placed[0].0 as usize] += 1;
+        }
+        let small_avg = (counts[0] + counts[1] + counts[2]) as f64 / 3.0;
+        let big = counts[3] as f64;
+        let ratio = big / small_avg;
+        assert!((2.0..4.5).contains(&ratio), "weight ratio {ratio:.2}, counts {counts:?}");
+    }
+
+    #[test]
+    fn free_space_weighted_prefers_empty_volumes() {
+        let mut vs = views(2, 1000);
+        vs[0].used = 900;
+        let p = FreeSpaceWeighted;
+        let mut empties = 0;
+        for k in 0..200u64 {
+            if p.place(mix(k, 2), 1, 1, &vs)[0] == VolumeId(1) {
+                empties += 1;
+            }
+        }
+        assert!(empties > 190, "free-space policy picked the full volume too often");
+    }
+}

@@ -1,0 +1,249 @@
+//! The request surface of the simulated DFS.
+//!
+//! [`DfsRequest`] mirrors what a real deployment exposes: client file
+//! operations (via a FUSE-style mount) and administrative configuration
+//! commands (node and volume management CLIs). Themis's Interaction Adaptor
+//! translates its operation grammar into these requests.
+
+use crate::types::{Bytes, NodeId, VolumeId};
+
+/// A single request sent to the simulated DFS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfsRequest {
+    /// Create a file of `size` bytes.
+    Create { path: String, size: Bytes },
+    /// Delete a file.
+    Delete { path: String },
+    /// Append `delta` bytes to a file.
+    Append { path: String, delta: Bytes },
+    /// Replace a file's contents with `size` new bytes.
+    Overwrite { path: String, size: Bytes },
+    /// Read a file.
+    Open { path: String },
+    /// Truncate a file to zero and write `size` new bytes.
+    TruncateOverwrite { path: String, size: Bytes },
+    /// Create a directory.
+    Mkdir { path: String },
+    /// Remove an empty directory.
+    Rmdir { path: String },
+    /// Rename/move a file or directory.
+    Rename { from: String, to: String },
+    /// Add a metadata management node.
+    AddMgmtNode,
+    /// Remove a management node.
+    RemoveMgmtNode { node: NodeId },
+    /// Add a storage node with `volumes` volumes of `capacity` bytes each.
+    AddStorageNode { volumes: u32, capacity: Bytes },
+    /// Remove a storage node (its data is migrated off first).
+    RemoveStorageNode { node: NodeId },
+    /// Attach a new volume to an existing storage node.
+    AddVolume { node: NodeId, capacity: Bytes },
+    /// Detach a volume (its data is migrated off first).
+    RemoveVolume { volume: VolumeId },
+    /// Grow a volume by `delta` bytes.
+    ExpandVolume { volume: VolumeId, delta: Bytes },
+    /// Shrink a volume by `delta` bytes.
+    ReduceVolume { volume: VolumeId, delta: Bytes },
+}
+
+/// Coarse operation class used by bug triggers and the coverage model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// File creation.
+    Create,
+    /// File deletion.
+    Delete,
+    /// Size-changing writes (append / overwrite / truncate-overwrite).
+    Resize,
+    /// Reads.
+    Read,
+    /// Directory metadata (mkdir / rmdir).
+    DirMeta,
+    /// Renames.
+    Rename,
+    /// Management node addition.
+    MgmtAdd,
+    /// Management node removal.
+    MgmtRemove,
+    /// Storage node addition.
+    StorageAdd,
+    /// Storage node removal.
+    StorageRemove,
+    /// Volume attach.
+    VolumeAdd,
+    /// Volume detach.
+    VolumeRemove,
+    /// Volume expansion.
+    VolumeExpand,
+    /// Volume reduction.
+    VolumeReduce,
+}
+
+impl OpClass {
+    /// Whether this class belongs to the client-request input space.
+    pub fn is_request(self) -> bool {
+        matches!(
+            self,
+            OpClass::Create
+                | OpClass::Delete
+                | OpClass::Resize
+                | OpClass::Read
+                | OpClass::DirMeta
+                | OpClass::Rename
+        )
+    }
+
+    /// Whether this class belongs to the system-configuration input space.
+    pub fn is_config(self) -> bool {
+        !self.is_request()
+    }
+
+    /// Whether this class changes cluster membership or volume topology.
+    pub fn is_membership(self) -> bool {
+        matches!(
+            self,
+            OpClass::MgmtAdd
+                | OpClass::MgmtRemove
+                | OpClass::StorageAdd
+                | OpClass::StorageRemove
+                | OpClass::VolumeAdd
+                | OpClass::VolumeRemove
+        )
+    }
+
+    /// Stable small integer used in hashed coverage features.
+    pub fn index(self) -> u64 {
+        match self {
+            OpClass::Create => 0,
+            OpClass::Delete => 1,
+            OpClass::Resize => 2,
+            OpClass::Read => 3,
+            OpClass::DirMeta => 4,
+            OpClass::Rename => 5,
+            OpClass::MgmtAdd => 6,
+            OpClass::MgmtRemove => 7,
+            OpClass::StorageAdd => 8,
+            OpClass::StorageRemove => 9,
+            OpClass::VolumeAdd => 10,
+            OpClass::VolumeRemove => 11,
+            OpClass::VolumeExpand => 12,
+            OpClass::VolumeReduce => 13,
+        }
+    }
+}
+
+impl DfsRequest {
+    /// The request's coarse class.
+    pub fn class(&self) -> OpClass {
+        match self {
+            DfsRequest::Create { .. } => OpClass::Create,
+            DfsRequest::Delete { .. } => OpClass::Delete,
+            DfsRequest::Append { .. }
+            | DfsRequest::Overwrite { .. }
+            | DfsRequest::TruncateOverwrite { .. } => OpClass::Resize,
+            DfsRequest::Open { .. } => OpClass::Read,
+            DfsRequest::Mkdir { .. } | DfsRequest::Rmdir { .. } => OpClass::DirMeta,
+            DfsRequest::Rename { .. } => OpClass::Rename,
+            DfsRequest::AddMgmtNode => OpClass::MgmtAdd,
+            DfsRequest::RemoveMgmtNode { .. } => OpClass::MgmtRemove,
+            DfsRequest::AddStorageNode { .. } => OpClass::StorageAdd,
+            DfsRequest::RemoveStorageNode { .. } => OpClass::StorageRemove,
+            DfsRequest::AddVolume { .. } => OpClass::VolumeAdd,
+            DfsRequest::RemoveVolume { .. } => OpClass::VolumeRemove,
+            DfsRequest::ExpandVolume { .. } => OpClass::VolumeExpand,
+            DfsRequest::ReduceVolume { .. } => OpClass::VolumeReduce,
+        }
+    }
+
+    /// Bytes of data this request writes or moves, for the cost model.
+    pub fn payload(&self) -> Bytes {
+        match self {
+            DfsRequest::Create { size, .. }
+            | DfsRequest::Overwrite { size, .. }
+            | DfsRequest::TruncateOverwrite { size, .. } => *size,
+            DfsRequest::Append { delta, .. } => *delta,
+            _ => 0,
+        }
+    }
+}
+
+/// Outcome of a successfully executed request, reported back to the client.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReqOutcome {
+    /// Milliseconds of virtual time the request consumed.
+    pub latency_ms: u64,
+    /// Node id allocated by add-node requests.
+    pub new_node: Option<NodeId>,
+    /// Volume ids allocated by add-node / add-volume requests.
+    pub new_volumes: Vec<VolumeId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_partition_is_total() {
+        let all = [
+            OpClass::Create,
+            OpClass::Delete,
+            OpClass::Resize,
+            OpClass::Read,
+            OpClass::DirMeta,
+            OpClass::Rename,
+            OpClass::MgmtAdd,
+            OpClass::MgmtRemove,
+            OpClass::StorageAdd,
+            OpClass::StorageRemove,
+            OpClass::VolumeAdd,
+            OpClass::VolumeRemove,
+            OpClass::VolumeExpand,
+            OpClass::VolumeReduce,
+        ];
+        for c in all {
+            assert!(c.is_request() ^ c.is_config(), "{c:?} must be exactly one input space");
+        }
+        // 6 request classes model the 9 file operators; 8 config classes
+        // model the 8 node/volume operators of the paper's grammar.
+        assert_eq!(all.iter().filter(|c| c.is_request()).count(), 6);
+        assert_eq!(all.iter().filter(|c| c.is_config()).count(), 8);
+    }
+
+    #[test]
+    fn class_indices_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..14u64 {
+            assert!(seen.insert(i), "duplicate index");
+        }
+        let _ = seen;
+    }
+
+    #[test]
+    fn request_classes_match() {
+        assert_eq!(DfsRequest::Create { path: "/f".into(), size: 1 }.class(), OpClass::Create);
+        assert_eq!(
+            DfsRequest::Append { path: "/f".into(), delta: 1 }.class(),
+            OpClass::Resize
+        );
+        assert_eq!(DfsRequest::AddMgmtNode.class(), OpClass::MgmtAdd);
+        assert_eq!(
+            DfsRequest::ReduceVolume { volume: VolumeId(0), delta: 1 }.class(),
+            OpClass::VolumeReduce
+        );
+    }
+
+    #[test]
+    fn payload_reflects_written_bytes() {
+        assert_eq!(DfsRequest::Create { path: "/f".into(), size: 77 }.payload(), 77);
+        assert_eq!(DfsRequest::Open { path: "/f".into() }.payload(), 0);
+        assert_eq!(DfsRequest::Append { path: "/f".into(), delta: 5 }.payload(), 5);
+    }
+
+    #[test]
+    fn membership_classes() {
+        assert!(OpClass::StorageAdd.is_membership());
+        assert!(OpClass::VolumeRemove.is_membership());
+        assert!(!OpClass::VolumeExpand.is_membership());
+        assert!(!OpClass::Create.is_membership());
+    }
+}

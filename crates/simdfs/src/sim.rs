@@ -1,0 +1,1409 @@
+//! The top-level DFS simulator.
+//!
+//! [`DfsSim`] wires the namespace, cluster, placement policy, balancer,
+//! coverage model and bug engine into a single deterministic discrete-event
+//! system with the external interface of a real deployment: execute a
+//! request, trigger/inspect rebalance, monitor load, reset. Themis talks to
+//! it only through the Interaction Adaptor, exactly as it talks to HDFS or
+//! GlusterFS through shell commands and FUSE in the paper.
+
+use crate::balancer::{Balancer, MigrationMove, RebalanceStatus};
+use crate::bugs::catalog;
+use crate::bugs::{BugEngine, BugRuntime, BugSpec, Effect, SimEvent};
+use crate::clock::{PeriodicTimer, SimClock};
+use crate::cluster::Cluster;
+use crate::coverage::{CoverageModel, Region};
+use crate::error::{SimError, SimResult};
+use crate::flavor::{BalancerStyle, Flavor, FlavorConfig, RoutingKind};
+use crate::hashing::{hash_str, mix};
+use crate::metrics::{ClusterSnapshot, NodeLoadSample};
+use crate::namespace::Namespace;
+use crate::placement::PlacementPolicy;
+use crate::request::{DfsRequest, OpClass, ReqOutcome};
+use crate::types::{Bytes, FileId, NodeId, NodeRole, SimTime, VolumeId, MIB};
+use std::collections::HashMap;
+
+/// Which latent bugs a simulator instance is built with.
+#[derive(Debug, Clone)]
+pub enum BugSet {
+    /// A hypothetical bug-free build (useful for false-positive studies).
+    None,
+    /// The latest versions carrying the 10 previously unknown failures.
+    New,
+    /// The historical versions carrying the 53 studied failures.
+    Historical,
+    /// Both the new and historical bug sets.
+    All,
+    /// A custom set (used by targeted reproduction tests).
+    Custom(Vec<BugSpec>),
+}
+
+impl BugSet {
+    fn specs(&self, flavor: Flavor) -> Vec<BugSpec> {
+        match self {
+            BugSet::None => Vec::new(),
+            BugSet::New => catalog::new_bugs(flavor),
+            BugSet::Historical => catalog::historical_bugs(flavor),
+            BugSet::All => {
+                let mut v = catalog::new_bugs(flavor);
+                v.extend(catalog::historical_bugs(flavor));
+                v
+            }
+            BugSet::Custom(specs) => {
+                specs.iter().filter(|s| s.platform == flavor).cloned().collect()
+            }
+        }
+    }
+}
+
+/// Cumulative statistics across the simulator's lifetime (never reset).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimStats {
+    /// Requests executed (including failed ones).
+    pub ops: u64,
+    /// Requests that returned an error.
+    pub failed_ops: u64,
+    /// Rebalance rounds started.
+    pub rebalance_rounds: u64,
+    /// File migrations executed.
+    pub migrations: u64,
+    /// Bytes moved by migrations.
+    pub bytes_migrated: u64,
+    /// Bytes lost to data-loss effects and unplaceable displaced replicas.
+    pub bytes_lost: u64,
+    /// Times the DFS was reset to its initial state.
+    pub resets: u64,
+    /// Successful operations per [`OpClass`] index (see
+    /// [`crate::request::OpClass::index`]).
+    pub class_counts: [u64; 14],
+}
+
+/// One simulated distributed file system instance.
+#[derive(Debug)]
+pub struct DfsSim {
+    cfg: FlavorConfig,
+    bug_set: BugSet,
+    clock: SimClock,
+    ns: Namespace,
+    cluster: Cluster,
+    placement: Box<dyn PlacementPolicy>,
+    balancer: Balancer,
+    bugs: BugEngine,
+    coverage: CoverageModel,
+    check_timer: Option<PeriodicTimer>,
+    migrate_timer: PeriodicTimer,
+    rr_counter: u64,
+    prev_kind: Option<u64>,
+    prev2_kind: Option<u64>,
+    /// GlusterFS dht-rebalance hash cache: placement key -> expiry.
+    hash_cache: HashMap<u64, SimTime>,
+    crashed: Vec<NodeId>,
+    stats: SimStats,
+    last_variance: (f64, f64, f64),
+}
+
+impl DfsSim {
+    /// Builds a simulator for `flavor` with the given bug set, creating the
+    /// flavor's default 10-node topology.
+    pub fn new(flavor: Flavor, bug_set: BugSet) -> Self {
+        let cfg = flavor.config();
+        Self::with_config(cfg, bug_set)
+    }
+
+    /// Builds a simulator from an explicit configuration.
+    pub fn with_config(cfg: FlavorConfig, bug_set: BugSet) -> Self {
+        let bugs = BugEngine::new(bug_set.specs(cfg.flavor));
+        let check_timer = match cfg.balancer {
+            BalancerStyle::OnDemand { check_period_ms } => {
+                Some(PeriodicTimer::new(check_period_ms))
+            }
+            BalancerStyle::Periodic { period_ms } => Some(PeriodicTimer::new(period_ms)),
+            _ => None,
+        };
+        let mut sim = DfsSim {
+            placement: cfg.placement.build(),
+            balancer: Balancer::new(cfg.balance_threshold),
+            coverage: CoverageModel::new(cfg.coverage),
+            bugs,
+            check_timer,
+            migrate_timer: PeriodicTimer::new(cfg.migrate_step_ms),
+            clock: SimClock::new(),
+            ns: Namespace::new(),
+            cluster: Cluster::new(),
+            rr_counter: 0,
+            prev_kind: None,
+            prev2_kind: None,
+            hash_cache: HashMap::new(),
+            crashed: Vec::new(),
+            stats: SimStats::default(),
+            last_variance: (1.0, 1.0, 1.0),
+            cfg,
+            bug_set,
+        };
+        sim.build_topology();
+        sim
+    }
+
+    fn build_topology(&mut self) {
+        for _ in 0..self.cfg.mgmt_nodes {
+            self.cluster.add_mgmt(6);
+        }
+        for _ in 0..self.cfg.storage_nodes {
+            self.cluster.add_storage(self.cfg.volumes_per_node, self.cfg.volume_capacity);
+        }
+        self.preload_base_data();
+    }
+
+    /// Pre-loads base data under `/sys` (outside the tester's mount): a
+    /// production cluster is never empty, so the balancer operates against
+    /// a large existing distribution and single operations only nudge it.
+    fn preload_base_data(&mut self) {
+        if self.cfg.base_fill <= 0.0 || self.cfg.base_file_size == 0 {
+            return;
+        }
+        let raw_target =
+            (self.cluster.total_capacity() as f64 * self.cfg.base_fill) as u64;
+        let per_file = self.cfg.base_file_size * self.cfg.replicas as u64;
+        let count = raw_target / per_file.max(1);
+        let _ = self.apply_request(&DfsRequest::Mkdir { path: "/sys".into() });
+        // Deploy-time ingest is balanced: operators bulk-load evenly (and
+        // any imbalance would have been rebalanced long before testing
+        // starts), so fragments go round-robin across volumes rather than
+        // through the runtime placement policy. Preload happens before the
+        // clock starts and is invisible to triggers, coverage and load
+        // accounting.
+        let mut views = self.cluster.volume_views();
+        views.sort_by_key(|v| v.volume);
+        let mut rr = 0usize;
+        for i in 0..count {
+            let path = format!("/sys/base{i}");
+            let Ok(fid) = self.ns.create(&path, self.cfg.base_file_size) else { continue };
+            for _copy in 0..self.cfg.replicas {
+                for _try in 0..views.len() {
+                    let v = views[rr % views.len()];
+                    rr += 1;
+                    if self.cluster.store(fid, v.volume, self.cfg.base_file_size).is_ok() {
+                        break;
+                    }
+                }
+            }
+            if let Some(meta) = self.cluster.files.get_mut(&fid) {
+                meta.key = hash_str(&path);
+            }
+        }
+        // Deploy-time writes are not runtime load.
+        for m in self.cluster.mgmt.values_mut() {
+            m.load.reset();
+        }
+        for st in self.cluster.storage.values_mut() {
+            st.load.reset();
+        }
+    }
+
+    /// The flavor configuration.
+    pub fn config(&self) -> &FlavorConfig {
+        &self.cfg
+    }
+
+    /// The flavor under test.
+    pub fn flavor(&self) -> Flavor {
+        self.cfg.flavor
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Covered branches (the coverage-collection interface of Table 5).
+    pub fn coverage_count(&self) -> u64 {
+        self.coverage.covered()
+    }
+
+    /// Read access to the coverage model (diagnostics).
+    pub fn coverage(&self) -> &CoverageModel {
+        &self.coverage
+    }
+
+    /// Ground-truth oracle: ids of bugs whose trigger has fired.
+    ///
+    /// This is *never* exposed to Themis — only the evaluation harness uses
+    /// it to attribute detector reports to root causes.
+    pub fn oracle_triggered(&self) -> Vec<&'static str> {
+        self.bugs.triggered_ids()
+    }
+
+    /// Ground-truth oracle: full runtime state of every armed bug.
+    pub fn oracle_bugs(&self) -> &[BugRuntime] {
+        self.bugs.bugs()
+    }
+
+    /// Nodes that crashed due to a crash-effect bug.
+    pub fn crashed_nodes(&self) -> &[NodeId] {
+        &self.crashed
+    }
+
+    /// Bytes lost to data-loss effects so far.
+    pub fn bytes_lost(&self) -> Bytes {
+        self.stats.bytes_lost
+    }
+
+    /// Total free bytes (exposed to Themis's Size operand model).
+    pub fn free_space(&self) -> Bytes {
+        self.cluster.total_free()
+    }
+
+    /// Direct read access to the namespace (used by adaptors to sync the
+    /// fuzzer's file-tree model after a reset).
+    pub fn namespace(&self) -> &Namespace {
+        &self.ns
+    }
+
+    /// Direct read access to the cluster (used by the evaluation harness
+    /// and figure generators; Themis itself only sees load reports).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    // ------------------------------------------------------------------
+    // Request execution
+    // ------------------------------------------------------------------
+
+    /// Executes one request against the DFS.
+    pub fn execute(&mut self, req: &DfsRequest) -> SimResult<ReqOutcome> {
+        if self.cluster_down() {
+            return Err(SimError::ClusterDown);
+        }
+        let class = req.class();
+        let cost = self.request_cost(req);
+        let mgmt = self.route_request(req);
+        self.charge_mgmt(mgmt, req);
+
+        let result = self.apply_request(req);
+        let ok = result.is_ok();
+        self.stats.ops += 1;
+        if ok {
+            self.stats.class_counts[class.index() as usize] += 1;
+        } else {
+            self.stats.failed_ops += 1;
+        }
+
+        // Time passes; in-flight migrations make progress.
+        self.advance(cost);
+
+        // Feed the bug engine and coverage model.
+        let ev = SimEvent::Op { class, ok, size: req.payload() };
+        self.feed_bugs(&ev);
+        if ok && class.is_membership() {
+            let mev = SimEvent::MembershipChange { class };
+            self.feed_bugs(&mev);
+        }
+        self.sample_variance();
+        self.touch_op_coverage(req, ok);
+
+        // Continuous CPU-spin effects burn victim CPU per executed request.
+        self.apply_cpu_spin();
+
+        // Balancer activation per flavor style.
+        self.maybe_activate_balancer(class, ok);
+
+        result.map(|mut out| {
+            out.latency_ms = cost;
+            out
+        })
+    }
+
+    fn cluster_down(&self) -> bool {
+        self.cluster.online_mgmt().is_empty() || self.cluster.online_storage().is_empty()
+    }
+
+    fn request_cost(&self, req: &DfsRequest) -> u64 {
+        let payload_ms = (req.payload() / MIB) * 10;
+        match req.class() {
+            OpClass::Read => 300,
+            OpClass::DirMeta | OpClass::Rename => 350,
+            c if c.is_config() => 2_000,
+            _ => 500 + payload_ms.min(30_000),
+        }
+    }
+
+    /// The capacity a new volume is actually provisioned with.
+    ///
+    /// The testbed attaches uniform disks (the paper's system model assumes
+    /// near-homogeneous hardware, and its containers share identical SSDs),
+    /// so the requested size is recorded but the standard disk is attached.
+    /// Heterogeneous capacities would put fill-based placement and
+    /// byte-based balancing in permanent conflict, making the LBS
+    /// definition (raw bytes per node) meaningless.
+    fn clamp_capacity(&self, _requested: Bytes) -> Bytes {
+        self.cfg.default_new_volume_capacity()
+    }
+
+    fn route_request(&mut self, req: &DfsRequest) -> Option<NodeId> {
+        let online = self.cluster.online_mgmt();
+        if online.is_empty() {
+            return None;
+        }
+        // A NetFunnel effect hijacks routing toward its victim.
+        let funnel_active =
+            self.bugs.active_effects().any(|(s, _)| matches!(s.effect, Effect::NetFunnel));
+        if funnel_active {
+            let victim = self
+                .bugs
+                .active_effects()
+                .find(|(s, _)| matches!(s.effect, Effect::NetFunnel))
+                .and_then(|(_, v)| v)
+                .filter(|v| online.contains(v))
+                // The original victim is gone: the faulty measuring code
+                // now funnels everything to the first surviving gateway.
+                .or_else(|| online.first().copied());
+            if let Some(v) = victim {
+                return Some(v);
+            }
+        }
+        let path = request_path(req);
+        // Administrative commands go to the cluster's HA admin endpoint,
+        // which load-balances across management nodes; only client file
+        // requests follow the flavor's routing scheme.
+        let pick = if req.class().is_config() || path.is_empty() {
+            self.rr_counter += 1;
+            (self.rr_counter as usize) % online.len()
+        } else {
+            match self.cfg.routing {
+                RoutingKind::RoundRobin => {
+                    self.rr_counter += 1;
+                    (self.rr_counter as usize) % online.len()
+                }
+                RoutingKind::HashPath => (hash_str(path) as usize) % online.len(),
+                RoutingKind::PrimarySubtree => {
+                    // Dynamic subtree partitioning: hot directories are
+                    // split across MDS ranks, so at equilibrium requests
+                    // spread per-path within each directory.
+                    let top = path.split('/').find(|c| !c.is_empty()).unwrap_or("");
+                    (mix(hash_str(top), hash_str(path)) as usize) % online.len()
+                }
+            }
+        };
+        Some(online[pick])
+    }
+
+    fn charge_mgmt(&mut self, mgmt: Option<NodeId>, req: &DfsRequest) {
+        let now = self.clock.now();
+        let Some(id) = mgmt else { return };
+        let Some(node) = self.cluster.mgmt.get_mut(&id) else { return };
+        node.load.rps.add(now, 1.0);
+        // Uniform per-request metadata cost: data transfer is handled by
+        // the storage pipeline, not the management node's CPU.
+        node.load.cpu.add(now, 1.0);
+        match req.class() {
+            OpClass::Read => node.load.read_io.add(now, 1.0),
+            c if c.is_request() => node.load.write_io.add(now, 1.0),
+            _ => {}
+        }
+    }
+
+    fn apply_request(&mut self, req: &DfsRequest) -> SimResult<ReqOutcome> {
+        match req {
+            DfsRequest::Create { path, size } => self.do_create(path, *size),
+            DfsRequest::Delete { path } => {
+                let (fid, _) = self.ns.delete(path)?;
+                self.cluster.free_file(fid);
+                self.hash_cache.remove(&hash_str(path));
+                Ok(ReqOutcome::default())
+            }
+            DfsRequest::Append { path, delta } => {
+                let (_, size) = self.ns.open(path)?;
+                self.do_resize(path, size.saturating_add(*delta))
+            }
+            DfsRequest::Overwrite { path, size } => self.do_resize(path, *size),
+            DfsRequest::TruncateOverwrite { path, size } => self.do_resize(path, *size),
+            DfsRequest::Open { path } => {
+                let (fid, _) = self.ns.open(path)?;
+                self.charge_read(fid);
+                Ok(ReqOutcome::default())
+            }
+            DfsRequest::Mkdir { path } => {
+                self.ns.mkdir(path)?;
+                Ok(ReqOutcome::default())
+            }
+            DfsRequest::Rmdir { path } => {
+                self.ns.rmdir(path)?;
+                Ok(ReqOutcome::default())
+            }
+            DfsRequest::Rename { from, to } => self.do_rename(from, to),
+            DfsRequest::AddMgmtNode => {
+                if self.cluster.mgmt.len() as u32 >= self.cfg.max_mgmt_nodes {
+                    return Err(SimError::ResourceLimit("management node".into()));
+                }
+                let id = self.cluster.add_mgmt(6);
+                let now = self.clock.now();
+                if let Some(n) = self.cluster.mgmt.get_mut(&id) {
+                    n.joined = now;
+                }
+                Ok(ReqOutcome { new_node: Some(id), ..Default::default() })
+            }
+            DfsRequest::RemoveMgmtNode { node } => {
+                self.cluster.remove_mgmt(*node)?;
+                Ok(ReqOutcome::default())
+            }
+            DfsRequest::AddStorageNode { volumes, capacity } => {
+                if self.cluster.storage.len() as u32 >= self.cfg.max_storage_nodes {
+                    return Err(SimError::ResourceLimit("storage node".into()));
+                }
+                let cap = self.clamp_capacity(*capacity);
+                let (id, vols) = self.cluster.add_storage((*volumes).max(1), cap);
+                let now = self.clock.now();
+                if let Some(n) = self.cluster.storage.get_mut(&id) {
+                    n.joined = now;
+                }
+                Ok(ReqOutcome { new_node: Some(id), new_volumes: vols, ..Default::default() })
+            }
+            DfsRequest::RemoveStorageNode { node } => {
+                let displaced = self.cluster.remove_storage(*node)?;
+                self.replace_displaced(displaced);
+                Ok(ReqOutcome::default())
+            }
+            DfsRequest::AddVolume { node, capacity } => {
+                if self
+                    .cluster
+                    .storage
+                    .get(node)
+                    .is_some_and(|n| n.volumes.len() as u32 >= self.cfg.max_volumes_per_node)
+                {
+                    return Err(SimError::ResourceLimit("volume".into()));
+                }
+                let cap = self.clamp_capacity(*capacity);
+                let vid = self.cluster.add_volume(*node, cap)?;
+                Ok(ReqOutcome { new_volumes: vec![vid], ..Default::default() })
+            }
+            DfsRequest::RemoveVolume { volume } => {
+                let displaced = self.cluster.remove_volume(*volume)?;
+                self.replace_displaced(displaced);
+                Ok(ReqOutcome::default())
+            }
+            DfsRequest::ExpandVolume { volume, delta } => {
+                // Provisioning limits: logical volumes can stretch at most
+                // 10% beyond the standard disk (thin-provisioning slack).
+                let cur = self
+                    .cluster
+                    .volume(*volume)
+                    .ok_or(SimError::NoSuchVolume(*volume))?
+                    .capacity;
+                let max = self.cfg.volume_capacity + self.cfg.volume_capacity / 10;
+                let delta = (*delta).min(max.saturating_sub(cur));
+                self.cluster.expand_volume(*volume, delta)?;
+                Ok(ReqOutcome::default())
+            }
+            DfsRequest::ReduceVolume { volume, delta } => {
+                // A volume cannot shrink below 90% of the standard disk.
+                let cur = self
+                    .cluster
+                    .volume(*volume)
+                    .ok_or(SimError::NoSuchVolume(*volume))?
+                    .capacity;
+                let min = self.cfg.volume_capacity - self.cfg.volume_capacity / 10;
+                let delta = (*delta).min(cur.saturating_sub(min));
+                self.cluster.reduce_volume(*volume, delta)?;
+                Ok(ReqOutcome::default())
+            }
+        }
+    }
+
+    fn do_create(&mut self, path: &str, size: Bytes) -> SimResult<ReqOutcome> {
+        let key = hash_str(path);
+        let fragments = self.plan_fragments(key, size)?;
+        let fid = self.ns.create(path, size)?;
+        for (vol, bytes) in &fragments {
+            if let Err(e) = self.cluster.store(fid, *vol, *bytes) {
+                // Roll back partial placement.
+                self.cluster.free_file(fid);
+                let _ = self.ns.delete(path);
+                return Err(e);
+            }
+            self.charge_storage_write(*vol);
+        }
+        if let Some(meta) = self.cluster.files.get_mut(&fid) {
+            meta.key = key;
+        }
+        Ok(ReqOutcome::default())
+    }
+
+    /// Plans the physical fragments for `size` bytes of new data.
+    ///
+    /// Block-striping flavors split the data into `block_size` blocks and
+    /// place each block's replicas independently; whole-file flavors
+    /// (GlusterFS) place one fragment per replica. A `HotspotPlacement`
+    /// effect funnels a percentage of placements onto its victim node.
+    fn plan_fragments(&mut self, key: u64, size: Bytes) -> SimResult<Vec<(VolumeId, Bytes)>> {
+        if size == 0 {
+            return Ok(Vec::new());
+        }
+        let mut views = self.cluster.volume_views();
+        let hotspot = self.bugs.active_effects().find_map(|(s, v)| match s.effect {
+            Effect::HotspotPlacement { pct } => v.map(|victim| (pct, victim)),
+            _ => None,
+        });
+        if let Some((pct, victim)) = hotspot {
+            let roll = (mix(key, 0x68_6f_74) % 100) as u8;
+            if roll < pct {
+                let mut victim_views: Vec<_> =
+                    views.iter().copied().filter(|v| v.node == victim).collect();
+                if victim_views.is_empty() {
+                    // The original victim left the cluster; the faulty
+                    // placement path now funnels toward the currently most
+                    // utilized node instead.
+                    if let Some(hot) = Balancer::hottest_node(&self.cluster) {
+                        victim_views =
+                            views.iter().copied().filter(|v| v.node == hot).collect();
+                    }
+                }
+                if !victim_views.is_empty() {
+                    views = victim_views;
+                }
+            }
+        }
+        // Choose an effective block size: whole-file when the flavor does
+        // not stripe (sharding large files like the GlusterFS shard
+        // translator); otherwise cap the number of blocks so enormous
+        // files stay tractable (a real DFS would use larger chunks, too).
+        let block = if self.cfg.block_size == 0 {
+            if self.cfg.shard_threshold > 0 && size > self.cfg.shard_threshold {
+                self.cfg.shard_size.max(size.div_ceil(64))
+            } else {
+                size
+            }
+        } else {
+            self.cfg.block_size.max(size.div_ceil(64))
+        };
+        // Fragments stay block-granular so the balancer can move them
+        // individually; consecutive blocks landing on the same volume are
+        // coalesced only up to a migration-friendly cap.
+        const MAX_FRAGMENT: Bytes = 64 * MIB;
+        let mut out: Vec<(VolumeId, Bytes)> = Vec::new();
+        let mut remaining = size;
+        let mut block_idx = 0u64;
+        while remaining > 0 {
+            let b = block.min(remaining);
+            let placed =
+                self.placement.place(mix(key, block_idx), b, self.cfg.replicas, &views);
+            // Fewer replicas than requested is acceptable under space
+            // pressure (reduced redundancy); zero placements is ENOSPC.
+            if placed.is_empty() {
+                return Err(SimError::OutOfSpace {
+                    requested: b,
+                    free: self.cluster.total_free(),
+                });
+            }
+            for vol in placed {
+                let cap = MAX_FRAGMENT.max(block);
+                match out.iter_mut().rev().take(self.cfg.replicas).find(|(v, bytes)| {
+                    *v == vol && bytes.saturating_add(b) <= cap
+                }) {
+                    Some((_, bytes)) => *bytes += b,
+                    None => out.push((vol, b)),
+                }
+                // Keep the planning views' fill levels current so later
+                // blocks avoid volumes this plan already filled.
+                if let Some(v) = views.iter_mut().find(|v| v.volume == vol) {
+                    v.used = v.used.saturating_add(b);
+                }
+            }
+            remaining -= b;
+            block_idx += 1;
+        }
+        Ok(out)
+    }
+
+    fn do_resize(&mut self, path: &str, new_size: Bytes) -> SimResult<ReqOutcome> {
+        let (fid, old) = self.ns.open(path)?;
+        if old == 0 && new_size > 0 {
+            // Growth from empty requires fresh placement.
+            let key = self.cluster.files.get(&fid).map(|m| m.key).unwrap_or(fid.0);
+            let fragments = self.plan_fragments(key, new_size)?;
+            for (vol, bytes) in &fragments {
+                self.cluster.store(fid, *vol, *bytes)?;
+                self.charge_storage_write(*vol);
+            }
+            self.ns.resize(path, new_size)?;
+            return Ok(ReqOutcome::default());
+        }
+        let whole_file = self.cfg.block_size == 0
+            && (self.cfg.shard_threshold == 0 || new_size.max(old) <= self.cfg.shard_threshold);
+        if new_size > old && !whole_file {
+            // Striped growth appends new blocks; existing fragments are
+            // immutable once written (HDFS/Ceph/LeoFS semantics).
+            let key = self.cluster.files.get(&fid).map(|m| m.key).unwrap_or(fid.0);
+            let delta = new_size - old;
+            let fragments = self.plan_fragments(mix(key, old), delta)?;
+            for (vol, bytes) in &fragments {
+                self.cluster.store(fid, *vol, *bytes)?;
+                self.charge_storage_write(*vol);
+            }
+            self.ns.resize(path, new_size)?;
+            return Ok(ReqOutcome::default());
+        }
+        // Whole-file growth and all shrinks rescale fragments in place.
+        self.cluster.rescale_file(fid, old, new_size)?;
+        self.ns.resize(path, new_size)?;
+        // Charge write IO on every node holding a fragment.
+        let vols: Vec<VolumeId> = self
+            .cluster
+            .files
+            .get(&fid)
+            .map(|m| m.replicas.iter().map(|r| r.volume).collect())
+            .unwrap_or_default();
+        for v in vols {
+            self.charge_storage_write(v);
+        }
+        Ok(ReqOutcome::default())
+    }
+
+    fn do_rename(&mut self, from: &str, to: &str) -> SimResult<ReqOutcome> {
+        let moved_file = self.ns.rename(from, to)?;
+        if let Some(fid) = moved_file {
+            let new_key = hash_str(to);
+            if self.cfg.flavor == Flavor::GlusterFs {
+                // DHT semantics: data stays put; if the new hash location
+                // differs from where the data lives, a linkfile appears at
+                // the hash location.
+                let views = self.cluster.volume_views();
+                let hash_loc =
+                    self.placement.place(new_key, 0, 1, &views).first().copied();
+                if let Some(meta) = self.cluster.files.get_mut(&fid) {
+                    meta.key = new_key;
+                    let data_at: Vec<VolumeId> =
+                        meta.replicas.iter().map(|r| r.volume).collect();
+                    meta.linkfile_at = match hash_loc {
+                        Some(h) if !data_at.contains(&h) => Some(h),
+                        _ => None,
+                    };
+                }
+            } else if let Some(meta) = self.cluster.files.get_mut(&fid) {
+                meta.key = new_key;
+            }
+        }
+        Ok(ReqOutcome::default())
+    }
+
+    fn charge_read(&mut self, fid: FileId) {
+        let now = self.clock.now();
+        let vols: Vec<VolumeId> = self
+            .cluster
+            .files
+            .get(&fid)
+            .map(|m| m.replicas.iter().map(|r| r.volume).collect())
+            .unwrap_or_default();
+        // Reads are served by one replica; pick deterministically.
+        if let Some(v) = vols.first() {
+            if let Some(owner) = self.cluster.volume_owner.get(v).copied() {
+                if let Some(node) = self.cluster.storage.get_mut(&owner) {
+                    node.load.read_io.add(now, 1.0);
+                    node.load.cpu.add(now, 0.5);
+                }
+            }
+        }
+    }
+
+    fn charge_storage_write(&mut self, vol: VolumeId) {
+        let now = self.clock.now();
+        if let Some(owner) = self.cluster.volume_owner.get(&vol).copied() {
+            if let Some(node) = self.cluster.storage.get_mut(&owner) {
+                node.load.write_io.add(now, 1.0);
+                node.load.cpu.add(now, 0.5);
+            }
+        }
+    }
+
+    /// Re-places replicas displaced by node/volume removal; unplaceable
+    /// bytes are lost (and counted).
+    ///
+    /// Re-replication targets the least-utilized volumes first, as real
+    /// recovery does (HDFS re-replication, Ceph backfill): decommissioning
+    /// a node therefore barely disturbs the balance on its own — reaching
+    /// a deeply imbalanced state takes coordinated sequences, not a single
+    /// heavyweight command (Finding 6).
+    fn replace_displaced(&mut self, displaced: Vec<(FileId, crate::cluster::Replica)>) {
+        let mut views = self.cluster.volume_views();
+        for (fid, replica) in displaced {
+            // Least-utilized volume with room (by fill fraction).
+            views.sort_by(|a, b| {
+                let fa = a.used as f64 / a.capacity.max(1) as f64;
+                let fb = b.used as f64 / b.capacity.max(1) as f64;
+                fa.partial_cmp(&fb).unwrap_or(std::cmp::Ordering::Equal).then(a.volume.cmp(&b.volume))
+            });
+            let target = views.iter().find(|v| v.free() >= replica.bytes).map(|v| v.volume);
+            match target {
+                Some(vol) if self.cluster.store(fid, vol, replica.bytes).is_ok() => {
+                    self.charge_storage_write(vol);
+                    if let Some(v) = views.iter_mut().find(|v| v.volume == vol) {
+                        v.used = v.used.saturating_add(replica.bytes);
+                    }
+                }
+                _ => {
+                    self.stats.bytes_lost += replica.bytes;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Time, migration execution and balancer activation
+    // ------------------------------------------------------------------
+
+    /// Advances virtual time without executing a request (used while the
+    /// tester waits for rebalancing to finish).
+    pub fn tick(&mut self, ms: u64) {
+        self.advance(ms);
+        self.sample_variance();
+        self.apply_cpu_spin();
+        self.maybe_activate_balancer(OpClass::Read, true);
+    }
+
+    fn advance(&mut self, ms: u64) {
+        let now = self.clock.advance(ms);
+        // Execute due migration steps.
+        let steps = self.migrate_timer.due(now);
+        for _ in 0..steps {
+            if self.balancer.status() != RebalanceStatus::Running {
+                break;
+            }
+            let moves = self.balancer.next_moves(self.cfg.moves_per_step);
+            for m in moves {
+                self.execute_move(&m);
+            }
+            if self.balancer.status() == RebalanceStatus::Done {
+                let ev = SimEvent::RebalanceDone { moves: self.balancer.total_moves as usize };
+                self.feed_bugs(&ev);
+                self.touch_deep(0xD0_4E, self.balancer.total_moves);
+            }
+        }
+    }
+
+    fn execute_move(&mut self, m: &MigrationMove) {
+        // The plan may be stale: the file may be gone or moved meanwhile.
+        let Some(meta) = self.cluster.files.get(&m.file) else { return };
+        if !meta.replicas.iter().any(|r| r.volume == m.from) {
+            return;
+        }
+        let key = meta.key;
+        let had_link = meta.linkfile_at.is_some();
+        let now = self.clock.now();
+        let cache_hit = self
+            .hash_cache
+            .get(&key)
+            .is_some_and(|expiry| now.as_millis() < expiry.as_millis());
+
+        // Data-loss effects corrupt the move.
+        let loss_pct = self
+            .bugs
+            .active_effects()
+            .find_map(|(s, _)| match s.effect {
+                Effect::DeleteMigratedData { pct } => Some(pct),
+                _ => None,
+            })
+            .unwrap_or(0);
+        let kept = m.bytes * (100 - loss_pct as u64) / 100;
+
+        match self.cluster.migrate(m.file, m.from, m.to, kept) {
+            Ok(moved) => {
+                self.stats.migrations += 1;
+                self.stats.bytes_migrated += moved;
+                self.balancer.total_moves += 1;
+                self.balancer.total_bytes_moved += moved;
+                if moved > kept {
+                    self.stats.bytes_lost += moved - kept;
+                }
+                // Gluster hash-cache bookkeeping + linkfile maintenance.
+                if self.cfg.hash_cache_ttl_ms > 0 {
+                    self.hash_cache
+                        .insert(key, now.advanced(self.cfg.hash_cache_ttl_ms));
+                    let views = self.cluster.volume_views();
+                    let hash_loc = self.placement.place(key, 0, 1, &views).first().copied();
+                    if let Some(meta) = self.cluster.files.get_mut(&m.file) {
+                        let data_at: Vec<VolumeId> =
+                            meta.replicas.iter().map(|r| r.volume).collect();
+                        meta.linkfile_at = match hash_loc {
+                            Some(h) if !data_at.contains(&h) => Some(h),
+                            _ => None,
+                        };
+                    }
+                }
+                // IO/CPU accounting for both ends of the move.
+                self.charge_storage_write(m.to);
+                let now = self.clock.now();
+                if let Some(node) = self.cluster.storage.get_mut(&m.from_node) {
+                    node.load.read_io.add(now, 1.0);
+                    node.load.cpu.add(now, 1.0);
+                }
+            }
+            Err(_) => {
+                // Destination filled up meanwhile; the move is dropped, as
+                // a real balancer iteration would skip it.
+            }
+        }
+        let ev = SimEvent::MigrationStep { cache_hit, had_link };
+        self.feed_bugs(&ev);
+        let variance_bucket = self.variance_bucket();
+        self.touch_deep(
+            mix(0x4D16, (cache_hit as u64) << 1 | had_link as u64),
+            variance_bucket,
+        );
+    }
+
+    fn maybe_activate_balancer(&mut self, class: OpClass, ok: bool) {
+        let membership = ok && class.is_membership();
+        let due = match self.cfg.balancer {
+            BalancerStyle::Continuous => true,
+            BalancerStyle::OnDemand { .. } | BalancerStyle::Periodic { .. } => {
+                let now = self.clock.now();
+                self.check_timer.as_mut().map(|t| t.due(now) > 0).unwrap_or(false)
+            }
+            BalancerStyle::OnMembership => membership,
+        };
+        // GlusterFS also starts a rebalance when volume topology changes
+        // (volume add/remove-brick commands imply `rebalance start`), and
+        // every flavor re-replicates after losing a node or volume —
+        // decommissioning is itself a rebalance process.
+        let gluster_topology = self.cfg.flavor == Flavor::GlusterFs
+            && membership
+            && matches!(class, OpClass::VolumeAdd | OpClass::VolumeRemove);
+        let recovery = membership
+            && matches!(class, OpClass::StorageRemove | OpClass::VolumeRemove);
+        if (due || gluster_topology || recovery)
+            && self.balancer.status() == RebalanceStatus::Done
+            && self.balancer.needs_rebalance(&self.cluster)
+        {
+            self.start_rebalance_round();
+        }
+    }
+
+    /// The `rebalance` API: explicitly starts a rebalance round (the paper
+    /// uses this for the detector's double-check).
+    pub fn rebalance(&mut self) {
+        if self.balancer.status() == RebalanceStatus::Done {
+            self.start_rebalance_round();
+        }
+    }
+
+    /// The `rebalance state` API.
+    pub fn rebalance_status(&self) -> RebalanceStatus {
+        self.balancer.status()
+    }
+
+    fn start_rebalance_round(&mut self) {
+        let mut plan = self.balancer.plan(&self.cluster);
+        // Effect hooks in the planner.
+        if self.bugs.any_active(|e| matches!(e, Effect::MisreportRebalance)) {
+            plan.clear();
+        } else if self.bugs.any_active(|e| {
+            matches!(e, Effect::SkipMigrationFromHot | Effect::HotspotPlacement { .. })
+        }) {
+            if let Some(hot) = Balancer::hottest_node(&self.cluster) {
+                plan.retain(|m| m.from_node != hot);
+            }
+        }
+        let planned = plan.len() as u64;
+        self.balancer.start_round(plan);
+        self.stats.rebalance_rounds += 1;
+        let ev = SimEvent::RebalanceStart;
+        self.feed_bugs(&ev);
+        let vb = self.variance_bucket();
+        self.touch_deep(mix(0x5247, planned.min(16)), vb);
+    }
+
+    // ------------------------------------------------------------------
+    // Bug effects, events and variance
+    // ------------------------------------------------------------------
+
+    fn feed_bugs(&mut self, ev: &SimEvent) {
+        let now = self.clock.now();
+        let fired = self.bugs.observe(now, ev);
+        for idx in fired {
+            self.arm_effect(idx);
+        }
+    }
+
+    /// Assigns a victim and applies instantaneous effects for a bug that
+    /// just fired.
+    fn arm_effect(&mut self, idx: usize) {
+        let effect = self.bugs.bugs()[idx].spec.effect;
+        match effect {
+            Effect::HotspotPlacement { .. }
+            | Effect::SkipMigrationFromHot
+            | Effect::DeleteMigratedData { .. }
+            | Effect::MisreportRebalance => {
+                if let Some(hot) = Balancer::hottest_node(&self.cluster) {
+                    self.bugs.set_victim(idx, hot);
+                }
+            }
+            Effect::Inert => {}
+            Effect::CpuSpin | Effect::NetFunnel => {
+                let mgmt = self.cluster.online_mgmt();
+                if let Some(v) = mgmt.first() {
+                    self.bugs.set_victim(idx, *v);
+                }
+            }
+            Effect::CrashNodes { count } => {
+                // Crash the most loaded storage nodes; they stay down.
+                let mut loads = self.cluster.node_storage();
+                loads.sort_by_key(|(_, b)| std::cmp::Reverse(*b));
+                let keep_alive = 1; // never crash the very last node
+                for (node, _) in loads
+                    .into_iter()
+                    .take(count as usize)
+                    .take(self.cluster.online_storage().len().saturating_sub(keep_alive))
+                {
+                    self.cluster.set_offline(node);
+                    self.crashed.push(node);
+                    if self.bugs.bugs()[idx].victim.is_none() {
+                        self.bugs.set_victim(idx, node);
+                    }
+                }
+                self.balancer.abort();
+            }
+        }
+    }
+
+    fn apply_cpu_spin(&mut self) {
+        let now = self.clock.now();
+        let spins = self
+            .bugs
+            .active_effects()
+            .filter(|(s, _)| matches!(s.effect, Effect::CpuSpin))
+            .map(|(_, v)| v)
+            .collect::<Vec<_>>();
+        for victim in spins {
+            let target = victim
+                .filter(|v| self.cluster.mgmt.get(v).is_some_and(|m| m.online))
+                .or_else(|| self.cluster.online_mgmt().first().copied());
+            if let Some(v) = target {
+                if let Some(node) = self.cluster.mgmt.get_mut(&v) {
+                    node.load.cpu.add(now, 6.0);
+                }
+            }
+        }
+    }
+
+    fn sample_variance(&mut self) {
+        let snap = self.load_snapshot();
+        let s = snap.storage_imbalance();
+        let c = snap.cpu_imbalance();
+        let n = snap.network_imbalance();
+        self.last_variance = (s, c, n);
+        let ev = SimEvent::Variance { storage: s, cpu: c, network: n };
+        self.feed_bugs(&ev);
+    }
+
+    fn variance_bucket(&self) -> u64 {
+        let (s, _, _) = self.last_variance;
+        (((s - 1.0) * 20.0).clamp(0.0, 9.0)) as u64
+    }
+
+    // ------------------------------------------------------------------
+    // Coverage features
+    // ------------------------------------------------------------------
+
+    fn touch_op_coverage(&mut self, req: &DfsRequest, ok: bool) {
+        let kind = request_kind_index(req);
+        let size_bucket = size_bucket(req.payload());
+        let depth = path_depth(request_path(req));
+        // Base: per-operation handler with operand-shape sub-branches.
+        let base_feat = mix(kind, mix(size_bucket, mix(depth, ok as u64)));
+        self.coverage.touch(Region::Base, base_feat);
+        // Pair and triple: execution-dependency branches.
+        if let Some(prev) = self.prev_kind {
+            self.coverage.touch(Region::Pair, mix(prev, mix(kind, 0x5041_4952)));
+            if let Some(prev2) = self.prev2_kind {
+                self.coverage
+                    .touch(Region::Pair, mix(prev2, mix(prev, mix(kind, 0x5452_4950))));
+            }
+        }
+        // State: op × load-state × balancer-phase branches.
+        let (s, c, n) = self.last_variance;
+        let sb = (((s - 1.0) * 20.0).clamp(0.0, 9.0)) as u64;
+        let cb = (((c - 1.0) * 10.0).clamp(0.0, 4.0)) as u64;
+        let nb = (((n - 1.0) * 10.0).clamp(0.0, 4.0)) as u64;
+        let phase = matches!(self.balancer.status(), RebalanceStatus::Running) as u64;
+        let state_feat = mix(kind, mix(sb, mix(cb, mix(nb, phase))));
+        self.coverage.touch(Region::State, state_feat);
+        self.prev2_kind = self.prev_kind;
+        self.prev_kind = Some(kind);
+    }
+
+    fn touch_deep(&mut self, tag: u64, extra: u64) {
+        let feat = mix(tag, extra);
+        self.coverage.touch(Region::Deep, feat);
+    }
+
+    // ------------------------------------------------------------------
+    // Monitoring and reset
+    // ------------------------------------------------------------------
+
+    /// Collects a cluster-wide load snapshot (the `LoadMonitor()` data).
+    pub fn load_snapshot(&mut self) -> ClusterSnapshot {
+        let now = self.clock.now();
+        let mut nodes = Vec::new();
+        for m in self.cluster.mgmt.values_mut() {
+            nodes.push(NodeLoadSample {
+                node: m.id,
+                role: NodeRole::Management,
+                online: m.online,
+                cpu: m.load.cpu.value_at(now),
+                rps: m.load.rps.value_at(now),
+                read_io: m.load.read_io.value_at(now),
+                write_io: m.load.write_io.value_at(now),
+                storage: 0,
+                capacity: 0,
+                uptime_ms: now.saturating_since(m.joined),
+            });
+        }
+        for s in self.cluster.storage.values_mut() {
+            // A df-based monitor sees nothing on a node whose disks were
+            // all detached; such nodes drop out of the report.
+            if s.volumes.is_empty() {
+                continue;
+            }
+            let storage = s.volumes.iter().map(|v| v.used).sum();
+            let capacity = s.volumes.iter().map(|v| v.capacity).sum();
+            nodes.push(NodeLoadSample {
+                node: s.id,
+                role: NodeRole::Storage,
+                online: s.online,
+                cpu: s.load.cpu.value_at(now),
+                rps: 0.0,
+                read_io: s.load.read_io.value_at(now),
+                write_io: s.load.write_io.value_at(now),
+                storage,
+                capacity,
+                uptime_ms: now.saturating_since(s.joined),
+            });
+        }
+        nodes.sort_by_key(|n| n.node);
+        ClusterSnapshot { time: now, nodes }
+    }
+
+    /// Resets the DFS to its initial state: fresh namespace and topology,
+    /// re-armed bugs, cleared caches. Coverage and cumulative statistics
+    /// survive (as they do across DFS restarts in the paper's campaigns),
+    /// and the virtual clock keeps running.
+    pub fn reset(&mut self) {
+        self.ns = Namespace::new();
+        self.cluster = Cluster::new();
+        self.build_topology();
+        self.balancer = Balancer::new(self.cfg.balance_threshold);
+        self.bugs.rearm();
+        self.hash_cache.clear();
+        self.crashed.clear();
+        self.prev_kind = None;
+        self.prev2_kind = None;
+        self.rr_counter = 0;
+        self.last_variance = (1.0, 1.0, 1.0);
+        let now = self.clock.now();
+        if let Some(t) = self.check_timer.as_mut() {
+            t.reset(now);
+        }
+        self.migrate_timer.reset(now);
+        self.stats.resets += 1;
+        // Resetting costs real wall time on a cluster (container restarts);
+        // charge one minute of virtual time.
+        self.clock.advance(60_000);
+    }
+
+    /// The bug set this simulator was built with.
+    pub fn bug_set(&self) -> &BugSet {
+        &self.bug_set
+    }
+}
+
+/// The primary path operand of a request ("" when not applicable).
+fn request_path(req: &DfsRequest) -> &str {
+    match req {
+        DfsRequest::Create { path, .. }
+        | DfsRequest::Delete { path }
+        | DfsRequest::Append { path, .. }
+        | DfsRequest::Overwrite { path, .. }
+        | DfsRequest::Open { path }
+        | DfsRequest::TruncateOverwrite { path, .. }
+        | DfsRequest::Mkdir { path }
+        | DfsRequest::Rmdir { path } => path,
+        DfsRequest::Rename { from, .. } => from,
+        _ => "",
+    }
+}
+
+/// Stable index over the 17 concrete operators of the paper's grammar.
+fn request_kind_index(req: &DfsRequest) -> u64 {
+    match req {
+        DfsRequest::Create { .. } => 0,
+        DfsRequest::Delete { .. } => 1,
+        DfsRequest::Append { .. } => 2,
+        DfsRequest::Overwrite { .. } => 3,
+        DfsRequest::Open { .. } => 4,
+        DfsRequest::TruncateOverwrite { .. } => 5,
+        DfsRequest::Mkdir { .. } => 6,
+        DfsRequest::Rmdir { .. } => 7,
+        DfsRequest::Rename { .. } => 8,
+        DfsRequest::AddMgmtNode => 9,
+        DfsRequest::RemoveMgmtNode { .. } => 10,
+        DfsRequest::AddStorageNode { .. } => 11,
+        DfsRequest::RemoveStorageNode { .. } => 12,
+        DfsRequest::AddVolume { .. } => 13,
+        DfsRequest::RemoveVolume { .. } => 14,
+        DfsRequest::ExpandVolume { .. } => 15,
+        DfsRequest::ReduceVolume { .. } => 16,
+    }
+}
+
+fn size_bucket(bytes: Bytes) -> u64 {
+    if bytes == 0 {
+        return 0;
+    }
+    let mib = (bytes / MIB).max(1);
+    (64 - (mib.leading_zeros() as u64)).min(10)
+}
+
+fn path_depth(path: &str) -> u64 {
+    path.split('/').filter(|c| !c.is_empty()).count().min(4) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A simulator without pre-loaded base data, so byte-level assertions
+    /// are exact.
+    fn sim(flavor: Flavor) -> DfsSim {
+        let mut cfg = flavor.config();
+        cfg.base_fill = 0.0;
+        DfsSim::with_config(cfg, BugSet::None)
+    }
+
+    #[test]
+    fn default_build_preloads_base_data() {
+        let mut s = DfsSim::new(Flavor::Hdfs, BugSet::None);
+        let used = s.cluster.total_used() as f64;
+        let cap = s.cluster.total_capacity() as f64;
+        let fill = used / cap;
+        assert!((0.25..0.45).contains(&fill), "expected ~35% fill, got {fill:.2}");
+        // Base data is spread evenly enough to start balanced.
+        let ratio = s.load_snapshot().storage_imbalance();
+        assert!(ratio < 1.15, "preload should be near-balanced, ratio {ratio:.3}");
+        // Preload leaves no runtime load and no coverage.
+        assert_eq!(s.coverage_count(), 0);
+        assert_eq!(s.stats().ops, 0);
+    }
+
+    #[test]
+    fn preload_survives_reset() {
+        let mut s = DfsSim::new(Flavor::GlusterFs, BugSet::None);
+        let used = s.cluster.total_used();
+        s.execute(&DfsRequest::Create { path: "/x".into(), size: MIB }).unwrap();
+        s.reset();
+        assert_eq!(s.cluster.total_used(), used, "reset must restore base data");
+    }
+
+    #[test]
+    fn create_places_replicas() {
+        let mut s = sim(Flavor::Hdfs);
+        s.execute(&DfsRequest::Create { path: "/a".into(), size: 10 * MIB }).unwrap();
+        let meta: Vec<_> = s.cluster.files.values().collect();
+        assert_eq!(meta.len(), 1);
+        assert_eq!(meta[0].replicas.len(), 3, "HDFS uses 3 replicas");
+        assert_eq!(s.cluster.total_used(), 30 * MIB);
+    }
+
+    #[test]
+    fn delete_frees_data() {
+        let mut s = sim(Flavor::GlusterFs);
+        s.execute(&DfsRequest::Create { path: "/a".into(), size: 8 * MIB }).unwrap();
+        assert!(s.cluster.total_used() > 0);
+        s.execute(&DfsRequest::Delete { path: "/a".into() }).unwrap();
+        assert_eq!(s.cluster.total_used(), 0);
+        assert_eq!(s.namespace().file_count(), 0);
+    }
+
+    #[test]
+    fn append_grows_replicas() {
+        let mut s = sim(Flavor::LeoFs);
+        s.execute(&DfsRequest::Create { path: "/a".into(), size: 4 * MIB }).unwrap();
+        let before = s.cluster.total_used();
+        s.execute(&DfsRequest::Append { path: "/a".into(), delta: 4 * MIB }).unwrap();
+        assert_eq!(s.cluster.total_used(), before * 2);
+    }
+
+    #[test]
+    fn failed_request_is_counted_but_harmless() {
+        let mut s = sim(Flavor::Hdfs);
+        let err = s.execute(&DfsRequest::Delete { path: "/missing".into() });
+        assert!(err.is_err());
+        assert_eq!(s.stats().failed_ops, 1);
+        assert_eq!(s.stats().ops, 1);
+    }
+
+    #[test]
+    fn clock_advances_with_requests() {
+        let mut s = sim(Flavor::Hdfs);
+        let t0 = s.now();
+        s.execute(&DfsRequest::Mkdir { path: "/d".into() }).unwrap();
+        assert!(s.now() > t0);
+    }
+
+    #[test]
+    fn add_storage_node_changes_topology() {
+        let mut s = sim(Flavor::CephFs);
+        let n_before = s.cluster.online_storage().len();
+        let out = s
+            .execute(&DfsRequest::AddStorageNode { volumes: 2, capacity: MIB * 512 })
+            .unwrap();
+        assert!(out.new_node.is_some());
+        assert_eq!(out.new_volumes.len(), 2);
+        assert_eq!(s.cluster.online_storage().len(), n_before + 1);
+    }
+
+    #[test]
+    fn remove_storage_node_replaces_data() {
+        let mut s = sim(Flavor::CephFs);
+        for i in 0..20 {
+            s.execute(&DfsRequest::Create { path: format!("/f{i}"), size: 4 * MIB }).unwrap();
+        }
+        let used_before = s.cluster.total_used();
+        let victim = s.cluster.online_storage()[0];
+        s.execute(&DfsRequest::RemoveStorageNode { node: victim }).unwrap();
+        // All data should be re-placed (ample free space), nothing lost.
+        assert_eq!(s.cluster.total_used(), used_before);
+        assert_eq!(s.bytes_lost(), 0);
+    }
+
+    #[test]
+    fn imbalanced_cluster_self_rebalances_continuous() {
+        // CephFS balances continuously: forcing all early data onto a
+        // subset by filling then expanding should be corrected over time.
+        let mut s = sim(Flavor::CephFs);
+        for i in 0..40 {
+            s.execute(&DfsRequest::Create { path: format!("/f{i}"), size: 16 * MIB }).unwrap();
+        }
+        // Add an empty node: now it is far below mean.
+        s.execute(&DfsRequest::AddStorageNode { volumes: 2, capacity: 4 << 30 }).unwrap();
+        // Let the balancer work.
+        for _ in 0..200 {
+            s.tick(2_000);
+        }
+        let snap = s.load_snapshot();
+        let ratio = snap.storage_imbalance();
+        assert!(
+            ratio < 1.25,
+            "continuous balancer should restore balance, ratio = {ratio:.3}"
+        );
+        assert!(s.stats().migrations > 0);
+    }
+
+    #[test]
+    fn explicit_rebalance_api_works() {
+        let mut s = sim(Flavor::GlusterFs);
+        for i in 0..30 {
+            s.execute(&DfsRequest::Create { path: format!("/f{i}"), size: 16 * MIB }).unwrap();
+        }
+        s.execute(&DfsRequest::AddStorageNode { volumes: 2, capacity: 4 << 30 }).unwrap();
+        s.rebalance();
+        let mut guard = 0;
+        while s.rebalance_status() == RebalanceStatus::Running && guard < 10_000 {
+            s.tick(1_000);
+            guard += 1;
+        }
+        assert_eq!(s.rebalance_status(), RebalanceStatus::Done);
+    }
+
+    #[test]
+    fn coverage_grows_with_activity() {
+        let mut s = sim(Flavor::Hdfs);
+        assert_eq!(s.coverage_count(), 0);
+        s.execute(&DfsRequest::Create { path: "/a".into(), size: MIB }).unwrap();
+        let c1 = s.coverage_count();
+        assert!(c1 > 0);
+        s.execute(&DfsRequest::Open { path: "/a".into() }).unwrap();
+        assert!(s.coverage_count() > c1);
+    }
+
+    #[test]
+    fn coverage_survives_reset() {
+        let mut s = sim(Flavor::Hdfs);
+        s.execute(&DfsRequest::Create { path: "/a".into(), size: MIB }).unwrap();
+        let c = s.coverage_count();
+        s.reset();
+        assert_eq!(s.coverage_count(), c);
+        assert_eq!(s.namespace().file_count(), 0);
+        assert_eq!(s.stats().resets, 1);
+    }
+
+    #[test]
+    fn reset_restores_topology() {
+        let mut s = sim(Flavor::LeoFs);
+        s.execute(&DfsRequest::AddStorageNode { volumes: 1, capacity: MIB }).unwrap();
+        let grown = s.cluster.online_storage().len();
+        s.reset();
+        assert_eq!(
+            s.cluster.online_storage().len(),
+            grown - 1,
+            "reset must restore the initial topology"
+        );
+    }
+
+    #[test]
+    fn snapshot_has_all_nodes() {
+        let mut s = sim(Flavor::Hdfs);
+        let snap = s.load_snapshot();
+        assert_eq!(snap.nodes.len(), 10);
+        let mgmt = snap.nodes.iter().filter(|n| n.role == NodeRole::Management).count();
+        assert_eq!(mgmt, 2);
+    }
+
+    #[test]
+    fn gluster_rename_creates_linkfile_when_hash_moves() {
+        let mut s = sim(Flavor::GlusterFs);
+        // Create many files; at least one rename should relocate the hash.
+        let mut saw_linkfile = false;
+        for i in 0..30 {
+            let p = format!("/f{i}");
+            s.execute(&DfsRequest::Create { path: p.clone(), size: MIB }).unwrap();
+            s.execute(&DfsRequest::Rename { from: p, to: format!("/renamed{i}") }).unwrap();
+        }
+        for meta in s.cluster.files.values() {
+            if meta.linkfile_at.is_some() {
+                saw_linkfile = true;
+            }
+        }
+        assert!(saw_linkfile, "renames should produce at least one DHT linkfile");
+    }
+
+    #[test]
+    fn routing_spreads_requests_across_mgmt_nodes() {
+        let mut s = sim(Flavor::Hdfs); // round robin
+        for i in 0..40 {
+            s.execute(&DfsRequest::Create { path: format!("/f{i}"), size: MIB }).unwrap();
+        }
+        let snap = s.load_snapshot();
+        let rps: Vec<f64> = snap
+            .nodes
+            .iter()
+            .filter(|n| n.role == NodeRole::Management)
+            .map(|n| n.rps)
+            .collect();
+        assert!(rps.iter().all(|&r| r > 0.0), "all mgmt nodes should receive requests: {rps:?}");
+    }
+
+    #[test]
+    fn out_of_space_create_fails_cleanly() {
+        let mut cfg = Flavor::Hdfs.config();
+        cfg.volume_capacity = 8 * MIB;
+        let mut s = DfsSim::with_config(cfg, BugSet::None);
+        let big = DfsRequest::Create { path: "/big".into(), size: 64 * MIB };
+        assert!(s.execute(&big).is_err());
+        assert_eq!(s.namespace().file_count(), 0);
+        assert_eq!(s.cluster.total_used(), 0);
+    }
+}

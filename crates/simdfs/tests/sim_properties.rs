@@ -1,0 +1,159 @@
+//! Property-based tests of the simulator's core invariants under
+//! arbitrary request streams.
+
+use proptest::prelude::*;
+use simdfs::bugs::{SimEvent, Trigger};
+use simdfs::{
+    BugSet, DfsRequest, DfsSim, Flavor, NodeId, OpClass, RebalanceStatus, SimTime, VolumeId, MIB,
+};
+
+/// An arbitrary request referencing small id spaces so that a useful
+/// fraction succeeds.
+fn arb_request() -> impl Strategy<Value = DfsRequest> {
+    let path = (0u8..12).prop_map(|i| format!("/q{i}"));
+    let size = (0u64..96).prop_map(|m| m * MIB);
+    let node = (0u32..24).prop_map(NodeId);
+    let volume = (0u32..40).prop_map(VolumeId);
+    prop_oneof![
+        (path.clone(), size.clone()).prop_map(|(path, size)| DfsRequest::Create { path, size }),
+        path.clone().prop_map(|path| DfsRequest::Delete { path }),
+        (path.clone(), size.clone()).prop_map(|(path, delta)| DfsRequest::Append { path, delta }),
+        (path.clone(), size.clone())
+            .prop_map(|(path, size)| DfsRequest::Overwrite { path, size }),
+        path.clone().prop_map(|path| DfsRequest::Open { path }),
+        (path.clone(), path.clone()).prop_map(|(from, to)| DfsRequest::Rename { from, to }),
+        Just(DfsRequest::AddMgmtNode),
+        node.clone().prop_map(|node| DfsRequest::RemoveMgmtNode { node }),
+        size.clone().prop_map(|capacity| DfsRequest::AddStorageNode { volumes: 2, capacity }),
+        node.clone().prop_map(|node| DfsRequest::RemoveStorageNode { node }),
+        (node, size.clone()).prop_map(|(node, capacity)| DfsRequest::AddVolume { node, capacity }),
+        volume.clone().prop_map(|volume| DfsRequest::RemoveVolume { volume }),
+        (volume.clone(), size.clone())
+            .prop_map(|(volume, delta)| DfsRequest::ExpandVolume { volume, delta }),
+        (volume, size).prop_map(|(volume, delta)| DfsRequest::ReduceVolume { volume, delta }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// No request stream can violate the physical invariants of a
+    /// bug-free cluster: volumes never over-filled, time monotonic,
+    /// no data lost while space remains plentiful, no crashed nodes.
+    #[test]
+    fn physical_invariants_hold(reqs in proptest::collection::vec(arb_request(), 1..120)) {
+        let mut sim = DfsSim::new(Flavor::GlusterFs, BugSet::None);
+        let mut last = SimTime::ZERO;
+        for req in &reqs {
+            let _ = sim.execute(req);
+            prop_assert!(sim.now() >= last, "virtual time must be monotonic");
+            last = sim.now();
+            for node in sim.cluster().storage.values() {
+                for v in &node.volumes {
+                    prop_assert!(
+                        v.used <= v.capacity,
+                        "volume {} over-filled: {}/{}",
+                        v.id, v.used, v.capacity
+                    );
+                }
+            }
+        }
+        prop_assert!(sim.crashed_nodes().is_empty());
+        // Logical-vs-physical consistency: every namespace file's stored
+        // bytes never exceed size times the replication factor.
+        let rep = sim.config().replicas as u64;
+        for (_, fid, size) in sim.namespace().files() {
+            if let Some(meta) = sim.cluster().files.get(&fid) {
+                let stored: u64 = meta.replicas.iter().map(|r| r.bytes).sum();
+                prop_assert!(
+                    stored <= size * rep,
+                    "file {fid}: stored {stored} > {size} x{rep}"
+                );
+            }
+        }
+    }
+
+    /// The simulator is a pure function of its request stream.
+    #[test]
+    fn sim_is_deterministic(reqs in proptest::collection::vec(arb_request(), 1..60)) {
+        let run = |reqs: &[DfsRequest]| {
+            let mut sim = DfsSim::new(Flavor::CephFs, BugSet::New);
+            for r in reqs {
+                let _ = sim.execute(r);
+            }
+            (
+                sim.now(),
+                sim.coverage_count(),
+                sim.cluster().total_used(),
+                sim.oracle_triggered().len(),
+                sim.stats().migrations,
+            )
+        };
+        prop_assert_eq!(run(&reqs), run(&reqs));
+    }
+
+    /// Rebalance always terminates and never breaks volume capacity.
+    #[test]
+    fn rebalance_terminates(reqs in proptest::collection::vec(arb_request(), 1..60)) {
+        let mut sim = DfsSim::new(Flavor::Hdfs, BugSet::None);
+        for r in &reqs {
+            let _ = sim.execute(r);
+        }
+        sim.rebalance();
+        let mut guard = 0;
+        while sim.rebalance_status() == RebalanceStatus::Running {
+            sim.tick(2_000);
+            guard += 1;
+            prop_assert!(guard < 20_000, "rebalance did not terminate");
+        }
+        for node in sim.cluster().storage.values() {
+            for v in &node.volumes {
+                prop_assert!(v.used <= v.capacity);
+            }
+        }
+    }
+
+    /// Trigger state machines never panic and fire at most once per
+    /// arming, for any event stream.
+    #[test]
+    fn triggers_are_total(classes in proptest::collection::vec(0u64..14, 1..300)) {
+        let mut triggers = vec![
+            Trigger::subseq(vec![OpClass::Create, OpClass::VolumeAdd], 4),
+            Trigger::op_count(vec![OpClass::Resize], 3, 10),
+            Trigger::op_count_timed(vec![OpClass::Create], 3, 10, 5_000),
+            Trigger::size_spread(4, 8.0),
+            Trigger::rebalance_burst(2, 10_000),
+            Trigger::membership_churn(2, 10_000),
+            Trigger::echoed_mix(3, 2, 1),
+            Trigger::within(
+                vec![
+                    Trigger::op_count(vec![OpClass::Create], 2, 20),
+                    Trigger::membership_churn(1, 60_000),
+                ],
+                50,
+            ),
+        ];
+        let all_classes = [
+            OpClass::Create, OpClass::Delete, OpClass::Resize, OpClass::Read,
+            OpClass::DirMeta, OpClass::Rename, OpClass::MgmtAdd, OpClass::MgmtRemove,
+            OpClass::StorageAdd, OpClass::StorageRemove, OpClass::VolumeAdd,
+            OpClass::VolumeRemove, OpClass::VolumeExpand, OpClass::VolumeReduce,
+        ];
+        for t in &mut triggers {
+            let mut fired = 0;
+            for (i, c) in classes.iter().enumerate() {
+                let class = all_classes[*c as usize];
+                let now = SimTime((i as u64) * 700);
+                let ev = SimEvent::Op { class, ok: true, size: (i as u64 % 64) * MIB };
+                if t.observe(now, &ev) {
+                    fired += 1;
+                    break; // the engine stops feeding after a fire
+                }
+                if class.is_membership() {
+                    let _ = t.observe(now, &SimEvent::MembershipChange { class });
+                }
+            }
+            prop_assert!(fired <= 1);
+        }
+    }
+}

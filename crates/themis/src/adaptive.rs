@@ -1,0 +1,134 @@
+//! Dynamic threshold adjustment (Section 7 of the paper).
+//!
+//! The paper proposes, as future work, to "initiate the imbalance detector
+//! with a lower t value (e.g., 20%) and incrementally increase it upon
+//! encountering false positives". This module implements that scheme: the
+//! campaign starts sensitive, and every confirmation that the operator (or
+//! an oracle-backed harness) marks as a false positive nudges the
+//! threshold upward until false positives stop.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the adaptive threshold controller.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AdaptiveConfig {
+    /// Starting threshold (the paper suggests 0.20).
+    pub initial_t: f64,
+    /// Increment applied per false positive.
+    pub step: f64,
+    /// Upper bound — beyond this, raising t costs true positives
+    /// (Table 7 shows recall loss above 25-30%).
+    pub max_t: f64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig { initial_t: 0.20, step: 0.025, max_t: 0.35 }
+    }
+}
+
+/// The adaptive threshold controller.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveThreshold {
+    cfg: AdaptiveConfig,
+    current: f64,
+    false_positives: u32,
+    true_positives: u32,
+}
+
+impl AdaptiveThreshold {
+    /// Creates a controller at the configured starting threshold.
+    pub fn new(cfg: AdaptiveConfig) -> Self {
+        AdaptiveThreshold {
+            current: cfg.initial_t.min(cfg.max_t),
+            cfg,
+            false_positives: 0,
+            true_positives: 0,
+        }
+    }
+
+    /// The threshold the detector should currently use.
+    pub fn threshold(&self) -> f64 {
+        self.current
+    }
+
+    /// Reports that a confirmation turned out to be a false positive;
+    /// the threshold rises by one step (bounded by `max_t`).
+    pub fn report_false_positive(&mut self) {
+        self.false_positives += 1;
+        self.current = (self.current + self.cfg.step).min(self.cfg.max_t);
+    }
+
+    /// Reports a confirmed true positive (recorded; the threshold holds —
+    /// lowering it again on success would oscillate).
+    pub fn report_true_positive(&mut self) {
+        self.true_positives += 1;
+    }
+
+    /// False positives observed so far.
+    pub fn false_positive_count(&self) -> u32 {
+        self.false_positives
+    }
+
+    /// True positives observed so far.
+    pub fn true_positive_count(&self) -> u32 {
+        self.true_positives
+    }
+
+    /// Whether the controller has saturated at its upper bound.
+    pub fn saturated(&self) -> bool {
+        (self.current - self.cfg.max_t).abs() < f64::EPSILON
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_initial_threshold() {
+        let a = AdaptiveThreshold::new(AdaptiveConfig::default());
+        assert!((a.threshold() - 0.20).abs() < 1e-12);
+        assert!(!a.saturated());
+    }
+
+    #[test]
+    fn false_positives_raise_threshold() {
+        let mut a = AdaptiveThreshold::new(AdaptiveConfig::default());
+        a.report_false_positive();
+        a.report_false_positive();
+        assert!((a.threshold() - 0.25).abs() < 1e-12);
+        assert_eq!(a.false_positive_count(), 2);
+    }
+
+    #[test]
+    fn threshold_is_bounded_above() {
+        let mut a = AdaptiveThreshold::new(AdaptiveConfig::default());
+        for _ in 0..100 {
+            a.report_false_positive();
+        }
+        assert!((a.threshold() - 0.35).abs() < 1e-12);
+        assert!(a.saturated());
+    }
+
+    #[test]
+    fn true_positives_hold_the_threshold() {
+        let mut a = AdaptiveThreshold::new(AdaptiveConfig::default());
+        a.report_false_positive();
+        let t = a.threshold();
+        a.report_true_positive();
+        a.report_true_positive();
+        assert_eq!(a.threshold(), t);
+        assert_eq!(a.true_positive_count(), 2);
+    }
+
+    #[test]
+    fn initial_above_max_is_clamped() {
+        let a = AdaptiveThreshold::new(AdaptiveConfig {
+            initial_t: 0.9,
+            step: 0.05,
+            max_t: 0.3,
+        });
+        assert!((a.threshold() - 0.3).abs() < 1e-12);
+    }
+}

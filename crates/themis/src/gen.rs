@@ -1,0 +1,174 @@
+//! Operation-sequence generation (Section 4.2, *Initial OpSeq Generation*).
+//!
+//! Sequences have length 1..=`max_n` with `max_n = 8`, guided by the
+//! study's Finding 5 (all observed failures trigger within 8 steps).
+//! Operators are drawn uniformly (probability `1/t`, `t = 17`), and
+//! operands are instantiated from the input model.
+
+use crate::model::InputModel;
+use crate::spec::{Operation, Operator, TestCase, ALL_OPERATORS, CONFIG_OPERATORS, FILE_OPERATORS};
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::RngExt;
+
+/// Maximum operation-sequence length (the paper's `max_n`).
+pub const MAX_SEQ_LEN: usize = 8;
+
+/// Which part of the grammar a generator may draw from.
+///
+/// Themis always draws from the full grammar; the fix-one-input baselines
+/// restrict their fuzzed space to one category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpDraw {
+    /// The full 17-operator grammar.
+    Any,
+    /// Client-request operators only.
+    FileOnly,
+    /// Configuration operators only.
+    ConfigOnly,
+}
+
+/// Draws an operator from the selected grammar subset.
+pub fn operator_for(draw: OpDraw, rng: &mut StdRng) -> Operator {
+    match draw {
+        OpDraw::Any => any_operator(rng),
+        OpDraw::FileOnly => file_operator(rng),
+        OpDraw::ConfigOnly => config_operator(rng),
+    }
+}
+
+/// Generates one operation from the selected grammar subset.
+pub fn operation_for(draw: OpDraw, model: &mut InputModel, rng: &mut StdRng) -> Operation {
+    let opt = operator_for(draw, rng);
+    model.instantiate(opt, rng)
+}
+
+/// Draws a uniform operator from the full grammar.
+pub fn any_operator(rng: &mut StdRng) -> Operator {
+    *ALL_OPERATORS.as_slice().choose(rng).expect("nonempty")
+}
+
+/// Draws a uniform client-request operator.
+pub fn file_operator(rng: &mut StdRng) -> Operator {
+    *FILE_OPERATORS.as_slice().choose(rng).expect("nonempty")
+}
+
+/// Draws a uniform configuration operator.
+pub fn config_operator(rng: &mut StdRng) -> Operator {
+    *CONFIG_OPERATORS.as_slice().choose(rng).expect("nonempty")
+}
+
+/// Generates one operation with a uniformly drawn operator.
+pub fn any_operation(model: &mut InputModel, rng: &mut StdRng) -> Operation {
+    let opt = any_operator(rng);
+    model.instantiate(opt, rng)
+}
+
+/// Generates a random test case of length 1..=`max_len`.
+pub fn random_case(model: &mut InputModel, rng: &mut StdRng, max_len: usize) -> TestCase {
+    let len = rng.random_range(1..=max_len.max(1));
+    let ops = (0..len).map(|_| any_operation(model, rng)).collect();
+    TestCase::new(ops)
+}
+
+/// Generates a request-only test case (used by the Fix-configuration
+/// baseline and the request phases of Alternate).
+pub fn request_only_case(model: &mut InputModel, rng: &mut StdRng, max_len: usize) -> TestCase {
+    let len = rng.random_range(1..=max_len.max(1));
+    let ops = (0..len).map(|_| model.instantiate(file_operator(rng), rng)).collect();
+    TestCase::new(ops)
+}
+
+/// Generates a configuration-only test case (used by the Fix-requests
+/// baseline and the config phases of Alternate).
+pub fn config_only_case(model: &mut InputModel, rng: &mut StdRng, max_len: usize) -> TestCase {
+    let len = rng.random_range(1..=max_len.max(1));
+    let ops = (0..len).map(|_| model.instantiate(config_operator(rng), rng)).collect();
+    TestCase::new(ops)
+}
+
+/// Generates the initial seed corpus: `n` random cases.
+pub fn initial_corpus(
+    model: &mut InputModel,
+    rng: &mut StdRng,
+    n: usize,
+    max_len: usize,
+) -> Vec<TestCase> {
+    (0..n).map(|_| random_case(model, rng, max_len)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaptor::NodeInventory;
+    use rand::SeedableRng;
+
+    fn setup() -> (InputModel, StdRng) {
+        let mut m = InputModel::new();
+        m.sync(&NodeInventory {
+            mgmt: vec![0, 1],
+            storage: vec![2, 3],
+            volumes: vec![10],
+            free_space: 1 << 30,
+            files: vec!["/a".into()],
+            dirs: vec![],
+        });
+        (m, StdRng::seed_from_u64(11))
+    }
+
+    #[test]
+    fn random_cases_respect_length_bounds() {
+        let (mut m, mut r) = setup();
+        for _ in 0..200 {
+            let c = random_case(&mut m, &mut r, MAX_SEQ_LEN);
+            assert!(!c.is_empty());
+            assert!(c.len() <= MAX_SEQ_LEN);
+            assert!(c.well_formed());
+        }
+    }
+
+    #[test]
+    fn request_only_cases_have_no_config_ops() {
+        let (mut m, mut r) = setup();
+        for _ in 0..100 {
+            let c = request_only_case(&mut m, &mut r, MAX_SEQ_LEN);
+            assert!(c.ops.iter().all(|o| o.opt.is_file_op()));
+        }
+    }
+
+    #[test]
+    fn config_only_cases_have_no_file_ops() {
+        let (mut m, mut r) = setup();
+        for _ in 0..100 {
+            let c = config_only_case(&mut m, &mut r, MAX_SEQ_LEN);
+            assert!(c.ops.iter().all(|o| o.opt.is_config_op()));
+        }
+    }
+
+    #[test]
+    fn all_operators_eventually_generated() {
+        let (mut m, mut r) = setup();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2_000 {
+            seen.insert(any_operation(&mut m, &mut r).opt);
+        }
+        assert_eq!(seen.len(), 17, "uniform drawing must hit every operator");
+    }
+
+    #[test]
+    fn initial_corpus_has_requested_size() {
+        let (mut m, mut r) = setup();
+        let corpus = initial_corpus(&mut m, &mut r, 16, MAX_SEQ_LEN);
+        assert_eq!(corpus.len(), 16);
+        assert!(corpus.iter().all(TestCase::well_formed));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let (mut m1, mut r1) = setup();
+        let (mut m2, mut r2) = setup();
+        let a = random_case(&mut m1, &mut r1, MAX_SEQ_LEN);
+        let b = random_case(&mut m2, &mut r2, MAX_SEQ_LEN);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,275 @@
+//! The Load Variance Model (Figure 8 of the paper).
+//!
+//! For every pair of nodes the model sums the absolute differences of
+//! computation load (CPU), network load (requests, read IO, write IO) and
+//! storage load. Normalized and weighted, this yields the guidance score
+//! that load variance-guided fuzzing maximizes. The model also exposes the
+//! max-over-mean ratios the imbalance detector thresholds against
+//! (Section 2.2's LBS definition).
+
+use crate::adaptor::{LoadReport, Role};
+use serde::{Deserialize, Serialize};
+
+/// Weighting factors of the three variance components.
+///
+/// The paper uses 1/3 each by default and studies storage-heavier weights
+/// in Table 8.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VarianceWeights {
+    /// Weight of storage-load variance.
+    pub storage: f64,
+    /// Weight of computation-load variance.
+    pub cpu: f64,
+    /// Weight of network-load variance.
+    pub network: f64,
+}
+
+impl Default for VarianceWeights {
+    fn default() -> Self {
+        VarianceWeights { storage: 1.0 / 3.0, cpu: 1.0 / 3.0, network: 1.0 / 3.0 }
+    }
+}
+
+impl VarianceWeights {
+    /// Weights with the storage factor set to `storage` and the remainder
+    /// split evenly (the Table 8 sweep).
+    pub fn storage_weighted(storage: f64) -> Self {
+        let rest = ((1.0 - storage) / 2.0).max(0.0);
+        VarianceWeights { storage, cpu: rest, network: rest }
+    }
+}
+
+/// The variance measurement of one load report.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct VarianceScore {
+    /// Normalized mean pairwise storage difference over storage nodes.
+    pub storage: f64,
+    /// Normalized mean pairwise CPU difference over management nodes.
+    pub cpu: f64,
+    /// Normalized mean pairwise network difference over management nodes.
+    pub network: f64,
+    /// Max/mean storage ratio (detector input).
+    pub storage_ratio: f64,
+    /// Max/mean CPU ratio.
+    pub cpu_ratio: f64,
+    /// Max/mean network ratio.
+    pub network_ratio: f64,
+    /// Mean storage per node (bytes) — used by detector load gates.
+    pub storage_mean: f64,
+    /// Mean CPU per management node.
+    pub cpu_mean: f64,
+    /// Mean network load per management node.
+    pub network_mean: f64,
+}
+
+impl VarianceScore {
+    /// The weighted guidance score.
+    pub fn weighted(&self, w: &VarianceWeights) -> f64 {
+        w.storage * self.storage + w.cpu * self.cpu + w.network * self.network
+    }
+}
+
+/// Mean absolute pairwise difference of `values`, normalized by the mean
+/// value (scale-free; 0 for perfectly even load).
+fn normalized_pairwise(values: &[f64]) -> f64 {
+    let n = values.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mean = values.iter().sum::<f64>() / n as f64;
+    if mean <= f64::EPSILON {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    let mut pairs = 0u64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            sum += (values[i] - values[j]).abs();
+            pairs += 1;
+        }
+    }
+    (sum / pairs as f64) / mean
+}
+
+/// Max over mean of `values` (≥ 1.0 when any load exists; 1.0 for
+/// degenerate inputs).
+fn max_over_mean(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 1.0;
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    if mean <= f64::EPSILON {
+        return 1.0;
+    }
+    values.iter().cloned().fold(f64::MIN, f64::max) / mean
+}
+
+/// Computes the Load Variance Model over a load report, excluding
+/// management nodes younger than `warmup_ms` (their rate counters carry no
+/// signal yet; including them lets a tester "raise variance" by merely
+/// adding nodes).
+pub fn score_warmed(report: &LoadReport, warmup_ms: u64) -> VarianceScore {
+    let filtered = LoadReport {
+        time_ms: report.time_ms,
+        nodes: report
+            .nodes
+            .iter()
+            .filter(|n| n.role != Role::Management || n.uptime_ms >= warmup_ms)
+            .cloned()
+            .collect(),
+    };
+    score(&filtered)
+}
+
+/// Computes the Load Variance Model over a load report.
+pub fn score(report: &LoadReport) -> VarianceScore {
+    // Storage load is compared as utilization (used/capacity), matching
+    // how real balancers and operators read `df` output; nodes may carry
+    // different volume counts.
+    let storage: Vec<f64> = report
+        .by_role(Role::Storage)
+        .filter(|n| n.capacity > 0)
+        .map(|n| n.storage as f64 / n.capacity as f64)
+        .collect();
+    let cpu: Vec<f64> = report.by_role(Role::Management).map(|n| n.cpu).collect();
+    let net: Vec<f64> = report.by_role(Role::Management).map(|n| n.network()).collect();
+    let mean = |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+    VarianceScore {
+        storage: normalized_pairwise(&storage),
+        cpu: normalized_pairwise(&cpu),
+        network: normalized_pairwise(&net),
+        storage_ratio: max_over_mean(&storage),
+        cpu_ratio: max_over_mean(&cpu),
+        network_ratio: max_over_mean(&net),
+        storage_mean: mean(&storage),
+        cpu_mean: mean(&cpu),
+        network_mean: mean(&net),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaptor::NodeLoad;
+
+    fn storage_node(id: u64, bytes: u64) -> NodeLoad {
+        NodeLoad {
+            node: id,
+            role: Role::Storage,
+            online: true,
+            crashed: false,
+            cpu: 0.0,
+            rps: 0.0,
+            read_io: 0.0,
+            write_io: 0.0,
+            storage: bytes,
+            capacity: 1 << 30,
+            uptime_ms: 1 << 40,
+        }
+    }
+
+    fn mgmt_node(id: u64, cpu: f64, rps: f64) -> NodeLoad {
+        NodeLoad {
+            node: id,
+            role: Role::Management,
+            online: true,
+            crashed: false,
+            cpu,
+            rps,
+            read_io: 0.0,
+            write_io: 0.0,
+            storage: 0,
+            capacity: 0,
+            uptime_ms: 1 << 40,
+        }
+    }
+
+    #[test]
+    fn even_load_scores_zero_variance() {
+        let report = LoadReport {
+            time_ms: 0,
+            nodes: vec![storage_node(1, 100), storage_node(2, 100), storage_node(3, 100)],
+        };
+        let s = score(&report);
+        assert_eq!(s.storage, 0.0);
+        assert!((s.storage_ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewed_load_scores_positive_variance() {
+        let report = LoadReport {
+            time_ms: 0,
+            nodes: vec![storage_node(1, 10), storage_node(2, 10), storage_node(3, 100)],
+        };
+        let s = score(&report);
+        assert!(s.storage > 0.5);
+        // mean = 40, max = 100 -> ratio 2.5.
+        assert!((s.storage_ratio - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_is_scale_free() {
+        let a = LoadReport {
+            time_ms: 0,
+            nodes: vec![storage_node(1, 10), storage_node(2, 30)],
+        };
+        let b = LoadReport {
+            time_ms: 0,
+            nodes: vec![storage_node(1, 1_000), storage_node(2, 3_000)],
+        };
+        assert!((score(&a).storage - score(&b).storage).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cpu_and_network_measured_on_mgmt_nodes() {
+        let report = LoadReport {
+            time_ms: 0,
+            nodes: vec![
+                mgmt_node(1, 10.0, 100.0),
+                mgmt_node(2, 2.0, 20.0),
+                storage_node(3, 50),
+                storage_node(4, 50),
+            ],
+        };
+        let s = score(&report);
+        assert!(s.cpu > 0.0);
+        assert!(s.network > 0.0);
+        assert_eq!(s.storage, 0.0);
+    }
+
+    #[test]
+    fn weighted_score_respects_weights() {
+        let s = VarianceScore { storage: 1.0, storage_ratio: 2.0, ..Default::default() };
+        let even = s.weighted(&VarianceWeights::default());
+        let heavy = s.weighted(&VarianceWeights::storage_weighted(1.0));
+        assert!(heavy > even);
+        assert!((heavy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn storage_weighted_sums_to_one() {
+        for w in [1.0 / 6.0, 1.0 / 3.0, 0.5, 2.0 / 3.0, 1.0] {
+            let v = VarianceWeights::storage_weighted(w);
+            assert!((v.storage + v.cpu + v.network - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn offline_nodes_are_ignored() {
+        let mut down = storage_node(9, 1_000_000);
+        down.online = false;
+        let report = LoadReport {
+            time_ms: 0,
+            nodes: vec![storage_node(1, 100), storage_node(2, 100), down],
+        };
+        assert_eq!(score(&report).storage, 0.0);
+    }
+
+    #[test]
+    fn degenerate_single_node_is_balanced() {
+        let report = LoadReport { time_ms: 0, nodes: vec![storage_node(1, 100)] };
+        let s = score(&report);
+        assert_eq!(s.storage, 0.0);
+        assert_eq!(s.storage_ratio, 1.0);
+    }
+}

@@ -1,0 +1,389 @@
+//! The input model: Themis's mirror of the DFS state used to instantiate
+//! operands (Section 4.2, *Initial OpSeq Generation*).
+//!
+//! Themis tracks a file tree `Tree_files`, node lists `list_MN` / `list_S`,
+//! the volume list, and the remaining free space `free_space`. Operand
+//! instantiation draws from these: file names are either existing entries
+//! (uniformly) or fresh names added to the tree; node/volume ids come from
+//! the matching list; sizes cover boundary scenarios between 0 and
+//! `free_space`.
+
+use crate::adaptor::NodeInventory;
+use crate::spec::{Operand, OperandKind, Operation, Operator};
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::RngExt;
+
+/// Themis's model of the target's identifier spaces.
+#[derive(Debug, Clone, Default)]
+pub struct InputModel {
+    /// Known file paths (`Tree_files` leaves).
+    pub files: Vec<String>,
+    /// Known directory paths (`Tree_files` inner nodes).
+    pub dirs: Vec<String>,
+    /// Management node ids (`list_MN`).
+    pub mgmt_nodes: Vec<u64>,
+    /// Storage node ids (`list_S`).
+    pub storage_nodes: Vec<u64>,
+    /// Volume ids.
+    pub volumes: Vec<u64>,
+    /// Remaining free space (bytes).
+    pub free_space: u64,
+    next_name: u64,
+}
+
+impl InputModel {
+    /// Creates an empty model (callers normally `sync` right away).
+    pub fn new() -> Self {
+        InputModel::default()
+    }
+
+    /// Replaces the model with the target's actual inventory (called after
+    /// connecting and after every reset).
+    pub fn sync(&mut self, inv: &NodeInventory) {
+        self.files = inv.files.clone();
+        self.dirs = inv.dirs.clone();
+        self.sync_topology(inv);
+    }
+
+    /// Refreshes node/volume lists and free space, keeping the file tree
+    /// (which the model tracks incrementally via [`InputModel::apply`]).
+    pub fn sync_topology(&mut self, inv: &NodeInventory) {
+        self.mgmt_nodes = inv.mgmt.clone();
+        self.storage_nodes = inv.storage.clone();
+        self.volumes = inv.volumes.clone();
+        self.free_space = inv.free_space;
+    }
+
+    /// A fresh file name that does not collide with known paths.
+    pub fn fresh_name(&mut self, rng: &mut StdRng) -> String {
+        self.next_name += 1;
+        let n = self.next_name;
+        // Place some files under known directories to exercise path depth.
+        if !self.dirs.is_empty() && rng.random_bool(0.3) {
+            let dir = self.dirs.as_slice().choose(rng).expect("nonempty");
+            format!("{dir}/f{n}")
+        } else {
+            format!("/f{n}")
+        }
+    }
+
+    /// A fresh directory name, occasionally nested under an existing
+    /// directory to grow deeper trees.
+    pub fn fresh_dir(&mut self, rng: &mut StdRng) -> String {
+        self.next_name += 1;
+        let n = self.next_name;
+        if !self.dirs.is_empty() && rng.random_bool(0.25) {
+            let parent = self.dirs.as_slice().choose(rng).expect("nonempty");
+            format!("{parent}/d{n}")
+        } else {
+            format!("/d{n}")
+        }
+    }
+
+    /// An existing file path, uniformly at random (per the paper), or a
+    /// fresh one when the tree is empty.
+    pub fn some_file(&mut self, rng: &mut StdRng) -> String {
+        if self.files.is_empty() || rng.random_bool(0.35) {
+            self.fresh_name(rng)
+        } else {
+            self.files.as_slice().choose(rng).expect("nonempty").clone()
+        }
+    }
+
+    /// An existing directory, or a fresh one.
+    pub fn some_dir(&mut self, rng: &mut StdRng) -> String {
+        if self.dirs.is_empty() || rng.random_bool(0.35) {
+            self.fresh_dir(rng)
+        } else {
+            self.dirs.as_slice().choose(rng).expect("nonempty").clone()
+        }
+    }
+
+    /// A management node id (`list_MN`); 0 when none known.
+    pub fn some_mgmt(&self, rng: &mut StdRng) -> u64 {
+        self.mgmt_nodes.as_slice().choose(rng).copied().unwrap_or(0)
+    }
+
+    /// A storage node id (`list_S`); 0 when none known.
+    pub fn some_storage(&self, rng: &mut StdRng) -> u64 {
+        self.storage_nodes.as_slice().choose(rng).copied().unwrap_or(0)
+    }
+
+    /// A volume id; 0 when none known.
+    pub fn some_volume(&self, rng: &mut StdRng) -> u64 {
+        self.volumes.as_slice().choose(rng).copied().unwrap_or(0)
+    }
+
+    /// A data size covering boundary scenarios: zero, tiny, powers of two,
+    /// and values near the remaining free space (the paper's boundary
+    /// strategy for the Size category).
+    pub fn some_size(&self, rng: &mut StdRng) -> u64 {
+        const MIB: u64 = 1024 * 1024;
+        let free = self.free_space.max(MIB);
+        match rng.random_range(0..12u32) {
+            0 => 0,
+            1 => rng.random_range(1..MIB),
+            2..=6 => MIB << rng.random_range(0..6u32), // 1..32 MiB
+            7..=9 => MIB << rng.random_range(5..8u32), // 32..128 MiB
+            10 => (free / rng.random_range(64..512u64).max(1)).min(256 * MIB),
+            _ => (free / 2).min(1 << 30), // boundary: capped at 1 GiB
+        }
+    }
+
+    /// Instantiates the operands for `opt` (the `opd` rules of Figure 7).
+    pub fn instantiate(&mut self, opt: Operator, rng: &mut StdRng) -> Operation {
+        let mut opds = Vec::with_capacity(opt.operand_shape().len());
+        for kind in opt.operand_shape() {
+            let opd = match (opt, kind) {
+                // mkdir/rmdir operate on directory paths.
+                (Operator::Mkdir, OperandKind::FileName) => Operand::FileName(self.fresh_dir(rng)),
+                (Operator::Rmdir, OperandKind::FileName) => Operand::FileName(self.some_dir(rng)),
+                (Operator::Create, OperandKind::FileName) => {
+                    Operand::FileName(self.fresh_name(rng))
+                }
+                (_, OperandKind::FileName) => Operand::FileName(self.some_file(rng)),
+                (Operator::RemoveMn, OperandKind::NodeId) => Operand::NodeId(self.some_mgmt(rng)),
+                (_, OperandKind::NodeId) => Operand::NodeId(self.some_storage(rng)),
+                (_, OperandKind::VolumeId) => Operand::VolumeId(self.some_volume(rng)),
+                (_, OperandKind::Size) => Operand::Size(self.some_size(rng)),
+            };
+            opds.push(opd);
+        }
+        // Rename's second operand is a destination: prefer a fresh path.
+        if opt == Operator::Rename {
+            if let Some(last) = opds.last_mut() {
+                *last = Operand::FileName(self.fresh_name(rng));
+            }
+        }
+        Operation::new(opt, opds)
+    }
+
+    /// Tracks the effect of a successfully executed operation on the model
+    /// (the mirror side of `Tree_files` / `list_*` maintenance).
+    pub fn apply(&mut self, op: &Operation) {
+        match (op.opt, op.opds.as_slice()) {
+            (Operator::Create, [Operand::FileName(p), _]) => {
+                if !self.files.contains(p) {
+                    self.files.push(p.clone());
+                }
+            }
+            (Operator::Delete, [Operand::FileName(p)]) => {
+                self.files.retain(|f| f != p);
+            }
+            (Operator::Mkdir, [Operand::FileName(p)]) => {
+                if !self.dirs.contains(p) {
+                    self.dirs.push(p.clone());
+                }
+            }
+            (Operator::Rmdir, [Operand::FileName(p)]) => {
+                self.dirs.retain(|d| d != p);
+            }
+            (Operator::Rename, [Operand::FileName(from), Operand::FileName(to)]) => {
+                if let Some(f) = self.files.iter_mut().find(|f| *f == from) {
+                    *f = to.clone();
+                } else if let Some(d) = self.dirs.iter_mut().find(|d| *d == from) {
+                    *d = to.clone();
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Whether every identifier the operation references is known to the
+    /// model (used by mutation's dangling-reference scan).
+    pub fn references_valid(&self, op: &Operation) -> bool {
+        op.opds.iter().zip(op.opt.operand_shape()).all(|(opd, kind)| match (opd, kind) {
+            (Operand::FileName(p), OperandKind::FileName) => {
+                match op.opt {
+                    // Fresh destinations are always fine.
+                    Operator::Create | Operator::Mkdir => true,
+                    Operator::Rmdir => self.dirs.contains(p),
+                    Operator::Rename => {
+                        // Source must exist; destination is checked above
+                        // by position — treat any known path as valid.
+                        self.files.contains(p) || self.dirs.contains(p) || p.starts_with("/f")
+                    }
+                    _ => self.files.contains(p),
+                }
+            }
+            (Operand::NodeId(n), OperandKind::NodeId) => match op.opt {
+                Operator::RemoveMn => self.mgmt_nodes.contains(n),
+                _ => self.storage_nodes.contains(n),
+            },
+            (Operand::VolumeId(v), OperandKind::VolumeId) => self.volumes.contains(v),
+            (Operand::Size(_), OperandKind::Size) => true,
+            _ => false,
+        })
+    }
+
+    /// Repairs dangling references by replacing the offending operands with
+    /// random entries from `Tree_files`, `list_MN` or `list_S` (the paper's
+    /// post-mutation scan). Fresh names are used only when the respective
+    /// list is empty (the operation then simply fails at runtime, which is
+    /// a legal fuzzing outcome).
+    pub fn repair(&mut self, op: &mut Operation, rng: &mut StdRng) {
+        if self.references_valid(op) {
+            return;
+        }
+        let opt = op.opt;
+        let mut opds = Vec::with_capacity(opt.operand_shape().len());
+        for kind in opt.operand_shape() {
+            let opd = match (opt, kind) {
+                (Operator::Mkdir, OperandKind::FileName) => Operand::FileName(self.fresh_dir(rng)),
+                (Operator::Rmdir, OperandKind::FileName) => {
+                    Operand::FileName(match self.dirs.as_slice().choose(rng) {
+                        Some(d) => d.clone(),
+                        None => self.fresh_dir(rng),
+                    })
+                }
+                (Operator::Create, OperandKind::FileName) => {
+                    Operand::FileName(self.fresh_name(rng))
+                }
+                (_, OperandKind::FileName) => {
+                    Operand::FileName(match self.files.as_slice().choose(rng) {
+                        Some(f) => f.clone(),
+                        None => self.fresh_name(rng),
+                    })
+                }
+                (Operator::RemoveMn, OperandKind::NodeId) => Operand::NodeId(self.some_mgmt(rng)),
+                (_, OperandKind::NodeId) => Operand::NodeId(self.some_storage(rng)),
+                (_, OperandKind::VolumeId) => Operand::VolumeId(self.some_volume(rng)),
+                (_, OperandKind::Size) => Operand::Size(self.some_size(rng)),
+            };
+            opds.push(opd);
+        }
+        if opt == Operator::Rename {
+            if let Some(last) = opds.last_mut() {
+                *last = Operand::FileName(self.fresh_name(rng));
+            }
+        }
+        *op = Operation::new(opt, opds);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    fn model() -> InputModel {
+        let mut m = InputModel::new();
+        m.sync(&NodeInventory {
+            mgmt: vec![0, 1],
+            storage: vec![2, 3, 4],
+            volumes: vec![10, 11],
+            free_space: 1 << 30,
+            files: vec!["/a".into(), "/b".into()],
+            dirs: vec!["/d".into()],
+        });
+        m
+    }
+
+    #[test]
+    fn sync_mirrors_inventory() {
+        let m = model();
+        assert_eq!(m.files.len(), 2);
+        assert_eq!(m.mgmt_nodes, vec![0, 1]);
+        assert_eq!(m.free_space, 1 << 30);
+    }
+
+    #[test]
+    fn instantiate_produces_well_formed_ops() {
+        let mut m = model();
+        let mut r = rng();
+        for opt in crate::spec::ALL_OPERATORS {
+            let op = m.instantiate(opt, &mut r);
+            assert!(op.well_formed(), "{opt:?}");
+        }
+    }
+
+    #[test]
+    fn fresh_names_never_collide() {
+        let mut m = model();
+        let mut r = rng();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            assert!(seen.insert(m.fresh_name(&mut r)));
+        }
+    }
+
+    #[test]
+    fn node_pick_respects_role() {
+        let m = model();
+        let mut r = rng();
+        for _ in 0..50 {
+            assert!(m.mgmt_nodes.contains(&m.some_mgmt(&mut r)));
+            assert!(m.storage_nodes.contains(&m.some_storage(&mut r)));
+        }
+    }
+
+    #[test]
+    fn sizes_cover_boundaries() {
+        let m = model();
+        let mut r = rng();
+        let sizes: Vec<u64> = (0..300).map(|_| m.some_size(&mut r)).collect();
+        assert!(sizes.iter().any(|&s| s == 0), "boundary 0 must occur");
+        assert!(sizes.iter().any(|&s| s > (1 << 28)), "large sizes must occur");
+        assert!(sizes.iter().all(|&s| s <= 1 << 33));
+    }
+
+    #[test]
+    fn apply_tracks_create_and_delete() {
+        let mut m = model();
+        let op = Operation::new(
+            Operator::Create,
+            vec![Operand::FileName("/new".into()), Operand::Size(1)],
+        );
+        m.apply(&op);
+        assert!(m.files.contains(&"/new".to_string()));
+        let del = Operation::new(Operator::Delete, vec![Operand::FileName("/new".into())]);
+        m.apply(&del);
+        assert!(!m.files.contains(&"/new".to_string()));
+    }
+
+    #[test]
+    fn apply_tracks_rename() {
+        let mut m = model();
+        let op = Operation::new(
+            Operator::Rename,
+            vec![Operand::FileName("/a".into()), Operand::FileName("/a2".into())],
+        );
+        m.apply(&op);
+        assert!(!m.files.contains(&"/a".to_string()));
+        assert!(m.files.contains(&"/a2".to_string()));
+    }
+
+    #[test]
+    fn repair_fixes_dangling_references() {
+        let mut m = model();
+        let mut r = rng();
+        let mut op = Operation::new(Operator::Delete, vec![Operand::FileName("/gone".into())]);
+        assert!(!m.references_valid(&op));
+        m.repair(&mut op, &mut r);
+        assert!(m.references_valid(&op), "repaired op must reference known ids: {op}");
+    }
+
+    #[test]
+    fn repair_keeps_valid_ops_unchanged() {
+        let mut m = model();
+        let mut r = rng();
+        let mut op = Operation::new(Operator::Delete, vec![Operand::FileName("/a".into())]);
+        let before = op.clone();
+        m.repair(&mut op, &mut r);
+        assert_eq!(op, before);
+    }
+
+    #[test]
+    fn remove_mn_reference_checked_against_mgmt_list() {
+        let m = model();
+        let ok = Operation::new(Operator::RemoveMn, vec![Operand::NodeId(1)]);
+        let bad = Operation::new(Operator::RemoveMn, vec![Operand::NodeId(99)]);
+        assert!(m.references_valid(&ok));
+        assert!(!m.references_valid(&bad));
+    }
+}

@@ -1,0 +1,199 @@
+//! OpSeq mutation (Section 4.2, *OpSeq Mutation*).
+//!
+//! Like AFL, Themis mutates a parent sequence at a random set of positions
+//! using three operators: *replace* (new operator at the position), *delete*
+//! (drop the position) and *insert* (new operation inserted). After
+//! mutation every operation is scanned for references to files or nodes
+//! that no longer exist and repaired against the input model.
+
+use crate::gen;
+use crate::model::InputModel;
+use crate::spec::TestCase;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// The three mutation operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutationKind {
+    /// Replace the operation at the position with a freshly generated one.
+    Replace,
+    /// Delete the operation at the position.
+    Delete,
+    /// Insert a freshly generated operation at the position.
+    Insert,
+}
+
+/// Mutates `parent` into a new test case, drawing replacement/insertion
+/// operators from the full grammar.
+///
+/// A random set of positions `P` (|P| ≤ len) is selected; each position
+/// receives a uniformly chosen mutation. The result is clamped to
+/// `1..=max_len` operations and every operation is reference-repaired.
+pub fn mutate(
+    parent: &TestCase,
+    model: &mut InputModel,
+    rng: &mut StdRng,
+    max_len: usize,
+) -> TestCase {
+    mutate_with(parent, model, rng, max_len, gen::OpDraw::Any)
+}
+
+/// [`mutate`] restricted to a grammar subset (for fix-one-input baselines).
+pub fn mutate_with(
+    parent: &TestCase,
+    model: &mut InputModel,
+    rng: &mut StdRng,
+    max_len: usize,
+    draw: gen::OpDraw,
+) -> TestCase {
+    let mut ops = parent.ops.clone();
+    if ops.is_empty() {
+        return gen::random_case(model, rng, max_len);
+    }
+    // Small steps: mutate one or two positions. Load variance accumulates
+    // through chains of lightly varied repetitions of a good sequence
+    // (Finding 5's "gradual variation"); heavy mutation would destroy the
+    // structure that made the parent interesting.
+    let k = rng.random_range(1..=2usize.min(ops.len()));
+    // Work on positions in descending order so indices stay valid across
+    // deletions/insertions.
+    let mut positions: Vec<usize> = (0..ops.len()).collect();
+    // Partial Fisher-Yates: take k distinct positions.
+    for i in 0..k {
+        let j = rng.random_range(i..positions.len());
+        positions.swap(i, j);
+    }
+    let mut chosen: Vec<usize> = positions[..k].to_vec();
+    chosen.sort_unstable_by(|a, b| b.cmp(a));
+
+    for pos in chosen {
+        let kind = match rng.random_range(0..3u32) {
+            0 => MutationKind::Replace,
+            1 => MutationKind::Delete,
+            _ => MutationKind::Insert,
+        };
+        match kind {
+            MutationKind::Replace => {
+                ops[pos] = gen::operation_for(draw, model, rng);
+            }
+            MutationKind::Delete => {
+                if ops.len() > 1 {
+                    ops.remove(pos);
+                }
+            }
+            MutationKind::Insert => {
+                if ops.len() < max_len {
+                    ops.insert(pos, gen::operation_for(draw, model, rng));
+                }
+            }
+        }
+    }
+
+    // Operand refresh: Themis randomly regenerates FileName/NodeId/Size
+    // operands so repeated executions do not concentrate on the same keys
+    // (Section 7: this is what prevents the all-clients-read-one-file
+    // false-positive scenario).
+    for op in &mut ops {
+        if rng.random_bool(0.25) {
+            *op = model.instantiate(op.opt, rng);
+        }
+    }
+    // Post-mutation scan: repair operations referencing dead identifiers.
+    for op in &mut ops {
+        model.repair(op, rng);
+    }
+    TestCase::new(ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaptor::NodeInventory;
+    use crate::gen::MAX_SEQ_LEN;
+    use rand::SeedableRng;
+
+    fn setup() -> (InputModel, StdRng) {
+        let mut m = InputModel::new();
+        m.sync(&NodeInventory {
+            mgmt: vec![0],
+            storage: vec![1, 2],
+            volumes: vec![5, 6],
+            free_space: 1 << 30,
+            files: vec!["/a".into(), "/b".into()],
+            dirs: vec!["/d".into()],
+        });
+        (m, StdRng::seed_from_u64(3))
+    }
+
+    #[test]
+    fn mutation_preserves_well_formedness_and_bounds() {
+        let (mut m, mut r) = setup();
+        let mut case = gen::random_case(&mut m, &mut r, MAX_SEQ_LEN);
+        for _ in 0..300 {
+            case = mutate(&case, &mut m, &mut r, MAX_SEQ_LEN);
+            assert!(case.well_formed());
+            assert!(!case.is_empty());
+            assert!(case.len() <= MAX_SEQ_LEN);
+        }
+    }
+
+    #[test]
+    fn mutation_eventually_changes_the_case() {
+        let (mut m, mut r) = setup();
+        let case = gen::random_case(&mut m, &mut r, MAX_SEQ_LEN);
+        let changed = (0..50).any(|_| mutate(&case, &mut m, &mut r, MAX_SEQ_LEN) != case);
+        assert!(changed, "50 mutations should not all be identity");
+    }
+
+    #[test]
+    fn mutation_repairs_dangling_references() {
+        let (mut m, mut r) = setup();
+        // Build a case referencing a file, then remove it from the model.
+        let case = TestCase::new(vec![crate::spec::Operation::new(
+            crate::spec::Operator::Delete,
+            vec![crate::spec::Operand::FileName("/a".into())],
+        )]);
+        m.files.retain(|f| f != "/a");
+        for _ in 0..30 {
+            let child = mutate(&case, &mut m, &mut r, MAX_SEQ_LEN);
+            for op in &child.ops {
+                assert!(
+                    m.references_valid(op),
+                    "mutated op references dead id: {op}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_parent_degenerates_to_random_case() {
+        let (mut m, mut r) = setup();
+        let child = mutate(&TestCase::default(), &mut m, &mut r, MAX_SEQ_LEN);
+        assert!(!child.is_empty());
+        assert!(child.well_formed());
+    }
+
+    #[test]
+    fn constrained_mutation_stays_in_subset() {
+        let (mut m, mut r) = setup();
+        let mut case = gen::request_only_case(&mut m, &mut r, MAX_SEQ_LEN);
+        for _ in 0..100 {
+            case = mutate_with(&case, &mut m, &mut r, MAX_SEQ_LEN, gen::OpDraw::FileOnly);
+            assert!(case.ops.iter().all(|o| o.opt.is_file_op()), "{case}");
+        }
+        let mut conf = gen::config_only_case(&mut m, &mut r, MAX_SEQ_LEN);
+        for _ in 0..100 {
+            conf = mutate_with(&conf, &mut m, &mut r, MAX_SEQ_LEN, gen::OpDraw::ConfigOnly);
+            assert!(conf.ops.iter().all(|o| o.opt.is_config_op()), "{conf}");
+        }
+    }
+
+    #[test]
+    fn mutation_is_deterministic_per_seed() {
+        let (mut m1, mut r1) = setup();
+        let (mut m2, mut r2) = setup();
+        let p1 = gen::random_case(&mut m1, &mut r1, MAX_SEQ_LEN);
+        let p2 = gen::random_case(&mut m2, &mut r2, MAX_SEQ_LEN);
+        assert_eq!(mutate(&p1, &mut m1, &mut r1, 8), mutate(&p2, &mut m2, &mut r2, 8));
+    }
+}

@@ -1,0 +1,130 @@
+//! Failure reports and reproduction logs.
+//!
+//! When the detector confirms an imbalance, Themis records the confirming
+//! test case together with the full time-ordered operation log since the
+//! last reset — the paper's reproduction log, handed to developers for
+//! replay and root-cause analysis.
+
+use crate::detector::ImbalanceKind;
+use crate::spec::{Operation, TestCase};
+use serde::{Deserialize, Serialize};
+
+/// One operation in the reproduction log, with its execution timestamp.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoggedOp {
+    /// Target-side time the operation executed (ms).
+    pub time_ms: u64,
+    /// The operation.
+    pub op: Operation,
+    /// Whether the DFS accepted it.
+    pub ok: bool,
+}
+
+/// A confirmed imbalance failure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConfirmedFailure {
+    /// Which anomaly detector confirmed it.
+    pub kind: ImbalanceKind,
+    /// The post-double-check max-over-mean ratio (or crashed-node count).
+    pub ratio: f64,
+    /// Target-side time of confirmation (ms).
+    pub time_ms: u64,
+    /// The test case whose execution triggered the candidate.
+    pub case: TestCase,
+    /// Every operation executed since the last reset, in order.
+    pub repro_log: Vec<LoggedOp>,
+}
+
+impl ConfirmedFailure {
+    /// Renders the reproduction log as replayable text (one operation per
+    /// line, timestamped), the artifact the paper ships to maintainers.
+    pub fn render_repro_log(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# imbalance failure: {} (ratio {:.3}) at {} ms\n",
+            self.kind, self.ratio, self.time_ms
+        ));
+        out.push_str(&format!("# confirming case: {}\n", self.case));
+        for entry in &self.repro_log {
+            let status = if entry.ok { "ok" } else { "ERR" };
+            out.push_str(&format!("{:>10}ms  [{status}]  {}\n", entry.time_ms, entry.op));
+        }
+        out
+    }
+}
+
+/// Deduplicates confirmations with the same kind whose reproduction logs
+/// end in the same final case, keeping the one with the *shorter* log
+/// (the paper keeps the shorter reproduction when two failures share a
+/// root cause).
+pub fn dedup_by_kind_and_case(mut failures: Vec<ConfirmedFailure>) -> Vec<ConfirmedFailure> {
+    failures.sort_by_key(|f| f.repro_log.len());
+    let mut kept: Vec<ConfirmedFailure> = Vec::new();
+    for f in failures {
+        let dup = kept.iter().any(|k| k.kind == f.kind && k.case == f.case);
+        if !dup {
+            kept.push(f);
+        }
+    }
+    kept.sort_by_key(|f| f.time_ms);
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Operand, Operator};
+
+    fn case(tag: u64) -> TestCase {
+        TestCase::new(vec![Operation::new(
+            Operator::Create,
+            vec![Operand::FileName(format!("/x{tag}")), Operand::Size(1)],
+        )])
+    }
+
+    fn failure(kind: ImbalanceKind, tag: u64, log_len: usize) -> ConfirmedFailure {
+        let c = case(tag);
+        ConfirmedFailure {
+            kind,
+            ratio: 2.0,
+            time_ms: tag,
+            repro_log: (0..log_len)
+                .map(|i| LoggedOp { time_ms: i as u64, op: c.ops[0].clone(), ok: true })
+                .collect(),
+            case: c,
+        }
+    }
+
+    #[test]
+    fn render_contains_case_and_ops() {
+        let f = failure(ImbalanceKind::Storage, 1, 3);
+        let text = f.render_repro_log();
+        assert!(text.contains("storage"));
+        assert!(text.contains("create /x1 1B"));
+        assert_eq!(text.lines().count(), 5);
+    }
+
+    #[test]
+    fn dedup_keeps_shorter_log() {
+        let long = failure(ImbalanceKind::Storage, 1, 10);
+        let short = failure(ImbalanceKind::Storage, 1, 2);
+        let kept = dedup_by_kind_and_case(vec![long, short]);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].repro_log.len(), 2);
+    }
+
+    #[test]
+    fn dedup_keeps_distinct_kinds_and_cases() {
+        let a = failure(ImbalanceKind::Storage, 1, 2);
+        let b = failure(ImbalanceKind::Cpu, 1, 2);
+        let c = failure(ImbalanceKind::Storage, 2, 2);
+        assert_eq!(dedup_by_kind_and_case(vec![a, b, c]).len(), 3);
+    }
+
+    #[test]
+    fn failed_ops_render_with_err_marker() {
+        let mut f = failure(ImbalanceKind::Network, 1, 1);
+        f.repro_log[0].ok = false;
+        assert!(f.render_repro_log().contains("[ERR]"));
+    }
+}

@@ -1,0 +1,191 @@
+//! Filebench-style workload personalities.
+//!
+//! Filebench describes workloads as "personalities" — canned mixes of file
+//! operations modelled on real services. The three classic ones are
+//! reproduced here: `fileserver` (write-heavy, large files), `webserver`
+//! (read-heavy over many small files) and `varmail` (create/append/delete
+//! churn, fsync-like small writes).
+
+use crate::sizes::SizeDistribution;
+use crate::Workload;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use themis::spec::{Operand, Operation, Operator};
+
+/// Which canned personality to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PersonalityKind {
+    /// Write-heavy with sizeable files (the `fileserver` personality).
+    FileServer,
+    /// Read-dominated over a large set of small files (`webserver`).
+    WebServer,
+    /// Mail-spool churn: create, append, read, delete (`varmail`).
+    VarMail,
+}
+
+impl PersonalityKind {
+    fn prefix(self) -> &'static str {
+        match self {
+            PersonalityKind::FileServer => "/fsrv",
+            PersonalityKind::WebServer => "/web",
+            PersonalityKind::VarMail => "/mail",
+        }
+    }
+
+    fn sizes(self) -> SizeDistribution {
+        match self {
+            PersonalityKind::FileServer => SizeDistribution::HeavyTailed,
+            PersonalityKind::WebServer => SizeDistribution::Uniform(2 * 1024, 128 * 1024),
+            PersonalityKind::VarMail => SizeDistribution::Uniform(1024, 64 * 1024),
+        }
+    }
+}
+
+/// A running personality workload.
+pub struct Personality {
+    kind: PersonalityKind,
+    rng: StdRng,
+    counter: u64,
+    live: Vec<String>,
+}
+
+impl Personality {
+    /// Creates the personality with a deterministic seed.
+    pub fn new(kind: PersonalityKind, seed: u64) -> Self {
+        Personality { kind, rng: StdRng::seed_from_u64(seed), counter: 0, live: Vec::new() }
+    }
+
+    fn fresh(&mut self) -> String {
+        self.counter += 1;
+        format!("{}/f{}", self.kind.prefix(), self.counter)
+    }
+}
+
+impl Workload for Personality {
+    fn name(&self) -> &'static str {
+        match self.kind {
+            PersonalityKind::FileServer => "filebench-fileserver",
+            PersonalityKind::WebServer => "filebench-webserver",
+            PersonalityKind::VarMail => "filebench-varmail",
+        }
+    }
+
+    fn next_block(&mut self) -> Vec<Operation> {
+        let mut ops = Vec::new();
+        if self.counter == 0 {
+            ops.push(Operation::new(
+                Operator::Mkdir,
+                vec![Operand::FileName(self.kind.prefix().to_string())],
+            ));
+        }
+        let sizes = self.kind.sizes();
+        let (creates, reads, appends, deletes) = match self.kind {
+            PersonalityKind::FileServer => (3, 2, 3, 1),
+            PersonalityKind::WebServer => (1, 8, 0, 0),
+            PersonalityKind::VarMail => (3, 2, 2, 3),
+        };
+        for _ in 0..creates {
+            let path = self.fresh();
+            let size = sizes.sample(&mut self.rng);
+            ops.push(Operation::new(
+                Operator::Create,
+                vec![Operand::FileName(path.clone()), Operand::Size(size)],
+            ));
+            self.live.push(path);
+        }
+        for _ in 0..reads {
+            if let Some(p) = pick(&mut self.rng, &self.live) {
+                ops.push(Operation::new(Operator::Open, vec![Operand::FileName(p)]));
+            }
+        }
+        for _ in 0..appends {
+            if let Some(p) = pick(&mut self.rng, &self.live) {
+                let delta = sizes.sample(&mut self.rng) / 4 + 1;
+                ops.push(Operation::new(
+                    Operator::Append,
+                    vec![Operand::FileName(p), Operand::Size(delta)],
+                ));
+            }
+        }
+        for _ in 0..deletes {
+            if self.live.is_empty() {
+                break;
+            }
+            let idx = self.rng.random_range(0..self.live.len());
+            let path = self.live.swap_remove(idx);
+            ops.push(Operation::new(Operator::Delete, vec![Operand::FileName(path)]));
+        }
+        ops
+    }
+}
+
+fn pick(rng: &mut StdRng, live: &[String]) -> Option<String> {
+    if live.is_empty() {
+        None
+    } else {
+        Some(live[rng.random_range(0..live.len())].clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn webserver_is_read_dominated() {
+        let mut w = Personality::new(PersonalityKind::WebServer, 5);
+        let mut reads = 0;
+        let mut writes = 0;
+        for _ in 0..20 {
+            for op in w.next_block() {
+                match op.opt {
+                    Operator::Open => reads += 1,
+                    Operator::Create | Operator::Append => writes += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert!(reads > writes * 2, "webserver must be read-heavy ({reads} vs {writes})");
+    }
+
+    #[test]
+    fn varmail_churns_files() {
+        let mut w = Personality::new(PersonalityKind::VarMail, 5);
+        let mut creates = 0;
+        let mut deletes = 0;
+        for _ in 0..30 {
+            for op in w.next_block() {
+                match op.opt {
+                    Operator::Create => creates += 1,
+                    Operator::Delete => deletes += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert!(creates > 0 && deletes > 0);
+        assert!(deletes as f64 >= creates as f64 * 0.5, "varmail deletes aggressively");
+    }
+
+    #[test]
+    fn personalities_are_deterministic() {
+        let mut a = Personality::new(PersonalityKind::FileServer, 9);
+        let mut b = Personality::new(PersonalityKind::FileServer, 9);
+        for _ in 0..5 {
+            assert_eq!(a.next_block(), b.next_block());
+        }
+    }
+
+    #[test]
+    fn fileserver_uses_heavy_tailed_sizes() {
+        let mut w = Personality::new(PersonalityKind::FileServer, 13);
+        let mut max_size = 0;
+        for _ in 0..200 {
+            for op in w.next_block() {
+                if let (Operator::Create, Some(Operand::Size(s))) = (op.opt, op.opds.get(1)) {
+                    max_size = max_size.max(*s);
+                }
+            }
+        }
+        assert!(max_size > 8 * 1024 * 1024, "tail sizes expected, max {max_size}");
+    }
+}

@@ -1,0 +1,60 @@
+//! # workload — fixed client workloads for DFS testing
+//!
+//! The paper's Fix-one-input baselines come from two tool families:
+//! SmallFile (metadata-intensive distributed workload generation) and
+//! Filebench (personality-driven file workloads). This crate provides
+//! deterministic generators in both styles, producing Themis
+//! [`Operation`] scripts that can be replayed against any
+//! [`themis::DfsAdaptor`] as the *fixed* request side of a campaign, or
+//! used as standalone load generators for the simulator.
+//!
+//! [`Operation`]: themis::spec::Operation
+
+pub mod filebench;
+pub mod replay;
+pub mod sizes;
+pub mod smallfile;
+
+pub use filebench::{Personality, PersonalityKind};
+pub use replay::{replay, replay_for, ReplayStats};
+pub use sizes::SizeDistribution;
+pub use smallfile::SmallFileConfig;
+
+use themis::spec::Operation;
+
+/// A reusable workload: a deterministic script of operations.
+pub trait Workload {
+    /// Human-readable name.
+    fn name(&self) -> &'static str;
+
+    /// Generates the next block of operations. Successive calls continue
+    /// the workload (fresh file names, steady mix).
+    fn next_block(&mut self) -> Vec<Operation>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_workloads_produce_wellformed_blocks() {
+        let mut w: Vec<Box<dyn Workload>> = vec![
+            Box::new(SmallFileConfig::default().build()),
+            Box::new(Personality::new(PersonalityKind::FileServer, 11)),
+            Box::new(Personality::new(PersonalityKind::WebServer, 11)),
+            Box::new(Personality::new(PersonalityKind::VarMail, 11)),
+        ];
+        for wl in &mut w {
+            for _ in 0..5 {
+                let block = wl.next_block();
+                assert!(!block.is_empty(), "{}", wl.name());
+                assert!(block.iter().all(|op| op.well_formed()), "{}", wl.name());
+                assert!(
+                    block.iter().all(|op| op.opt.is_file_op()),
+                    "{}: fixed request workloads never touch configuration",
+                    wl.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Replaying a workload against any [`DfsAdaptor`].
+//!
+//! This is the harness the Fix-one-input baselines correspond to: a fixed
+//! workload driven at a target while something else (a fault injector, a
+//! configuration fuzzer, nothing at all) varies.
+
+use crate::Workload;
+use themis::adaptor::DfsAdaptor;
+
+/// Statistics of one replay.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Operations sent.
+    pub sent: u64,
+    /// Operations the target accepted.
+    pub accepted: u64,
+    /// Operations the target rejected.
+    pub rejected: u64,
+}
+
+impl ReplayStats {
+    /// Acceptance ratio in `[0, 1]` (1.0 for an empty replay).
+    pub fn acceptance(&self) -> f64 {
+        if self.sent == 0 {
+            1.0
+        } else {
+            self.accepted as f64 / self.sent as f64
+        }
+    }
+}
+
+/// Drives `workload` against `adaptor` for `blocks` blocks.
+pub fn replay(
+    workload: &mut dyn Workload,
+    adaptor: &mut dyn DfsAdaptor,
+    blocks: usize,
+) -> ReplayStats {
+    let mut stats = ReplayStats::default();
+    for _ in 0..blocks {
+        for op in workload.next_block() {
+            stats.sent += 1;
+            match adaptor.send(&op) {
+                Ok(()) => stats.accepted += 1,
+                Err(_) => stats.rejected += 1,
+            }
+        }
+    }
+    stats
+}
+
+/// Drives `workload` until `budget_ms` of target time has passed.
+pub fn replay_for(
+    workload: &mut dyn Workload,
+    adaptor: &mut dyn DfsAdaptor,
+    budget_ms: u64,
+) -> ReplayStats {
+    let start = adaptor.now_ms();
+    let mut stats = ReplayStats::default();
+    while adaptor.now_ms().saturating_sub(start) < budget_ms {
+        for op in workload.next_block() {
+            stats.sent += 1;
+            match adaptor.send(&op) {
+                Ok(()) => stats.accepted += 1,
+                Err(_) => stats.rejected += 1,
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Personality, PersonalityKind, SmallFileConfig};
+
+    #[test]
+    fn smallfile_replays_cleanly_against_the_simulator() {
+        let mut adaptor =
+            adaptors::SimAdaptor::new(simdfs::Flavor::Hdfs, simdfs::BugSet::None);
+        let mut w = SmallFileConfig::default().build();
+        let stats = replay(&mut w, &mut adaptor, 20);
+        assert!(stats.sent > 100);
+        assert!(
+            stats.acceptance() > 0.9,
+            "a self-consistent workload should mostly succeed: {:?}",
+            stats
+        );
+    }
+
+    #[test]
+    fn personalities_generate_real_load() {
+        use themis::DfsAdaptor;
+        let mut adaptor =
+            adaptors::SimAdaptor::new(simdfs::Flavor::CephFs, simdfs::BugSet::None);
+        let before = adaptor.free_space();
+        let mut w = Personality::new(PersonalityKind::FileServer, 3);
+        let _ = replay(&mut w, &mut adaptor, 30);
+        assert!(adaptor.free_space() < before, "fileserver must consume space");
+    }
+
+    #[test]
+    fn replay_for_respects_time_budget() {
+        use themis::DfsAdaptor;
+        let mut adaptor =
+            adaptors::SimAdaptor::new(simdfs::Flavor::LeoFs, simdfs::BugSet::None);
+        let mut w = Personality::new(PersonalityKind::VarMail, 3);
+        let stats = replay_for(&mut w, &mut adaptor, 300_000);
+        assert!(adaptor.now_ms() >= 300_000);
+        assert!(stats.sent > 10);
+    }
+
+    #[test]
+    fn acceptance_of_empty_replay_is_one() {
+        assert_eq!(ReplayStats::default().acceptance(), 1.0);
+    }
+}

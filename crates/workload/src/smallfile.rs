@@ -1,0 +1,147 @@
+//! A SmallFile-style metadata-intensive workload.
+//!
+//! SmallFile stresses a DFS with many tiny files and metadata operations
+//! (create / stat / read / rename / delete) across a directory tree. This
+//! generator reproduces that mix deterministically.
+
+use crate::sizes::SizeDistribution;
+use crate::Workload;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use themis::spec::{Operand, Operation, Operator};
+
+/// Configuration of the SmallFile-style generator.
+#[derive(Debug, Clone)]
+pub struct SmallFileConfig {
+    /// RNG seed (the workload is deterministic given the seed).
+    pub seed: u64,
+    /// Files created per block.
+    pub files_per_block: usize,
+    /// Directory fan-out (files are spread over this many directories).
+    pub dirs: usize,
+    /// File size distribution (SmallFile defaults to uniform small files).
+    pub sizes: SizeDistribution,
+}
+
+impl Default for SmallFileConfig {
+    fn default() -> Self {
+        SmallFileConfig {
+            seed: 0x5af1,
+            files_per_block: 8,
+            dirs: 4,
+            sizes: SizeDistribution::Uniform(4 * 1024, 1024 * 1024),
+        }
+    }
+}
+
+impl SmallFileConfig {
+    /// Builds the generator.
+    pub fn build(self) -> SmallFile {
+        SmallFile { rng: StdRng::seed_from_u64(self.seed), cfg: self, counter: 0, live: Vec::new() }
+    }
+}
+
+/// The SmallFile-style workload generator.
+pub struct SmallFile {
+    cfg: SmallFileConfig,
+    rng: StdRng,
+    counter: u64,
+    live: Vec<String>,
+}
+
+impl Workload for SmallFile {
+    fn name(&self) -> &'static str {
+        "smallfile"
+    }
+
+    fn next_block(&mut self) -> Vec<Operation> {
+        let mut ops = Vec::new();
+        // Ensure the directory tree exists on first use.
+        if self.counter == 0 {
+            for d in 0..self.cfg.dirs {
+                ops.push(Operation::new(
+                    Operator::Mkdir,
+                    vec![Operand::FileName(format!("/smallfile{d}"))],
+                ));
+            }
+        }
+        for _ in 0..self.cfg.files_per_block {
+            self.counter += 1;
+            let dir = self.counter as usize % self.cfg.dirs.max(1);
+            let path = format!("/smallfile{dir}/f{}", self.counter);
+            let size = self.cfg.sizes.sample(&mut self.rng);
+            ops.push(Operation::new(
+                Operator::Create,
+                vec![Operand::FileName(path.clone()), Operand::Size(size)],
+            ));
+            self.live.push(path);
+        }
+        // Metadata churn over live files: stat/read, rename, delete.
+        for _ in 0..self.cfg.files_per_block / 2 {
+            if self.live.is_empty() {
+                break;
+            }
+            let idx = self.rng.random_range(0..self.live.len());
+            match self.rng.random_range(0..3u32) {
+                0 => ops.push(Operation::new(
+                    Operator::Open,
+                    vec![Operand::FileName(self.live[idx].clone())],
+                )),
+                1 => {
+                    let from = self.live[idx].clone();
+                    let to = format!("{from}.r{}", self.counter);
+                    ops.push(Operation::new(
+                        Operator::Rename,
+                        vec![Operand::FileName(from), Operand::FileName(to.clone())],
+                    ));
+                    self.live[idx] = to;
+                }
+                _ => {
+                    let path = self.live.swap_remove(idx);
+                    ops.push(Operation::new(Operator::Delete, vec![Operand::FileName(path)]));
+                }
+            }
+        }
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_are_deterministic() {
+        let mut a = SmallFileConfig::default().build();
+        let mut b = SmallFileConfig::default().build();
+        for _ in 0..5 {
+            assert_eq!(a.next_block(), b.next_block());
+        }
+    }
+
+    #[test]
+    fn first_block_creates_the_directory_tree() {
+        let mut w = SmallFileConfig::default().build();
+        let block = w.next_block();
+        let mkdirs = block.iter().filter(|o| o.opt == Operator::Mkdir).count();
+        assert_eq!(mkdirs, 4);
+        let later = w.next_block();
+        assert!(later.iter().all(|o| o.opt != Operator::Mkdir));
+    }
+
+    #[test]
+    fn renames_track_live_files() {
+        let mut w = SmallFileConfig::default().build();
+        for _ in 0..20 {
+            let block = w.next_block();
+            // Deletes/renames only reference files the workload created.
+            for op in block {
+                if let Operator::Delete | Operator::Open = op.opt {
+                    if let Operand::FileName(p) = &op.opds[0] {
+                        assert!(p.starts_with("/smallfile"), "{p}");
+                    }
+                }
+            }
+        }
+    }
+}

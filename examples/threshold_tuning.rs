@@ -1,0 +1,65 @@
+//! Threshold tuning (Section 6.4 / Table 7): how the variance threshold
+//! `t` trades false positives against missed failures.
+//!
+//! Runs short Themis campaigns at several `t` values against a target with
+//! known ground truth and prints the precision picture.
+//!
+//! Run with: `cargo run --release --example threshold_tuning`
+
+use adaptors::SimAdaptor;
+use simdfs::{BugSet, Flavor};
+use themis::{
+    run_campaign, CampaignConfig, CampaignObserver, ConfirmedFailure, DetectorConfig,
+    ThemisStrategy,
+};
+
+struct Tally {
+    handle: adaptors::SimHandle,
+    true_positives: std::collections::BTreeSet<String>,
+    false_positives: u64,
+}
+
+impl CampaignObserver for Tally {
+    fn on_confirmed(&mut self, _f: &ConfirmedFailure) {
+        let sim = self.handle.borrow();
+        let triggered = sim.oracle_triggered();
+        if triggered.is_empty() {
+            self.false_positives += 1;
+        } else {
+            for id in triggered {
+                self.true_positives.insert(id.to_string());
+            }
+        }
+    }
+}
+
+fn main() {
+    println!("threshold t | confirmed TP bugs | FP confirmations  (4 virtual hours, GlusterFS)");
+    println!("------------+-------------------+-----------------");
+    for t in [0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35] {
+        let mut adaptor = SimAdaptor::new(Flavor::GlusterFs, BugSet::New);
+        let mut tally = Tally {
+            handle: adaptor.handle(),
+            true_positives: Default::default(),
+            false_positives: 0,
+        };
+        let cfg = CampaignConfig {
+            budget_ms: 4 * 3_600_000,
+            detector: DetectorConfig { threshold_t: t, ..Default::default() },
+            ..Default::default()
+        };
+        let mut strategy = ThemisStrategy::new();
+        let _ = run_campaign(&mut strategy, &mut adaptor, &cfg, &mut tally);
+        println!(
+            "{:>10.0}% | {:>17} | {:>15}",
+            t * 100.0,
+            tally.true_positives.len(),
+            tally.false_positives
+        );
+    }
+    println!(
+        "\nThe paper's finding (Table 7): false positives fall as t rises and reach\n\
+         zero by t = 25%, while true positives only start dropping above 25% —\n\
+         so t = 25% is the precision/recall sweet spot."
+    );
+}

@@ -1,0 +1,1 @@
+pub use adaptors; pub use simdfs; pub use themis; pub use workload;

@@ -1,0 +1,91 @@
+//! Integration test of the Section-7 extension: adaptive thresholding
+//! converges onto a false-positive-free operating point.
+
+use adaptors::SimAdaptor;
+use simdfs::{BugSet, Flavor};
+use themis::{
+    run_campaign, AdaptiveConfig, CampaignConfig, CampaignObserver, ConfirmedFailure,
+    DetectorConfig, ThemisStrategy,
+};
+
+/// Oracle-backed classifier: a confirmation with no triggered bug behind
+/// it is a false positive.
+struct OracleClassifier {
+    handle: adaptors::SimHandle,
+    fp: u32,
+    tp: u32,
+}
+
+impl OracleClassifier {
+    fn is_true_positive(&self) -> bool {
+        !self.handle.borrow().oracle_triggered().is_empty()
+    }
+}
+
+impl CampaignObserver for OracleClassifier {
+    fn on_confirmed(&mut self, _f: &ConfirmedFailure) {
+        if self.is_true_positive() {
+            self.tp += 1;
+        } else {
+            self.fp += 1;
+        }
+    }
+
+    fn classify_confirmation(&mut self, _f: &ConfirmedFailure) -> Option<bool> {
+        Some(self.is_true_positive())
+    }
+}
+
+#[test]
+fn adaptive_threshold_limits_false_positives() {
+    // Start deliberately over-sensitive (t = 5%); the controller must pull
+    // the threshold up as false positives arrive instead of drowning.
+    let run_adaptive = |adaptive: Option<AdaptiveConfig>| {
+        let mut adaptor = SimAdaptor::new(Flavor::GlusterFs, BugSet::None);
+        let mut obs = OracleClassifier { handle: adaptor.handle(), fp: 0, tp: 0 };
+        let cfg = CampaignConfig {
+            budget_ms: 6 * 3_600_000,
+            seed: 17,
+            detector: DetectorConfig { threshold_t: 0.05, ..Default::default() },
+            adaptive,
+            ..Default::default()
+        };
+        let mut strategy = ThemisStrategy::new();
+        let res = run_campaign(&mut strategy, &mut adaptor, &cfg, &mut obs);
+        (obs.fp, res.confirmed.len() as u32)
+    };
+
+    let (fp_fixed, confirmed_fixed) = run_adaptive(None);
+    let (fp_adaptive, confirmed_adaptive) = run_adaptive(Some(AdaptiveConfig {
+        initial_t: 0.05,
+        step: 0.05,
+        max_t: 0.3,
+    }));
+    // On a bug-free build every confirmation is false; the adaptive run
+    // must produce strictly fewer of them than the stuck-at-5% run.
+    assert!(
+        fp_adaptive < fp_fixed || fp_fixed == 0,
+        "adaptive ({fp_adaptive}) must beat fixed-low threshold ({fp_fixed})"
+    );
+    assert_eq!(fp_fixed, confirmed_fixed);
+    assert_eq!(fp_adaptive, confirmed_adaptive);
+}
+
+#[test]
+fn adaptive_threshold_keeps_finding_real_bugs() {
+    let mut adaptor = SimAdaptor::new(Flavor::GlusterFs, BugSet::New);
+    let mut obs = OracleClassifier { handle: adaptor.handle(), fp: 0, tp: 0 };
+    let cfg = CampaignConfig {
+        budget_ms: 12 * 3_600_000,
+        seed: 23,
+        adaptive: Some(AdaptiveConfig::default()),
+        ..Default::default()
+    };
+    let mut strategy = ThemisStrategy::new();
+    let res = run_campaign(&mut strategy, &mut adaptor, &cfg, &mut obs);
+    assert!(
+        obs.tp > 0,
+        "adaptive detection must still confirm seeded bugs (confirmed {})",
+        res.confirmed.len()
+    );
+}
