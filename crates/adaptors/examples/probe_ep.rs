@@ -3,35 +3,71 @@
 use adaptors::SimAdaptor;
 use simdfs::bugs::{BugSpec, Effect, FailureKind, Gate, Metric, Trigger};
 use simdfs::{BugSet, Flavor};
-use themis::{run_campaign, by_name, CampaignConfig, NullObserver};
+use themis::{by_name, run_campaign, CampaignConfig, NullObserver};
 
 fn templates(platform: Flavor) -> Vec<BugSpec> {
     let mk = |id: &'static str, trigger: Trigger| BugSpec {
-        id, platform, kind: FailureKind::ImbalancedStorage, title: "cal",
-        trigger, effect: Effect::Inert, gate: Gate::None, is_new: true,
+        id,
+        platform,
+        kind: FailureKind::ImbalancedStorage,
+        title: "cal",
+        trigger,
+        effect: Effect::Inert,
+        gate: Gate::None,
+        is_new: true,
     };
     vec![
-        mk("E26x04", Trigger::variance_episodes(Metric::Storage, 1.26, 4)),
-        mk("E26x10", Trigger::variance_episodes(Metric::Storage, 1.26, 10)),
-        mk("E26x20", Trigger::variance_episodes(Metric::Storage, 1.26, 20)),
-        mk("E26x40", Trigger::variance_episodes(Metric::Storage, 1.26, 40)),
-        mk("E32x06", Trigger::variance_episodes(Metric::Storage, 1.32, 6)),
-        mk("E32x15", Trigger::variance_episodes(Metric::Storage, 1.32, 15)),
+        mk(
+            "E26x04",
+            Trigger::variance_episodes(Metric::Storage, 1.26, 4),
+        ),
+        mk(
+            "E26x10",
+            Trigger::variance_episodes(Metric::Storage, 1.26, 10),
+        ),
+        mk(
+            "E26x20",
+            Trigger::variance_episodes(Metric::Storage, 1.26, 20),
+        ),
+        mk(
+            "E26x40",
+            Trigger::variance_episodes(Metric::Storage, 1.26, 40),
+        ),
+        mk(
+            "E32x06",
+            Trigger::variance_episodes(Metric::Storage, 1.32, 6),
+        ),
+        mk(
+            "E32x15",
+            Trigger::variance_episodes(Metric::Storage, 1.32, 15),
+        ),
     ]
 }
 
 fn main() {
     for flavor in Flavor::all() {
         println!("=== {} ===", flavor.name());
-        for name in ["Themis", "Themis-", "Concurrent", "Alternate", "Fix_req", "Fix_conf"] {
+        for name in [
+            "Themis",
+            "Themis-",
+            "Concurrent",
+            "Alternate",
+            "Fix_req",
+            "Fix_conf",
+        ] {
             let mut strat = by_name(name).unwrap();
             let mut adaptor = SimAdaptor::new(flavor, BugSet::Custom(templates(flavor)));
             let handle = adaptor.handle();
             let cfg = CampaignConfig::hours(24);
             let _ = run_campaign(strat.as_mut(), &mut adaptor, &cfg, &mut NullObserver);
             let sim = handle.borrow();
-            let fired: Vec<String> = sim.oracle_bugs().iter()
-                .filter_map(|b| b.triggered_at.map(|t| format!("{}@{}h", b.spec.id, t.as_millis()/3600000)))
+            let fired: Vec<String> = sim
+                .oracle_bugs()
+                .iter()
+                .filter_map(|b| {
+                    b.triggered_at
+                        .map(|t| format!("{}@{}h", b.spec.id, t.as_millis() / 3600000))
+                })
                 .collect();
             println!("  {:<11} {:?}", name, fired);
         }

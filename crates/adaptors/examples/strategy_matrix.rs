@@ -4,22 +4,41 @@
 
 use adaptors::SimAdaptor;
 use simdfs::{BugSet, Flavor};
-use themis::{run_campaign, by_name, CampaignConfig, CampaignObserver, ConfirmedFailure};
 use std::collections::BTreeSet;
+use themis::{by_name, run_campaign, CampaignConfig, CampaignObserver, ConfirmedFailure};
 
-struct Attr { handle: adaptors::SimHandle, found: BTreeSet<&'static str>, fp: u32 }
+struct Attr {
+    handle: adaptors::SimHandle,
+    found: BTreeSet<&'static str>,
+    fp: u32,
+}
 impl CampaignObserver for Attr {
     fn on_confirmed(&mut self, _f: &ConfirmedFailure) {
         let sim = self.handle.borrow();
         let trig = sim.oracle_triggered();
-        if trig.is_empty() { self.fp += 1; } else { self.found.extend(trig); }
+        if trig.is_empty() {
+            self.fp += 1;
+        } else {
+            self.found.extend(trig);
+        }
     }
 }
 
 fn main() {
     let mode = std::env::args().nth(1).unwrap_or_else(|| "new".into());
-    let bugs = if mode == "hist" { BugSet::Historical } else { BugSet::New };
-    for strat_name in ["Themis", "Fix_req", "Fix_conf", "Alternate", "Concurrent", "Themis-"] {
+    let bugs = if mode == "hist" {
+        BugSet::Historical
+    } else {
+        BugSet::New
+    };
+    for strat_name in [
+        "Themis",
+        "Fix_req",
+        "Fix_conf",
+        "Alternate",
+        "Concurrent",
+        "Themis-",
+    ] {
         let mut all: BTreeSet<&'static str> = BTreeSet::new();
         let mut per = Vec::new();
         let mut fps = 0;
@@ -28,7 +47,11 @@ fn main() {
             let mut strat = by_name(strat_name).unwrap();
             let mut adaptor = SimAdaptor::new(flavor, bugs.clone());
             let handle = adaptor.handle();
-            let mut obs = Attr { handle: handle.clone(), found: BTreeSet::new(), fp: 0 };
+            let mut obs = Attr {
+                handle: handle.clone(),
+                found: BTreeSet::new(),
+                fp: 0,
+            };
             let cfg = CampaignConfig::hours(24);
             let res = run_campaign(strat.as_mut(), &mut adaptor, &cfg, &mut obs);
             per.push(format!("{}:{}", flavor.name(), obs.found.len()));
@@ -36,7 +59,16 @@ fn main() {
             covs.push(res.final_coverage);
             all.extend(obs.found.iter());
         }
-        println!("{:<11} total={:<3} {} fp_confirms={} cov={:?}", strat_name, all.len(), per.join(" "), fps, covs);
-        if mode != "hist" { println!("    bugs: {:?}", all); }
+        println!(
+            "{:<11} total={:<3} {} fp_confirms={} cov={:?}",
+            strat_name,
+            all.len(),
+            per.join(" "),
+            fps,
+            covs
+        );
+        if mode != "hist" {
+            println!("    bugs: {:?}", all);
+        }
     }
 }

@@ -18,9 +18,7 @@ use themis::spec::{Operand, Operation, Operator};
 /// administration CLI.
 pub fn render_command(flavor: Flavor, op: &Operation) -> String {
     let mnt = "/mnt/themis-test";
-    let opd = |i: usize| -> String {
-        op.opds.get(i).map(|o| o.to_string()).unwrap_or_default()
-    };
+    let opd = |i: usize| -> String { op.opds.get(i).map(|o| o.to_string()).unwrap_or_default() };
     let size = |i: usize| -> u64 {
         match op.opds.get(i) {
             Some(Operand::Size(s)) => *s,
@@ -29,16 +27,31 @@ pub fn render_command(flavor: Flavor, op: &Operation) -> String {
     };
     match op.opt {
         // FUSE-mounted file operations are target-independent.
-        Operator::Create => format!("dd if=/dev/urandom of={mnt}{} bs=1 count={}", opd(0), size(1)),
+        Operator::Create => format!(
+            "dd if=/dev/urandom of={mnt}{} bs=1 count={}",
+            opd(0),
+            size(1)
+        ),
         Operator::Delete => format!("rm {mnt}{}", opd(0)),
-        Operator::Append => format!("dd if=/dev/urandom bs=1 count={} >> {mnt}{}", size(1), opd(0)),
+        Operator::Append => format!(
+            "dd if=/dev/urandom bs=1 count={} >> {mnt}{}",
+            size(1),
+            opd(0)
+        ),
         Operator::Overwrite => {
-            format!("dd if=/dev/urandom of={mnt}{} bs=1 count={} conv=notrunc", opd(0), size(1))
+            format!(
+                "dd if=/dev/urandom of={mnt}{} bs=1 count={} conv=notrunc",
+                opd(0),
+                size(1)
+            )
         }
         Operator::Open => format!("cat {mnt}{} > /dev/null", opd(0)),
         Operator::TruncateOverwrite => {
-            format!("truncate -s 0 {mnt}{p} && dd if=/dev/urandom of={mnt}{p} bs=1 count={c}",
-                p = opd(0), c = size(1))
+            format!(
+                "truncate -s 0 {mnt}{p} && dd if=/dev/urandom of={mnt}{p} bs=1 count={c}",
+                p = opd(0),
+                c = size(1)
+            )
         }
         Operator::Mkdir => format!("mkdir {mnt}{}", opd(0)),
         Operator::Rmdir => format!("rmdir {mnt}{}", opd(0)),
@@ -60,7 +73,10 @@ pub fn render_command(flavor: Flavor, op: &Operation) -> String {
             Flavor::Hdfs => format!("hdfs --daemon start datanode # capacity {}", size(0)),
             Flavor::CephFs => format!("ceph orch daemon add osd <host>:<dev> # {}", size(0)),
             Flavor::GlusterFs => {
-                format!("gluster volume add-brick Themis-Test <host>:/brick # {}", size(0))
+                format!(
+                    "gluster volume add-brick Themis-Test <host>:/brick # {}",
+                    size(0)
+                )
             }
             Flavor::LeoFs => format!("leofs-adm start-storage <node> # {}", size(0)),
         },
@@ -68,7 +84,10 @@ pub fn render_command(flavor: Flavor, op: &Operation) -> String {
             Flavor::Hdfs => format!("hdfs dfsadmin -decommission {}", opd(0)),
             Flavor::CephFs => format!("ceph orch osd rm {}", opd(0)),
             Flavor::GlusterFs => {
-                format!("gluster volume remove-brick Themis-Test {}:brick1 start", opd(0))
+                format!(
+                    "gluster volume remove-brick Themis-Test {}:brick1 start",
+                    opd(0)
+                )
             }
             Flavor::LeoFs => format!("leofs-adm detach {}", opd(0)),
         },
@@ -76,7 +95,10 @@ pub fn render_command(flavor: Flavor, op: &Operation) -> String {
             Flavor::Hdfs => format!("hdfs dfsadmin -reconfig datanode {} add-volume", opd(0)),
             Flavor::CephFs => format!("ceph orch daemon add osd {}:<new-dev>", opd(0)),
             Flavor::GlusterFs => {
-                format!("gluster volume add-brick Themis-Test {}:<new-brick>", opd(0))
+                format!(
+                    "gluster volume add-brick Themis-Test {}:<new-brick>",
+                    opd(0)
+                )
             }
             Flavor::LeoFs => format!("leofs-adm add-avs {}", opd(0)),
         },
@@ -84,7 +106,10 @@ pub fn render_command(flavor: Flavor, op: &Operation) -> String {
             Flavor::Hdfs => format!("hdfs dfsadmin -reconfig datanode remove-volume {}", opd(0)),
             Flavor::CephFs => format!("ceph orch osd rm {} --zap", opd(0)),
             Flavor::GlusterFs => {
-                format!("gluster volume remove-brick Themis-Test {}:brick start", opd(0))
+                format!(
+                    "gluster volume remove-brick Themis-Test {}:brick start",
+                    opd(0)
+                )
             }
             Flavor::LeoFs => format!("leofs-adm remove-avs {}", opd(0)),
         },
@@ -113,7 +138,10 @@ mod tests {
     fn gluster_remove_volume_matches_paper_example() {
         let op = Operation::new(Operator::RemoveVolume, vec![Operand::VolumeId(1)]);
         let cmd = render_command(Flavor::GlusterFs, &op);
-        assert!(cmd.contains("gluster volume remove-brick Themis-Test"), "{cmd}");
+        assert!(
+            cmd.contains("gluster volume remove-brick Themis-Test"),
+            "{cmd}"
+        );
         assert!(cmd.contains("start"), "{cmd}");
     }
 

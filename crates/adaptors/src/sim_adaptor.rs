@@ -6,7 +6,9 @@
 //! simulator's ground-truth bug oracle to attribute confirmed failures.
 
 use crate::commands::render_command;
-use simdfs::{BugSet, DfsRequest, DfsSim, Flavor, NodeRole, RebalanceStatus, SimError};
+use simdfs::{
+    BugSet, ClusterSnapshot, DfsRequest, DfsSim, Flavor, NodeRole, RebalanceStatus, SimError,
+};
 use std::cell::RefCell;
 use std::rc::Rc;
 use themis::adaptor::{AdaptorError, DfsAdaptor, LoadReport, NodeInventory, NodeLoad, Role};
@@ -18,10 +20,14 @@ pub type SimHandle = Rc<RefCell<DfsSim>>;
 /// Adaptor binding Themis to one simulated DFS instance.
 pub struct SimAdaptor {
     sim: SimHandle,
-    /// Rendered command log (what a real deployment would have executed).
-    pub command_log: Vec<String>,
+    /// Recently sent operations, oldest first (bounded ring). Commands are
+    /// rendered on demand by [`SimAdaptor::command_log`] — rendering on
+    /// every send would put string formatting on the campaign hot path.
+    op_log: std::collections::VecDeque<Operation>,
     /// Cap on the retained command log (old entries are dropped).
     pub command_log_cap: usize,
+    /// Reusable snapshot buffer for incremental load reporting.
+    snap_buf: ClusterSnapshot,
 }
 
 impl SimAdaptor {
@@ -33,7 +39,22 @@ impl SimAdaptor {
 
     /// Wraps an existing simulator handle.
     pub fn from_handle(sim: SimHandle) -> Self {
-        SimAdaptor { sim, command_log: Vec::new(), command_log_cap: 4096 }
+        SimAdaptor {
+            sim,
+            op_log: std::collections::VecDeque::new(),
+            command_log_cap: 4096,
+            snap_buf: ClusterSnapshot::default(),
+        }
+    }
+
+    /// The rendered command log (what a real deployment would have
+    /// executed), oldest first.
+    pub fn command_log(&self) -> Vec<String> {
+        let flavor = self.sim.borrow().flavor();
+        self.op_log
+            .iter()
+            .map(|op| render_command(flavor, op))
+            .collect()
     }
 
     /// The shared simulator handle (for harness-side oracle access).
@@ -73,33 +94,50 @@ impl SimAdaptor {
         };
         let volumes_per_node = self.sim.borrow().config().volumes_per_node;
         Some(match op.opt {
-            Operator::Create => DfsRequest::Create { path: path(0)?, size: size(1)? },
+            Operator::Create => DfsRequest::Create {
+                path: path(0)?,
+                size: size(1)?,
+            },
             Operator::Delete => DfsRequest::Delete { path: path(0)? },
-            Operator::Append => DfsRequest::Append { path: path(0)?, delta: size(1)? },
-            Operator::Overwrite => DfsRequest::Overwrite { path: path(0)?, size: size(1)? },
+            Operator::Append => DfsRequest::Append {
+                path: path(0)?,
+                delta: size(1)?,
+            },
+            Operator::Overwrite => DfsRequest::Overwrite {
+                path: path(0)?,
+                size: size(1)?,
+            },
             Operator::Open => DfsRequest::Open { path: path(0)? },
-            Operator::TruncateOverwrite => {
-                DfsRequest::TruncateOverwrite { path: path(0)?, size: size(1)? }
-            }
+            Operator::TruncateOverwrite => DfsRequest::TruncateOverwrite {
+                path: path(0)?,
+                size: size(1)?,
+            },
             Operator::Mkdir => DfsRequest::Mkdir { path: path(0)? },
             Operator::Rmdir => DfsRequest::Rmdir { path: path(0)? },
-            Operator::Rename => DfsRequest::Rename { from: path(0)?, to: path(1)? },
+            Operator::Rename => DfsRequest::Rename {
+                from: path(0)?,
+                to: path(1)?,
+            },
             Operator::AddMn => DfsRequest::AddMgmtNode,
             Operator::RemoveMn => DfsRequest::RemoveMgmtNode { node: node(0)? },
-            Operator::AddStorage => {
-                DfsRequest::AddStorageNode { volumes: volumes_per_node, capacity: size(0)? }
-            }
+            Operator::AddStorage => DfsRequest::AddStorageNode {
+                volumes: volumes_per_node,
+                capacity: size(0)?,
+            },
             Operator::RemoveStorage => DfsRequest::RemoveStorageNode { node: node(0)? },
-            Operator::AddVolume => {
-                DfsRequest::AddVolume { node: node(0)?, capacity: size(1)? }
-            }
+            Operator::AddVolume => DfsRequest::AddVolume {
+                node: node(0)?,
+                capacity: size(1)?,
+            },
             Operator::RemoveVolume => DfsRequest::RemoveVolume { volume: volume(0)? },
-            Operator::ExpandVolume => {
-                DfsRequest::ExpandVolume { volume: volume(0)?, delta: size(1)? }
-            }
-            Operator::ReduceVolume => {
-                DfsRequest::ReduceVolume { volume: volume(0)?, delta: size(1)? }
-            }
+            Operator::ExpandVolume => DfsRequest::ExpandVolume {
+                volume: volume(0)?,
+                delta: size(1)?,
+            },
+            Operator::ReduceVolume => DfsRequest::ReduceVolume {
+                volume: volume(0)?,
+                delta: size(1)?,
+            },
         })
     }
 }
@@ -111,12 +149,10 @@ impl DfsAdaptor for SimAdaptor {
     }
 
     fn send(&mut self, op: &Operation) -> Result<(), AdaptorError> {
-        let flavor = self.sim.borrow().flavor();
-        if self.command_log.len() >= self.command_log_cap {
-            let drop_n = self.command_log.len() - self.command_log_cap + 1;
-            self.command_log.drain(..drop_n);
+        while self.op_log.len() >= self.command_log_cap {
+            self.op_log.pop_front();
         }
-        self.command_log.push(render_command(flavor, op));
+        self.op_log.push_back(op.clone());
         let req = self
             .translate(op)
             .ok_or_else(|| AdaptorError::Rejected(format!("untranslatable operation: {op}")))?;
@@ -128,32 +164,34 @@ impl DfsAdaptor for SimAdaptor {
     }
 
     fn load_report(&mut self) -> LoadReport {
+        let mut report = LoadReport::default();
+        self.load_report_into(&mut report);
+        report
+    }
+
+    fn load_report_into(&mut self, out: &mut LoadReport) {
         let mut sim = self.sim.borrow_mut();
-        let crashed: Vec<u64> = sim.crashed_nodes().iter().map(|n| n.0 as u64).collect();
-        let snap = sim.load_snapshot();
-        LoadReport {
-            time_ms: snap.time.as_millis(),
-            nodes: snap
-                .nodes
-                .iter()
-                .map(|n| NodeLoad {
-                    node: n.node.0 as u64,
-                    role: match n.role {
-                        NodeRole::Management => Role::Management,
-                        NodeRole::Storage => Role::Storage,
-                    },
-                    online: n.online,
-                    crashed: crashed.contains(&(n.node.0 as u64)),
-                    cpu: n.cpu,
-                    rps: n.rps,
-                    read_io: n.read_io,
-                    write_io: n.write_io,
-                    storage: n.storage,
-                    capacity: n.capacity,
-                    uptime_ms: n.uptime_ms,
-                })
-                .collect(),
-        }
+        sim.load_snapshot_into(&mut self.snap_buf);
+        let crashed = sim.crashed_nodes();
+        out.time_ms = self.snap_buf.time.as_millis();
+        out.nodes.clear();
+        out.nodes
+            .extend(self.snap_buf.nodes.iter().map(|n| NodeLoad {
+                node: n.node.0 as u64,
+                role: match n.role {
+                    NodeRole::Management => Role::Management,
+                    NodeRole::Storage => Role::Storage,
+                },
+                online: n.online,
+                crashed: crashed.contains(&n.node),
+                cpu: n.cpu,
+                rps: n.rps,
+                read_io: n.read_io,
+                write_io: n.write_io,
+                storage: n.storage,
+                capacity: n.capacity,
+                uptime_ms: n.uptime_ms,
+            }));
     }
 
     fn rebalance(&mut self) {
@@ -194,24 +232,29 @@ impl DfsAdaptor for SimAdaptor {
                 NodeRole::Storage => storage.push(id.0 as u64),
             }
         }
-        let mut volumes: Vec<u64> =
-            cluster.volume_owner.keys().map(|v| v.0 as u64).collect();
+        let mut volumes: Vec<u64> = cluster.volume_owner.keys().map(|v| v.0 as u64).collect();
         volumes.sort_unstable();
         let ns = sim.namespace();
         // `/sys` holds the deployment's pre-existing data; the tester's
-        // FUSE mount only exposes its own test directory.
+        // FUSE mount only exposes its own test directory. The walk skips
+        // that subtree outright — materializing thousands of preload paths
+        // only to filter them back out dominated inventory cost.
         NodeInventory {
             mgmt,
             storage,
             volumes,
             free_space: sim.free_space(),
             files: ns
-                .files()
+                .files_excluding_top("sys")
                 .into_iter()
                 .map(|(p, _, _)| p)
                 .filter(|p| !p.starts_with("/sys"))
                 .collect(),
-            dirs: ns.directories().into_iter().filter(|p| !p.starts_with("/sys")).collect(),
+            dirs: ns
+                .directories_excluding_top("sys")
+                .into_iter()
+                .filter(|p| !p.starts_with("/sys"))
+                .collect(),
         }
     }
 
@@ -302,7 +345,11 @@ mod tests {
     fn inventory_tracks_topology_changes() {
         let mut a = adaptor(Flavor::Hdfs);
         let before = a.inventory();
-        a.send(&Operation::new(Operator::AddStorage, vec![Operand::Size(1 << 30)])).unwrap();
+        a.send(&Operation::new(
+            Operator::AddStorage,
+            vec![Operand::Size(1 << 30)],
+        ))
+        .unwrap();
         let after = a.inventory();
         assert_eq!(after.storage.len(), before.storage.len() + 1);
         assert!(after.volumes.len() > before.volumes.len());
@@ -312,7 +359,11 @@ mod tests {
     fn reset_restores_initial_inventory() {
         let mut a = adaptor(Flavor::Hdfs);
         a.send(&create("/x", 1 << 20)).unwrap();
-        a.send(&Operation::new(Operator::AddStorage, vec![Operand::Size(1 << 30)])).unwrap();
+        a.send(&Operation::new(
+            Operator::AddStorage,
+            vec![Operand::Size(1 << 30)],
+        ))
+        .unwrap();
         a.reset();
         let inv = a.inventory();
         assert!(inv.files.is_empty());
@@ -325,7 +376,11 @@ mod tests {
         for i in 0..30 {
             a.send(&create(&format!("/f{i}"), 16 << 20)).unwrap();
         }
-        a.send(&Operation::new(Operator::AddStorage, vec![Operand::Size(4 << 30)])).unwrap();
+        a.send(&Operation::new(
+            Operator::AddStorage,
+            vec![Operand::Size(4 << 30)],
+        ))
+        .unwrap();
         a.rebalance();
         let mut guard = 0;
         while !a.rebalance_done() && guard < 10_000 {
@@ -339,8 +394,9 @@ mod tests {
     fn command_log_records_rendered_commands() {
         let mut a = adaptor(Flavor::GlusterFs);
         a.send(&create("/x", 1)).unwrap();
-        assert_eq!(a.command_log.len(), 1);
-        assert!(a.command_log[0].contains("dd if=/dev/urandom"));
+        let log = a.command_log();
+        assert_eq!(log.len(), 1);
+        assert!(log[0].contains("dd if=/dev/urandom"));
     }
 
     #[test]
@@ -350,7 +406,7 @@ mod tests {
         for i in 0..50 {
             let _ = a.send(&create(&format!("/f{i}"), 1));
         }
-        assert!(a.command_log.len() <= 10);
+        assert!(a.command_log().len() <= 10);
     }
 
     #[test]

@@ -6,8 +6,8 @@
 //! benches time scaled-down versions of the same code paths so regressions
 //! in the harness show up in `cargo bench`.
 
-use bench::{run_eval, run_matrix, run_strategy_all_flavors};
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{run_eval, run_eval_baseline, run_matrix, run_strategy_all_flavors};
+use criterion::{criterion_group, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use simdfs::{BugSet, DfsRequest, DfsSim, Flavor, MIB};
@@ -141,7 +141,7 @@ fn bench_micro(c: &mut Criterion) {
                 path: format!("/bench{i}"),
                 size: 8 * MIB,
             });
-            if i % 512 == 0 {
+            if i.is_multiple_of(512) {
                 sim.reset();
             }
             black_box(i)
@@ -171,5 +171,111 @@ fn bench_micro(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_tables, bench_micro);
-criterion_main!(benches);
+/// 16 synthetic volume views on 8 nodes, shared by the placement
+/// before/after pairs.
+fn micro_views() -> Vec<simdfs::placement::VolumeView> {
+    (0..16)
+        .map(|i| simdfs::placement::VolumeView {
+            volume: simdfs::VolumeId(i),
+            node: simdfs::NodeId(i / 2),
+            capacity: 1 << 34,
+            used: (i as u64) << 28,
+            online: true,
+        })
+        .collect()
+}
+
+/// Before/after pairs for the hot paths this PR caches: per-call placement
+/// through the uncached reference path versus the generation-keyed cache,
+/// and a full 1h campaign with caching off versus on.
+fn bench_perf(c: &mut Criterion) {
+    use simdfs::placement::{CrushStraw2, DhtHashRing, PlacementCache, PlacementPolicy, VnodeRing};
+
+    let mut g = c.benchmark_group("perf");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(4));
+
+    let views = micro_views();
+    macro_rules! placement_pair {
+        ($name:literal, $policy:expr) => {
+            g.bench_function(concat!($name, "_uncached"), |b| {
+                let p = $policy;
+                let mut k = 0u64;
+                b.iter(|| {
+                    k += 1;
+                    black_box(p.place(k, 8 * MIB, 3, &views).len())
+                })
+            });
+            g.bench_function(concat!($name, "_cached"), |b| {
+                let p = $policy;
+                let mut cache = PlacementCache::new();
+                let mut k = 0u64;
+                b.iter(|| {
+                    k += 1;
+                    black_box(p.place_cached(&mut cache, 1, k, 8 * MIB, 3, &views).len())
+                })
+            });
+        };
+    }
+    placement_pair!("placement_dht", DhtHashRing);
+    placement_pair!("placement_vnode", VnodeRing::default());
+    placement_pair!("placement_crush", CrushStraw2);
+
+    g.bench_function("campaign_1h_baseline", |b| {
+        b.iter(|| {
+            let r = run_eval_baseline(
+                Flavor::GlusterFs,
+                "Themis",
+                BugSet::New,
+                1,
+                0xbe,
+                0.25,
+                VarianceWeights::default(),
+            );
+            black_box(r.campaign.iterations)
+        })
+    });
+    g.bench_function("campaign_1h_cached", |b| {
+        b.iter(|| {
+            let r = run_eval(
+                Flavor::GlusterFs,
+                "Themis",
+                BugSet::New,
+                1,
+                0xbe,
+                0.25,
+                VarianceWeights::default(),
+            );
+            black_box(r.campaign.iterations)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_micro, bench_perf);
+
+fn main() {
+    benches();
+
+    // Fold the recorded measurements plus one-shot campaign / grid-scaling
+    // timings into the machine-readable artifact at the repo root.
+    let raw: Vec<bench::perf::RawMeasurement> = criterion::take_measurements()
+        .into_iter()
+        .map(|m| bench::perf::RawMeasurement {
+            id: m.id,
+            samples: m.samples,
+            iters_per_sample: m.iters_per_sample,
+            mean_s: m.mean_s,
+            min_s: m.min_s,
+            max_s: m.max_s,
+        })
+        .collect();
+    let campaign = bench::perf::measure_campaign(Flavor::GlusterFs, 1, 0xbe, 3);
+    let spec = bench::perf::scaling_spec(1);
+    let grid = bench::perf::measure_grid_scaling(&spec, &[2, 4]);
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_1.json");
+    bench::perf::write_bench_json(&path, &raw, &campaign, &grid).expect("write BENCH_1.json");
+    println!("wrote {}", path.display());
+}

@@ -1,8 +1,10 @@
 //! Regenerates every table and figure of the paper into `results/`.
 //!
 //! Usage: `repro [artifact...]` where artifact is one of
-//! `table1..table8`, `figure2`, `figure12`, or `all` (default). The
-//! comparison tables share one matrix run (Table 3 / Table 5 / Figure 12).
+//! `table1..table8`, `figure2`, `figure12`, `perf`, or `all` (default;
+//! excludes `perf`). The comparison tables share one matrix run (Table 3 /
+//! Table 5 / Figure 12). `perf` times the cached-vs-baseline campaign hot
+//! path and grid-executor scaling and dumps `results/BENCH_1.json`.
 
 use bench::tables;
 use std::fs;
@@ -48,5 +50,15 @@ fn main() {
     }
     if want("table8") {
         write("table8.txt", &tables::table8(HOURS, SEED));
+    }
+    // Perf is opt-in: it is a timing artifact, not a paper table.
+    if args.iter().any(|a| a == "perf") {
+        let campaign = bench::perf::measure_campaign(simdfs::Flavor::GlusterFs, 1, 0xbe, 3);
+        let spec = bench::perf::scaling_spec(1);
+        let grid = bench::perf::measure_grid_scaling(&spec, &[2, 4]);
+        write(
+            "BENCH_1.json",
+            &bench::perf::bench_json(&[], &campaign, &grid),
+        );
     }
 }

@@ -1,0 +1,223 @@
+//! Parallel campaign grid executor.
+//!
+//! Evaluation workloads are embarrassingly parallel across campaign cells:
+//! every `(flavor, strategy, seed)` combination is an independent,
+//! deterministic computation. [`run_grid`] executes such a matrix on a
+//! self-scheduling worker pool (crossbeam scoped threads pulling cell
+//! indices from a shared atomic counter, so fast cells never leave a slow
+//! worker's queue stranded) and returns the results keyed by grid index —
+//! the output is bit-identical regardless of worker count or scheduling
+//! order, because each cell is a pure function of its coordinates.
+
+use crate::harness::{run_eval, EvalResult};
+use parking_lot::Mutex;
+use simdfs::{BugSet, Flavor};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use themis::VarianceWeights;
+
+/// A campaign matrix: the cross product of flavors, strategies and seeds,
+/// all sharing one budget/detector configuration.
+#[derive(Debug, Clone)]
+pub struct GridSpec {
+    /// Target flavors (outermost grid axis).
+    pub flavors: Vec<Flavor>,
+    /// Strategy names (middle axis), resolved via [`themis::by_name`].
+    pub strategies: Vec<String>,
+    /// RNG seeds (innermost axis).
+    pub seeds: Vec<u64>,
+    /// Bug set every cell's simulator is built with.
+    pub bugs: BugSet,
+    /// Virtual time budget per campaign, in hours.
+    pub hours: u64,
+    /// Detector threshold `t`.
+    pub threshold_t: f64,
+    /// Load-variance weighting factors.
+    pub weights: VarianceWeights,
+    /// Worker threads. 0 means one per available core.
+    pub workers: usize,
+}
+
+impl GridSpec {
+    /// A grid over the given axes with the defaults the evaluation tables
+    /// use (threshold 0.25, default weights, one worker per core).
+    pub fn new(
+        flavors: Vec<Flavor>,
+        strategies: Vec<String>,
+        seeds: Vec<u64>,
+        bugs: BugSet,
+        hours: u64,
+    ) -> Self {
+        GridSpec {
+            flavors,
+            strategies,
+            seeds,
+            bugs,
+            hours,
+            threshold_t: 0.25,
+            weights: VarianceWeights::default(),
+            workers: 0,
+        }
+    }
+
+    /// Number of cells in the matrix.
+    pub fn cells(&self) -> usize {
+        self.flavors.len() * self.strategies.len() * self.seeds.len()
+    }
+
+    /// The `(flavor, strategy, seed)` coordinates of cell `index`
+    /// (row-major: flavor outermost, seed innermost).
+    pub fn coords(&self, index: usize) -> (Flavor, &str, u64) {
+        let per_flavor = self.strategies.len() * self.seeds.len();
+        let f = index / per_flavor;
+        let s = (index % per_flavor) / self.seeds.len();
+        let sd = index % self.seeds.len();
+        (self.flavors[f], &self.strategies[s], self.seeds[sd])
+    }
+
+    fn resolved_workers(&self) -> usize {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let w = if self.workers == 0 {
+            cores
+        } else {
+            self.workers
+        };
+        w.clamp(1, self.cells().max(1))
+    }
+}
+
+/// One completed cell of the grid.
+#[derive(Debug, Clone)]
+pub struct GridCell {
+    /// Position in the matrix (see [`GridSpec::coords`]).
+    pub index: usize,
+    /// Target flavor.
+    pub flavor: Flavor,
+    /// Strategy name.
+    pub strategy: String,
+    /// Campaign seed.
+    pub seed: u64,
+    /// The attributed campaign outcome.
+    pub eval: EvalResult,
+}
+
+/// The outcome of a grid run.
+#[derive(Debug)]
+pub struct GridOutcome {
+    /// Every cell, ordered by grid index — the ordering is a function of
+    /// the spec alone, never of worker count or scheduling.
+    pub cells: Vec<GridCell>,
+    /// Cells completed per worker (progress accounting; sums to
+    /// `cells.len()`).
+    pub per_worker_completed: Vec<u64>,
+}
+
+/// Runs one cell (also the serial reference path used by tests).
+pub fn run_cell(spec: &GridSpec, index: usize) -> GridCell {
+    let (flavor, strategy, seed) = spec.coords(index);
+    let eval = run_eval(
+        flavor,
+        strategy,
+        spec.bugs.clone(),
+        spec.hours,
+        seed,
+        spec.threshold_t,
+        spec.weights,
+    );
+    GridCell {
+        index,
+        flavor,
+        strategy: strategy.to_string(),
+        seed,
+        eval,
+    }
+}
+
+/// Executes the full matrix on the worker pool.
+///
+/// Cells are handed out through a shared atomic cursor: a worker finishing
+/// its cell immediately claims the next unstarted one, so the pool stays
+/// busy even when cell runtimes vary wildly (different flavors reach very
+/// different iteration counts in the same virtual budget). Each worker
+/// bumps its own progress counter as it completes cells.
+pub fn run_grid(spec: &GridSpec) -> GridOutcome {
+    let n = spec.cells();
+    let workers = spec.resolved_workers();
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<GridCell>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let per_worker: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+    {
+        let (next, slots, per_worker) = (&next, &slots, &per_worker);
+        crossbeam::thread::scope(|s| {
+            for completed in per_worker {
+                s.spawn(move |_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    *slots[i].lock() = Some(run_cell(spec, i));
+                    completed.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("grid worker panicked");
+    }
+    GridOutcome {
+        cells: slots
+            .into_iter()
+            .map(|m| m.into_inner().expect("every cell index was claimed"))
+            .collect(),
+        per_worker_completed: per_worker.into_iter().map(|c| c.into_inner()).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec(workers: usize) -> GridSpec {
+        GridSpec {
+            workers,
+            ..GridSpec::new(
+                vec![Flavor::GlusterFs, Flavor::Hdfs],
+                vec!["Themis-".into()],
+                vec![3, 11],
+                BugSet::None,
+                1,
+            )
+        }
+    }
+
+    #[test]
+    fn coords_cover_the_matrix_row_major() {
+        let spec = tiny_spec(1);
+        assert_eq!(spec.cells(), 4);
+        assert_eq!(spec.coords(0), (Flavor::GlusterFs, "Themis-", 3));
+        assert_eq!(spec.coords(1), (Flavor::GlusterFs, "Themis-", 11));
+        assert_eq!(spec.coords(2), (Flavor::Hdfs, "Themis-", 3));
+        assert_eq!(spec.coords(3), (Flavor::Hdfs, "Themis-", 11));
+    }
+
+    #[test]
+    fn grid_completes_every_cell_in_index_order() {
+        let spec = tiny_spec(2);
+        let out = run_grid(&spec);
+        assert_eq!(out.cells.len(), 4);
+        for (i, cell) in out.cells.iter().enumerate() {
+            assert_eq!(cell.index, i);
+            let (f, s, sd) = spec.coords(i);
+            assert_eq!((cell.flavor, cell.strategy.as_str(), cell.seed), (f, s, sd));
+            assert!(cell.eval.campaign.iterations > 0);
+        }
+        assert_eq!(out.per_worker_completed.len(), 2);
+        assert_eq!(out.per_worker_completed.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn worker_count_is_clamped_to_cells() {
+        let spec = tiny_spec(64);
+        let out = run_grid(&spec);
+        assert_eq!(out.per_worker_completed.len(), 4);
+    }
+}

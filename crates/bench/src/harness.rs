@@ -58,7 +58,9 @@ impl CampaignObserver for Attribution {
         // Record first-trigger times before a reset re-arms the oracle.
         let sim = self.handle.borrow();
         for id in sim.oracle_triggered() {
-            self.first_trigger_min.entry(id.to_string()).or_insert(now_ms / 60_000);
+            self.first_trigger_min
+                .entry(id.to_string())
+                .or_insert(now_ms / 60_000);
         }
     }
 }
@@ -73,10 +75,58 @@ pub fn run_eval(
     threshold_t: f64,
     weights: VarianceWeights,
 ) -> EvalResult {
-    let mut strat = by_name(strategy_name)
-        .unwrap_or_else(|| panic!("unknown strategy {strategy_name}"));
+    eval_inner(
+        flavor,
+        strategy_name,
+        bugs,
+        hours,
+        seed,
+        threshold_t,
+        weights,
+        true,
+    )
+}
+
+/// Like [`run_eval`] but routing simulator placement through the uncached
+/// reference path: the benchmark baseline for the cached hot loop. The
+/// campaign outcome is identical either way; only the wall clock differs.
+pub fn run_eval_baseline(
+    flavor: Flavor,
+    strategy_name: &str,
+    bugs: BugSet,
+    hours: u64,
+    seed: u64,
+    threshold_t: f64,
+    weights: VarianceWeights,
+) -> EvalResult {
+    eval_inner(
+        flavor,
+        strategy_name,
+        bugs,
+        hours,
+        seed,
+        threshold_t,
+        weights,
+        false,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn eval_inner(
+    flavor: Flavor,
+    strategy_name: &str,
+    bugs: BugSet,
+    hours: u64,
+    seed: u64,
+    threshold_t: f64,
+    weights: VarianceWeights,
+    placement_caching: bool,
+) -> EvalResult {
+    let mut strat =
+        by_name(strategy_name).unwrap_or_else(|| panic!("unknown strategy {strategy_name}"));
     let mut adaptor = SimAdaptor::new(flavor, bugs);
     let handle = adaptor.handle();
+    handle.borrow_mut().set_placement_caching(placement_caching);
     let mut obs = Attribution {
         handle: handle.clone(),
         found: BTreeSet::new(),
@@ -87,7 +137,10 @@ pub fn run_eval(
     let cfg = CampaignConfig {
         budget_ms: hours * 3_600_000,
         seed,
-        detector: DetectorConfig { threshold_t, ..Default::default() },
+        detector: DetectorConfig {
+            threshold_t,
+            ..Default::default()
+        },
         weights,
         ..Default::default()
     };
@@ -103,8 +156,9 @@ pub fn run_eval(
     }
 }
 
-/// Runs one strategy across all four flavors (in parallel threads) and
-/// returns the per-flavor results in `Flavor::all()` order.
+/// Runs one strategy across all four flavors (on the grid executor's
+/// worker pool) and returns the per-flavor results in `Flavor::all()`
+/// order.
 pub fn run_strategy_all_flavors(
     strategy_name: &str,
     bugs: BugSet,
@@ -113,39 +167,46 @@ pub fn run_strategy_all_flavors(
     threshold_t: f64,
     weights: VarianceWeights,
 ) -> Vec<EvalResult> {
-    crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = Flavor::all()
-            .into_iter()
-            .map(|flavor| {
-                let bugs = bugs.clone();
-                s.spawn(move |_| {
-                    run_eval(flavor, strategy_name, bugs, hours, seed, threshold_t, weights)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("campaign thread panicked")).collect()
-    })
-    .expect("thread scope")
+    let spec = crate::grid::GridSpec {
+        threshold_t,
+        weights,
+        ..crate::grid::GridSpec::new(
+            Flavor::all().to_vec(),
+            vec![strategy_name.to_string()],
+            vec![seed],
+            bugs,
+            hours,
+        )
+    };
+    crate::grid::run_grid(&spec)
+        .cells
+        .into_iter()
+        .map(|c| c.eval)
+        .collect()
 }
 
-/// The full 5-strategy (plus ablation) x 4-flavor matrix.
+/// The full 5-strategy (plus ablation) x 4-flavor matrix, executed as one
+/// grid so every (strategy, flavor) cell runs concurrently rather than one
+/// strategy row at a time.
 pub fn run_matrix(
     strategies: &[&str],
     bugs: BugSet,
     hours: u64,
     seed: u64,
 ) -> BTreeMap<String, Vec<EvalResult>> {
-    let mut out = BTreeMap::new();
-    for name in strategies {
-        let results = run_strategy_all_flavors(
-            name,
-            bugs.clone(),
-            hours,
-            seed,
-            0.25,
-            VarianceWeights::default(),
-        );
-        out.insert(name.to_string(), results);
+    let spec = crate::grid::GridSpec::new(
+        Flavor::all().to_vec(),
+        strategies.iter().map(|s| s.to_string()).collect(),
+        vec![seed],
+        bugs,
+        hours,
+    );
+    let outcome = crate::grid::run_grid(&spec);
+    let mut out: BTreeMap<String, Vec<EvalResult>> = BTreeMap::new();
+    // Cells arrive in (flavor, strategy) row-major order; regroup into
+    // per-strategy rows preserving `Flavor::all()` order.
+    for cell in outcome.cells {
+        out.entry(cell.strategy).or_default().push(cell.eval);
     }
     out
 }
@@ -200,7 +261,9 @@ mod tests {
         // Found bugs must be real catalog ids.
         for id in &r.found {
             assert!(
-                simdfs::bugs::catalog::all_new_bugs().iter().any(|b| b.id == id),
+                simdfs::bugs::catalog::all_new_bugs()
+                    .iter()
+                    .any(|b| b.id == id),
                 "{id} not in catalog"
             );
         }
@@ -219,7 +282,10 @@ mod tests {
     fn render_table_aligns() {
         let t = render_table(
             &["a", "bb"],
-            &[vec!["x".into(), "y".into()], vec!["long".into(), "z".into()]],
+            &[
+                vec!["x".into(), "y".into()],
+                vec!["long".into(), "z".into()],
+            ],
         );
         assert!(t.contains("a     bb"));
         assert!(t.lines().count() == 4);

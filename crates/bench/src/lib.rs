@@ -6,7 +6,12 @@
 //! artifacts under `results/`; `cargo bench` runs reduced-budget versions
 //! under Criterion for timing.
 
+pub mod grid;
 pub mod harness;
+pub mod perf;
 pub mod tables;
 
-pub use harness::{render_table, run_eval, run_matrix, run_strategy_all_flavors, EvalResult};
+pub use grid::{run_cell, run_grid, GridCell, GridOutcome, GridSpec};
+pub use harness::{
+    render_table, run_eval, run_eval_baseline, run_matrix, run_strategy_all_flavors, EvalResult,
+};

@@ -1,0 +1,358 @@
+//! One-shot performance measurements behind the `BENCH_1.json` artifact:
+//! campaign throughput with the cached placement hot path versus the
+//! uncached baseline, and grid-executor scaling across worker counts.
+//!
+//! The Criterion bench target (`benches/paper_artifacts.rs`) and the
+//! `repro perf` subcommand both funnel through this module so the artifact
+//! has one schema regardless of which entry point produced it.
+
+use crate::grid::{run_cell, run_grid, GridSpec};
+use crate::harness::{run_eval, run_eval_baseline};
+use simdfs::{BugSet, Flavor};
+use std::time::Instant;
+use themis::VarianceWeights;
+
+/// Mirror of the criterion shim's measurement record, so the JSON writer
+/// does not need a criterion dependency in the library.
+#[derive(Debug, Clone)]
+pub struct RawMeasurement {
+    /// `group/function` identifier.
+    pub id: String,
+    /// Samples taken.
+    pub samples: u64,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+    /// Mean seconds per iteration.
+    pub mean_s: f64,
+    /// Fastest sample, seconds per iteration.
+    pub min_s: f64,
+    /// Slowest sample, seconds per iteration.
+    pub max_s: f64,
+}
+
+/// Cached-vs-baseline timing of one full campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignPerf {
+    /// Target flavor.
+    pub flavor: Flavor,
+    /// Virtual budget in hours.
+    pub hours: u64,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Timed repetitions per variant (best run is reported).
+    pub repeats: u32,
+    /// Fuzzing iterations the campaign completed (identical across
+    /// variants; placement caching never changes behavior).
+    pub iterations: u64,
+    /// Operations sent (identical across variants).
+    pub ops_sent: u64,
+    /// Best wall seconds per campaign with the cached hot path.
+    pub cached_s: f64,
+    /// Best wall seconds per campaign through the uncached reference path.
+    pub baseline_s: f64,
+    /// Whether cached and baseline campaigns produced identical results.
+    pub results_match: bool,
+}
+
+impl CampaignPerf {
+    /// Fuzzing iterations per wall second, cached hot path.
+    pub fn cached_iters_per_sec(&self) -> f64 {
+        self.iterations as f64 / self.cached_s
+    }
+
+    /// Fuzzing iterations per wall second, uncached baseline.
+    pub fn baseline_iters_per_sec(&self) -> f64 {
+        self.iterations as f64 / self.baseline_s
+    }
+
+    /// Operations per wall second, cached hot path.
+    pub fn cached_ops_per_sec(&self) -> f64 {
+        self.ops_sent as f64 / self.cached_s
+    }
+
+    /// Cached-over-baseline throughput ratio.
+    pub fn speedup(&self) -> f64 {
+        self.baseline_s / self.cached_s
+    }
+}
+
+/// Wall-clock of the same campaign matrix at several worker counts.
+#[derive(Debug, Clone)]
+pub struct GridScaling {
+    /// Cells in the matrix (flavors x strategies x seeds).
+    pub cells: usize,
+    /// `(workers, wall_seconds)` per measured run.
+    pub runs: Vec<(usize, f64)>,
+    /// Whether every parallel run matched the serial cell-by-cell results.
+    pub identical_to_serial: bool,
+}
+
+impl GridScaling {
+    /// Wall seconds for the given worker count, if measured.
+    pub fn seconds_at(&self, workers: usize) -> Option<f64> {
+        self.runs
+            .iter()
+            .find(|(w, _)| *w == workers)
+            .map(|(_, s)| *s)
+    }
+
+    /// Serial-over-parallel speedup for the given worker count.
+    pub fn speedup_at(&self, workers: usize) -> Option<f64> {
+        Some(self.seconds_at(1)? / self.seconds_at(workers)?)
+    }
+}
+
+/// Times one campaign `repeats` times per variant and keeps the best run
+/// of each, double-checking that both variants compute the same result.
+pub fn measure_campaign(flavor: Flavor, hours: u64, seed: u64, repeats: u32) -> CampaignPerf {
+    let repeats = repeats.max(1);
+    let mut cached_s = f64::INFINITY;
+    let mut baseline_s = f64::INFINITY;
+    let mut cached = None;
+    let mut baseline = None;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        let r = run_eval(
+            flavor,
+            "Themis",
+            BugSet::New,
+            hours,
+            seed,
+            0.25,
+            VarianceWeights::default(),
+        );
+        cached_s = cached_s.min(start.elapsed().as_secs_f64());
+        cached = Some(r);
+
+        let start = Instant::now();
+        let r = run_eval_baseline(
+            flavor,
+            "Themis",
+            BugSet::New,
+            hours,
+            seed,
+            0.25,
+            VarianceWeights::default(),
+        );
+        baseline_s = baseline_s.min(start.elapsed().as_secs_f64());
+        baseline = Some(r);
+    }
+    let cached = cached.expect("repeats >= 1");
+    let baseline = baseline.expect("repeats >= 1");
+    CampaignPerf {
+        flavor,
+        hours,
+        seed,
+        repeats,
+        iterations: cached.campaign.iterations,
+        ops_sent: cached.campaign.ops_sent,
+        cached_s,
+        baseline_s,
+        results_match: cached.campaign == baseline.campaign,
+    }
+}
+
+/// The acceptance matrix: every flavor x {Themis, Themis-} x four seeds.
+pub fn scaling_spec(hours: u64) -> GridSpec {
+    GridSpec::new(
+        Flavor::all().to_vec(),
+        vec!["Themis".into(), "Themis-".into()],
+        vec![0xbe, 7, 21, 42],
+        BugSet::New,
+        hours,
+    )
+}
+
+/// Runs `spec` serially (cell by cell) and then once per requested worker
+/// count, timing each pass and checking parallel results against serial.
+pub fn measure_grid_scaling(spec: &GridSpec, worker_counts: &[usize]) -> GridScaling {
+    let start = Instant::now();
+    let serial: Vec<_> = (0..spec.cells()).map(|i| run_cell(spec, i)).collect();
+    let mut runs = vec![(1usize, start.elapsed().as_secs_f64())];
+    let mut identical = true;
+    for &workers in worker_counts {
+        if workers <= 1 {
+            continue;
+        }
+        let spec = GridSpec {
+            workers,
+            ..spec.clone()
+        };
+        let start = Instant::now();
+        let out = run_grid(&spec);
+        runs.push((workers, start.elapsed().as_secs_f64()));
+        identical &= out.cells.len() == serial.len()
+            && out
+                .cells
+                .iter()
+                .zip(&serial)
+                .all(|(g, s)| g.index == s.index && g.eval.campaign == s.eval.campaign);
+    }
+    GridScaling {
+        cells: spec.cells(),
+        runs,
+        identical_to_serial: identical,
+    }
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.9}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Renders the full artifact. Hand-rolled JSON: the workspace's serde shim
+/// is a no-op, so this is the one place structure meets bytes.
+pub fn bench_json(raw: &[RawMeasurement], campaign: &CampaignPerf, grid: &GridScaling) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"themis-bench-v1\",\n");
+
+    out.push_str("  \"campaign\": {\n");
+    out.push_str(&format!(
+        "    \"flavor\": \"{}\",\n",
+        campaign.flavor.name()
+    ));
+    out.push_str(&format!("    \"hours\": {},\n", campaign.hours));
+    out.push_str(&format!("    \"seed\": {},\n", campaign.seed));
+    out.push_str(&format!("    \"repeats\": {},\n", campaign.repeats));
+    out.push_str(&format!("    \"iterations\": {},\n", campaign.iterations));
+    out.push_str(&format!("    \"ops_sent\": {},\n", campaign.ops_sent));
+    out.push_str(&format!(
+        "    \"cached_s\": {},\n",
+        json_f64(campaign.cached_s)
+    ));
+    out.push_str(&format!(
+        "    \"baseline_s\": {},\n",
+        json_f64(campaign.baseline_s)
+    ));
+    out.push_str(&format!(
+        "    \"cached_iters_per_sec\": {},\n",
+        json_f64(campaign.cached_iters_per_sec())
+    ));
+    out.push_str(&format!(
+        "    \"baseline_iters_per_sec\": {},\n",
+        json_f64(campaign.baseline_iters_per_sec())
+    ));
+    out.push_str(&format!(
+        "    \"cached_ops_per_sec\": {},\n",
+        json_f64(campaign.cached_ops_per_sec())
+    ));
+    out.push_str(&format!(
+        "    \"speedup\": {},\n",
+        json_f64(campaign.speedup())
+    ));
+    out.push_str(&format!(
+        "    \"results_match\": {}\n",
+        campaign.results_match
+    ));
+    out.push_str("  },\n");
+
+    out.push_str("  \"grid\": {\n");
+    out.push_str(&format!("    \"cells\": {},\n", grid.cells));
+    out.push_str(&format!(
+        "    \"identical_to_serial\": {},\n",
+        grid.identical_to_serial
+    ));
+    out.push_str("    \"runs\": [");
+    for (i, (workers, secs)) in grid.runs.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{{\"workers\": {workers}, \"wall_s\": {}, \"speedup\": {}}}",
+            json_f64(*secs),
+            json_f64(grid.speedup_at(*workers).unwrap_or(f64::NAN)),
+        ));
+    }
+    out.push_str("]\n  },\n");
+
+    out.push_str("  \"measurements\": [\n");
+    for (i, m) in raw.iter().enumerate() {
+        out.push_str("    {\"id\": ");
+        push_json_str(&mut out, &m.id);
+        out.push_str(&format!(
+            ", \"samples\": {}, \"iters_per_sample\": {}, \"mean_s\": {}, \"min_s\": {}, \"max_s\": {}}}{}\n",
+            m.samples,
+            m.iters_per_sample,
+            json_f64(m.mean_s),
+            json_f64(m.min_s),
+            json_f64(m.max_s),
+            if i + 1 < raw.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes the artifact to `path`.
+pub fn write_bench_json(
+    path: &std::path::Path,
+    raw: &[RawMeasurement],
+    campaign: &CampaignPerf,
+    grid: &GridScaling,
+) -> std::io::Result<()> {
+    std::fs::write(path, bench_json(raw, campaign, grid))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_perf_variants_agree_and_cached_is_not_slower() {
+        let p = measure_campaign(Flavor::GlusterFs, 1, 0xbe, 1);
+        assert!(p.results_match, "cached and baseline campaigns diverged");
+        assert!(p.iterations > 0 && p.ops_sent > 0);
+        assert!(p.cached_s > 0.0 && p.baseline_s > 0.0);
+    }
+
+    #[test]
+    fn bench_json_is_well_formed_enough() {
+        let campaign = CampaignPerf {
+            flavor: Flavor::Hdfs,
+            hours: 1,
+            seed: 7,
+            repeats: 1,
+            iterations: 100,
+            ops_sent: 1000,
+            cached_s: 0.5,
+            baseline_s: 1.5,
+            results_match: true,
+        };
+        let grid = GridScaling {
+            cells: 4,
+            runs: vec![(1, 4.0), (4, 1.1)],
+            identical_to_serial: true,
+        };
+        let raw = vec![RawMeasurement {
+            id: "micro/placement \"x\"".into(),
+            samples: 3,
+            iters_per_sample: 10,
+            mean_s: 1e-6,
+            min_s: 9e-7,
+            max_s: 2e-6,
+        }];
+        let j = bench_json(&raw, &campaign, &grid);
+        assert!(j.contains("\"schema\": \"themis-bench-v1\""));
+        assert!(j.contains("\"speedup\": 3.0"));
+        assert!(j.contains("\\\"x\\\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!((campaign.speedup() - 3.0).abs() < 1e-9);
+        assert_eq!(grid.speedup_at(4), Some(4.0 / 1.1));
+    }
+}

@@ -41,7 +41,11 @@ pub fn table2(hours: u64, seed: u64) -> String {
     }
     let mut rows = Vec::new();
     for (i, bug) in catalog::all_new_bugs().iter().enumerate() {
-        let hit = if found.contains(bug.id) { "found" } else { "missed" };
+        let hit = if found.contains(bug.id) {
+            "found"
+        } else {
+            "missed"
+        };
         rows.push(vec![
             (i + 1).to_string(),
             bug.platform.name().to_string(),
@@ -56,12 +60,18 @@ pub fn table2(hours: u64, seed: u64) -> String {
         found.len(),
         catalog::all_new_bugs().len()
     );
-    out.push_str(&render_table(&["#", "Platform", "Failure Type", "Status", "Identifier"], &rows));
+    out.push_str(&render_table(
+        &["#", "Platform", "Failure Type", "Status", "Identifier"],
+        &rows,
+    ));
     out
 }
 
 /// Table 3: failures found per method (new-bug set).
-pub fn table3(hours: u64, seed: u64) -> (String, std::collections::BTreeMap<String, Vec<EvalResult>>) {
+pub fn table3(
+    hours: u64,
+    seed: u64,
+) -> (String, std::collections::BTreeMap<String, Vec<EvalResult>>) {
     let matrix = run_matrix(&STRATEGIES, BugSet::New, hours, seed);
     let mut rows = Vec::new();
     for name in STRATEGIES {
@@ -73,20 +83,29 @@ pub fn table3(hours: u64, seed: u64) -> (String, std::collections::BTreeMap<Stri
             }
         }
         let ids: Vec<&str> = all.iter().copied().collect();
-        rows.push(vec![name.to_string(), all.len().to_string(), ids.join(", ")]);
+        rows.push(vec![
+            name.to_string(),
+            all.len().to_string(),
+            ids.join(", "),
+        ]);
     }
     let mut out = String::from(
         "Table 3: new imbalance failures found by Themis and the state-of-the-art methods.\n\n",
     );
-    out.push_str(&render_table(&["Method", "Number", "Bug identifiers"], &rows));
+    out.push_str(&render_table(
+        &["Method", "Number", "Bug identifiers"],
+        &rows,
+    ));
     (out, matrix)
 }
 
 /// Table 4: historical failures reproduced per tool.
 pub fn table4(hours: u64, seed: u64) -> String {
     let matrix = run_matrix(&STRATEGIES, BugSet::Historical, hours, seed);
-    let totals: Vec<usize> =
-        Flavor::all().iter().map(|f| catalog::historical_bugs(*f).len()).collect();
+    let totals: Vec<usize> = Flavor::all()
+        .iter()
+        .map(|f| catalog::historical_bugs(*f).len())
+        .collect();
     let mut rows = Vec::new();
     for name in STRATEGIES {
         let results = &matrix[name];
@@ -119,7 +138,10 @@ pub fn table5(matrix: &std::collections::BTreeMap<String, Vec<EvalResult>>) -> S
     for flavor in Flavor::all() {
         let mut row = vec![flavor.name().to_string()];
         for name in STRATEGIES {
-            let r = matrix[name].iter().find(|r| r.flavor == flavor).expect("flavor present");
+            let r = matrix[name]
+                .iter()
+                .find(|r| r.flavor == flavor)
+                .expect("flavor present");
             row.push(r.campaign.final_coverage.to_string());
         }
         rows.push(row);
@@ -137,8 +159,14 @@ pub fn table6(hours: u64, seed: u64) -> String {
     let mut rows = Vec::new();
     let (mut f_minus, mut f_full, mut c_minus, mut c_full) = (0usize, 0usize, 0u64, 0u64);
     for flavor in Flavor::all() {
-        let full = matrix["Themis"].iter().find(|r| r.flavor == flavor).expect("present");
-        let minus = matrix["Themis-"].iter().find(|r| r.flavor == flavor).expect("present");
+        let full = matrix["Themis"]
+            .iter()
+            .find(|r| r.flavor == flavor)
+            .expect("present");
+        let minus = matrix["Themis-"]
+            .iter()
+            .find(|r| r.flavor == flavor)
+            .expect("present");
         rows.push(vec![
             flavor.name().to_string(),
             minus.found.len().to_string(),
@@ -152,21 +180,38 @@ pub fn table6(hours: u64, seed: u64) -> String {
         c_full += full.campaign.final_coverage;
     }
     let fail_impr = if f_minus > 0 {
-        format!("{:+.0}%", 100.0 * (f_full as f64 - f_minus as f64) / f_minus as f64)
+        format!(
+            "{:+.0}%",
+            100.0 * (f_full as f64 - f_minus as f64) / f_minus as f64
+        )
     } else {
         "n/a".into()
     };
     let cov_impr = if c_minus > 0 {
-        format!("{:+.1}%", 100.0 * (c_full as f64 - c_minus as f64) / c_minus as f64)
+        format!(
+            "{:+.1}%",
+            100.0 * (c_full as f64 - c_minus as f64) / c_minus as f64
+        )
     } else {
         "n/a".into()
     };
-    rows.push(vec!["Improvement".into(), "-".into(), fail_impr, "-".into(), cov_impr]);
-    let mut out = String::from(
-        "Table 6: comparison of Themis- (no load variance model) and Themis.\n\n",
-    );
+    rows.push(vec![
+        "Improvement".into(),
+        "-".into(),
+        fail_impr,
+        "-".into(),
+        cov_impr,
+    ]);
+    let mut out =
+        String::from("Table 6: comparison of Themis- (no load variance model) and Themis.\n\n");
     out.push_str(&render_table(
-        &["Target", "Failures (Themis-)", "Failures (Themis)", "Coverage (Themis-)", "Coverage (Themis)"],
+        &[
+            "Target",
+            "Failures (Themis-)",
+            "Failures (Themis)",
+            "Coverage (Themis-)",
+            "Coverage (Themis)",
+        ],
         &rows,
     ));
     out
@@ -273,7 +318,10 @@ pub fn figure2() -> String {
     let mut series: Vec<(u64, Vec<f64>, f64)> = Vec::new();
     // Seed working files.
     for i in 0..10 {
-        let _ = sim.execute(&DfsRequest::Create { path: format!("/w{i}"), size: 64 * MIB });
+        let _ = sim.execute(&DfsRequest::Create {
+            path: format!("/w{i}"),
+            size: 64 * MIB,
+        });
     }
     let mut step = 0u64;
     let sample = |sim: &mut DfsSim, step: u64, series: &mut Vec<(u64, Vec<f64>, f64)>| {
@@ -311,8 +359,14 @@ pub fn figure2() -> String {
             }
         }
         if round % 8 == 7 {
-            let _ = sim.execute(&DfsRequest::AddStorageNode { volumes: 2, capacity: 0 });
-            let _ = sim.execute(&DfsRequest::AddStorageNode { volumes: 2, capacity: 0 });
+            let _ = sim.execute(&DfsRequest::AddStorageNode {
+                volumes: 2,
+                capacity: 0,
+            });
+            let _ = sim.execute(&DfsRequest::AddStorageNode {
+                volumes: 2,
+                capacity: 0,
+            });
         }
         // Heavy creates push variance between churn waves.
         if round % 4 == 0 {
@@ -324,7 +378,9 @@ pub fn figure2() -> String {
         sim.tick(10_000);
         sample(&mut sim, step, &mut series);
         let triggered = !sim.oracle_triggered().is_empty();
-        let max_fill = series.last().map(|(_, f, _)| f.iter().cloned().fold(0.0, f64::max));
+        let max_fill = series
+            .last()
+            .map(|(_, f, _)| f.iter().cloned().fold(0.0, f64::max));
         if triggered && max_fill.unwrap_or(0.0) > 88.0 {
             break;
         }
@@ -368,13 +424,22 @@ pub fn figure12(matrix: &std::collections::BTreeMap<String, Vec<EvalResult>>) ->
         let budget_min = matrix[STRATEGIES[0]]
             .iter()
             .find(|r| r.flavor == flavor)
-            .map(|r| r.campaign.coverage_trace.last().map(|p| p.time_ms / 60_000).unwrap_or(0))
+            .map(|r| {
+                r.campaign
+                    .coverage_trace
+                    .last()
+                    .map(|p| p.time_ms / 60_000)
+                    .unwrap_or(0)
+            })
             .unwrap_or(0);
         let mut minute = 0;
         while minute <= budget_min {
             let mut row = vec![minute.to_string()];
             for name in STRATEGIES {
-                let r = matrix[name].iter().find(|r| r.flavor == flavor).expect("present");
+                let r = matrix[name]
+                    .iter()
+                    .find(|r| r.flavor == flavor)
+                    .expect("present");
                 let cov = r
                     .campaign
                     .coverage_trace

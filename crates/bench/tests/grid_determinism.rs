@@ -1,0 +1,48 @@
+//! A campaign is a pure function of (flavor, strategy, seed): the grid
+//! executor must return bit-identical results to serial execution no
+//! matter how many workers race over the matrix.
+
+use bench::{run_cell, run_grid, GridSpec};
+use simdfs::{BugSet, Flavor};
+
+#[test]
+fn grid_results_are_identical_to_serial_at_any_worker_count() {
+    let base = GridSpec::new(
+        vec![Flavor::GlusterFs, Flavor::Hdfs],
+        vec!["Themis".into()],
+        vec![0xbe, 7],
+        BugSet::New,
+        1,
+    );
+    let serial: Vec<_> = (0..base.cells()).map(|i| run_cell(&base, i)).collect();
+    for workers in [2, 4] {
+        let spec = GridSpec {
+            workers,
+            ..base.clone()
+        };
+        let out = run_grid(&spec);
+        assert_eq!(out.cells.len(), serial.len());
+        assert_eq!(
+            out.per_worker_completed.iter().sum::<u64>() as usize,
+            serial.len()
+        );
+        for (g, s) in out.cells.iter().zip(&serial) {
+            assert_eq!(g.index, s.index);
+            assert_eq!(
+                g.eval.campaign,
+                s.eval.campaign,
+                "worker count {workers} changed cell {} ({} / {} / seed {})",
+                g.index,
+                g.flavor.name(),
+                g.strategy,
+                g.seed
+            );
+            assert_eq!(g.eval.found, s.eval.found);
+            assert_eq!(g.eval.first_trigger_min, s.eval.first_trigger_min);
+            assert_eq!(
+                g.eval.false_positive_confirms,
+                s.eval.false_positive_confirms
+            );
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Offline stand-in for `crossbeam`, covering the scoped-thread API this
+//! workspace uses (`crossbeam::thread::scope` + `Scope::spawn` +
+//! `ScopedJoinHandle::join`). Implemented directly over
+//! [`std::thread::scope`], which provides the same structured-concurrency
+//! guarantee (all spawned threads join before `scope` returns).
+
+pub mod thread {
+    //! Scoped threads with the crossbeam calling convention: the spawn
+    //! closure receives the scope again so workers can spawn siblings.
+
+    /// A handle to a scope that can spawn borrowing threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        std: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result (or the
+        /// panic payload).
+        pub fn join(self) -> std::thread::Result<T> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives the
+        /// scope, matching crossbeam's `|_| ...` convention.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let me = *self;
+            ScopedJoinHandle(self.std.spawn(move || f(&me)))
+        }
+    }
+
+    /// Runs `f` with a scope; every spawned thread is joined before this
+    /// returns. Always `Ok` — a panicking child propagates its panic when
+    /// joined (or at scope exit), exactly like `std::thread::scope`.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(Scope { std: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scope_joins_all_and_borrows_stack_data() {
+        let counter = AtomicU64::new(0);
+        let counter = &counter;
+        let total = crate::thread::scope(|s| {
+            let handles: Vec<_> = (0..8u64)
+                .map(|i| {
+                    s.spawn(move |_| {
+                        counter.fetch_add(i, Ordering::Relaxed);
+                        i * 2
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 56);
+        assert_eq!(counter.load(Ordering::Relaxed), 28);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let n = crate::thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 41).join().unwrap() + 1)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}

@@ -1,0 +1,232 @@
+//! Offline stand-in for the `rand` crate, exposing exactly the API surface
+//! this workspace uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
+//! [`RngExt::random_range`] / [`RngExt::random_bool`], and
+//! [`seq::IndexedRandom::choose`].
+//!
+//! The crates-io registry is unreachable in the build environment, so the
+//! workspace vendors this minimal, deterministic implementation instead.
+//! `StdRng` is xoshiro256++ seeded through SplitMix64 — not the upstream
+//! ChaCha-based generator, so streams differ from crates-io `rand`, but
+//! every consumer in this repository only relies on *determinism per
+//! seed*, never on a specific stream.
+
+/// Core random source: everything is derived from `next_u64`.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng::seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (offline stand-in for the
+    /// upstream ChaCha12-based `StdRng`).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s2 = s2 ^ s0;
+            let mut s3 = s3 ^ s1;
+            let s1 = s1 ^ s2;
+            let s0 = s0 ^ s3;
+            s2 ^= t;
+            s3 = s3.rotate_left(45);
+            self.s = [s0, s1, s2, s3];
+            result
+        }
+    }
+}
+
+/// Types that can be drawn uniformly from a half-open or inclusive range.
+pub trait SampleUniform: Copy {
+    /// Draws from `[lo, hi)`; callers guarantee `lo < hi`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Draws from `[lo, hi]`; callers guarantee `lo <= hi`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                debug_assert!(lo < hi, "empty range");
+                let span = (hi as u128).wrapping_sub(lo as u128);
+                lo.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                debug_assert!(lo <= hi, "empty range");
+                let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                if span == 0 {
+                    // Full u128-mapped domain: impossible for <=64-bit ints
+                    // unless the range covers the whole type.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_signed {
+    ($($t:ty as $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                debug_assert!(lo < hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                debug_assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_signed!(i8 as u8, i16 as u16, i32 as u32, i64 as u64, isize as usize);
+
+/// Ranges a value can be drawn from (`Range` and `RangeInclusive`).
+pub trait SampleRange<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// Convenience sampling methods, mirroring `rand`'s `Rng`/`RngExt`.
+pub trait RngExt: RngCore {
+    /// Draws a value uniformly from `range`.
+    fn random_range<T, Rg>(&mut self, range: Rg) -> T
+    where
+        T: SampleUniform,
+        Rg: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        // 53 uniform mantissa bits -> exact comparison against p.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+pub mod seq {
+    //! Slice sampling helpers.
+
+    use super::{RngCore, RngExt};
+
+    /// Uniform choice from an indexable collection, mirroring
+    /// `rand::seq::IndexedRandom`.
+    pub trait IndexedRandom<T> {
+        /// Picks a uniformly random element, or `None` when empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T>;
+    }
+
+    impl<T> IndexedRandom<T> for [T] {
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.random_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::IndexedRandom;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0..u64::MAX), b.random_range(0..u64::MAX));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = rng.random_range(10usize..20);
+            assert!((10..20).contains(&v));
+            let w = rng.random_range(1u64..=8);
+            assert!((1..=8).contains(&w));
+            let s = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn bool_probability_extremes() {
+        let mut rng = StdRng::seed_from_u64(11);
+        assert!((0..64).all(|_| !rng.random_bool(0.0)));
+        assert!((0..64).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    fn choose_covers_all_and_handles_empty() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let empty: [u8; 0] = [];
+        assert!(empty.as_slice().choose(&mut rng).is_none());
+        let items = [1, 2, 3, 4];
+        let mut seen = [false; 4];
+        for _ in 0..256 {
+            seen[*items.as_slice().choose(&mut rng).unwrap() - 1] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+}

@@ -1,0 +1,10 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only ever writes `#[derive(Serialize, Deserialize)]` as a
+//! marker — no generic code is bounded on serde traits, and the one
+//! functional JSON round-trip lives in `themis::spec::json`. This crate
+//! re-exports the no-op derives so those annotations keep compiling
+//! without network access to crates-io.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -13,6 +13,9 @@ use crate::cluster::Cluster;
 use crate::types::{Bytes, FileId, NodeId, VolumeId};
 use std::collections::VecDeque;
 
+/// Movable replicas on one donor node: `(file, volume, bytes)` triples.
+type DonorReplicas = Vec<(FileId, VolumeId, Bytes)>;
+
 /// One planned file move.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MigrationMove {
@@ -114,6 +117,27 @@ impl Balancer {
             .map(|(n, _)| n)
     }
 
+    /// Nodes over the donor threshold — exactly the donors [`Self::plan`]
+    /// would shed replicas from, computed without touching the file table.
+    ///
+    /// This lets callers that are about to filter the plan (effect hooks)
+    /// prove it empty cheaply: if every donor is excluded, no move survives.
+    pub fn donor_nodes(&self, cluster: &Cluster) -> Vec<NodeId> {
+        let fills = Self::fills(cluster);
+        if fills.len() < 2 {
+            return Vec::new();
+        }
+        let mean = fills.iter().map(|(_, f)| f).sum::<f64>() / fills.len() as f64;
+        if mean <= f64::EPSILON {
+            return Vec::new();
+        }
+        fills
+            .into_iter()
+            .filter(|(_, f)| *f > mean * (1.0 + self.threshold * 0.5))
+            .map(|(n, _)| n)
+            .collect()
+    }
+
     /// Migration Planner: plans moves that bring every node's utilization
     /// within the threshold band around the mean utilization.
     ///
@@ -138,30 +162,53 @@ impl Balancer {
         }
         // Projected node utilization, updated as we assign moves.
         let mut projected: Vec<(NodeId, f64)> = fills.clone();
-        // Donor replicas, largest first.
-        let mut donors: Vec<(NodeId, Vec<(FileId, VolumeId, Bytes)>)> = Vec::new();
-        for (node, fill) in &fills {
-            if *fill > mean * (1.0 + self.threshold * 0.5) {
-                let mut replicas: Vec<(FileId, VolumeId, Bytes)> = Vec::new();
+        // Donor replicas, largest first. Buckets are filled in a single
+        // pass over the file table (a volume belongs to exactly one node,
+        // so a volume→donor-bucket map preserves the per-donor replica
+        // order the old per-donor scans produced).
+        let mut donors: Vec<(NodeId, DonorReplicas)> = fills
+            .iter()
+            .filter(|(_, f)| *f > mean * (1.0 + self.threshold * 0.5))
+            .map(|(n, _)| (*n, DonorReplicas::new()))
+            .collect();
+        if !donors.is_empty() {
+            let mut vol_bucket: std::collections::BTreeMap<VolumeId, usize> =
+                std::collections::BTreeMap::new();
+            for (i, (node, _)) in donors.iter().enumerate() {
                 if let Some(sn) = cluster.storage.get(node) {
-                    let vol_ids: Vec<VolumeId> = sn.volumes.iter().map(|v| v.id).collect();
-                    for (fid, meta) in &cluster.files {
-                        for r in &meta.replicas {
-                            if vol_ids.contains(&r.volume) && r.bytes > 0 {
-                                replicas.push((*fid, r.volume, r.bytes));
-                            }
+                    for v in &sn.volumes {
+                        vol_bucket.insert(v.id, i);
+                    }
+                }
+            }
+            for (fid, meta) in &cluster.files {
+                for r in &meta.replicas {
+                    if r.bytes > 0 {
+                        if let Some(&i) = vol_bucket.get(&r.volume) {
+                            donors[i].1.push((*fid, r.volume, r.bytes));
                         }
                     }
                 }
+            }
+            for (_, replicas) in &mut donors {
                 replicas.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
-                donors.push((*node, replicas));
             }
         }
         // Deterministic order: most utilized donor first.
         donors.sort_by(|a, b| {
-            let fa = fills.iter().find(|(n, _)| *n == a.0).map(|(_, f)| *f).unwrap_or(0.0);
-            let fb = fills.iter().find(|(n, _)| *n == b.0).map(|(_, f)| *f).unwrap_or(0.0);
-            fb.partial_cmp(&fa).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+            let fa = fills
+                .iter()
+                .find(|(n, _)| *n == a.0)
+                .map(|(_, f)| *f)
+                .unwrap_or(0.0);
+            let fb = fills
+                .iter()
+                .find(|(n, _)| *n == b.0)
+                .map(|(_, f)| *f)
+                .unwrap_or(0.0);
+            fb.partial_cmp(&fa)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
         });
         let mut moves = Vec::new();
         for (donor, replicas) in donors {
@@ -188,10 +235,16 @@ impl Balancer {
                     .cloned()
                     .collect();
                 receivers.sort_by(|a, b| {
-                    a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+                    a.1.partial_cmp(&b.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.0.cmp(&b.0))
                 });
-                let Some((recv, _)) = receivers.first().cloned() else { continue };
-                let Some(sn) = cluster.storage.get(&recv) else { continue };
+                let Some((recv, _)) = receivers.first().cloned() else {
+                    continue;
+                };
+                let Some(sn) = cluster.storage.get(&recv) else {
+                    continue;
+                };
                 let Some(best_vol) = sn
                     .volumes
                     .iter()
@@ -225,8 +278,11 @@ impl Balancer {
     pub fn start_round(&mut self, plan: Vec<MigrationMove>) {
         self.rounds += 1;
         self.queue = plan.into();
-        self.phase =
-            if self.queue.is_empty() { RebalancePhase::Idle } else { RebalancePhase::Migrating };
+        self.phase = if self.queue.is_empty() {
+            RebalancePhase::Idle
+        } else {
+            RebalancePhase::Migrating
+        };
     }
 
     /// Pops up to `n` moves for the executor.
@@ -318,7 +374,10 @@ mod tests {
         for m in &plan {
             c.migrate(m.file, m.from, m.to, m.bytes).unwrap();
         }
-        assert!(!b.needs_rebalance(&c), "plan execution should rebalance the cluster");
+        assert!(
+            !b.needs_rebalance(&c),
+            "plan execution should rebalance the cluster"
+        );
     }
 
     #[test]

@@ -23,7 +23,12 @@ const MIB: u64 = 1024 * 1024;
 /// and phase-separated or fix-one-space methods cannot produce it at all.
 fn config_pressure_subs() -> Vec<Trigger> {
     vec![
-        Trigger::op_count_timed(vec![OpClass::StorageAdd, OpClass::StorageRemove], 6, 25, 120_000),
+        Trigger::op_count_timed(
+            vec![OpClass::StorageAdd, OpClass::StorageRemove],
+            6,
+            25,
+            120_000,
+        ),
         Trigger::op_count_timed(
             vec![
                 OpClass::VolumeAdd,
@@ -40,7 +45,10 @@ fn config_pressure_subs() -> Vec<Trigger> {
 
 /// The 10 previously unknown imbalance failures of Table 2.
 pub fn new_bugs(platform: Flavor) -> Vec<BugSpec> {
-    all_new_bugs().into_iter().filter(|b| b.platform == platform).collect()
+    all_new_bugs()
+        .into_iter()
+        .filter(|b| b.platform == platform)
+        .collect()
 }
 
 /// All 10 new bugs across the four flavors.
@@ -77,7 +85,10 @@ pub fn all_new_bugs() -> Vec<BugSpec> {
             title: "imbalanced storage distribution after mistakenly handling plenty of \
                     file operations with large size differences in gf.handler",
             trigger: Trigger::within(
-                vec![Trigger::size_spread(12, 48.0), Trigger::rebalance_burst(1, 3_600_000)],
+                vec![
+                    Trigger::size_spread(12, 48.0),
+                    Trigger::rebalance_burst(1, 3_600_000),
+                ],
                 400,
             ),
             effect: Effect::SkipMigrationFromHot,
@@ -304,35 +315,35 @@ fn shallow_trigger(profile: ShallowProfile, variant: u64) -> Trigger {
     let rebalance = Trigger::rebalance_burst(2, 2_400_000);
     match profile {
         ShallowProfile::EasyReqChurnWide => Trigger::within(vec![easy_req, churn_wide], 500),
-        ShallowProfile::EasyReqChurnTight => Trigger::within(vec![
-            match variant % 3 {
-                0 => Trigger::op_count(vec![OpClass::Create], 5, 40),
-                1 => Trigger::op_count(vec![OpClass::Create, OpClass::Resize], 9, 40),
-                _ => Trigger::op_count(vec![OpClass::Resize], 7, 40),
-            },
-            churn_tight,
-        ], 150),
-        ShallowProfile::HardReqRebalanceWide => {
-            Trigger::within(vec![hard_req, rebalance], 500)
-        }
-        ShallowProfile::HardReqChurnTight => Trigger::within(vec![
-            match variant % 4 {
-                0 => Trigger::op_count(vec![OpClass::Rename], 3, 30),
-                1 => Trigger::size_spread(8, 32.0),
-                2 => Trigger::op_count(vec![OpClass::DirMeta], 4, 30),
-                _ => Trigger::op_count(vec![OpClass::Delete], 4, 30),
-            },
-            churn_tight,
-        ], 150),
+        ShallowProfile::EasyReqChurnTight => Trigger::within(
+            vec![
+                match variant % 3 {
+                    0 => Trigger::op_count(vec![OpClass::Create], 5, 40),
+                    1 => Trigger::op_count(vec![OpClass::Create, OpClass::Resize], 9, 40),
+                    _ => Trigger::op_count(vec![OpClass::Resize], 7, 40),
+                },
+                churn_tight,
+            ],
+            150,
+        ),
+        ShallowProfile::HardReqRebalanceWide => Trigger::within(vec![hard_req, rebalance], 500),
+        ShallowProfile::HardReqChurnTight => Trigger::within(
+            vec![
+                match variant % 4 {
+                    0 => Trigger::op_count(vec![OpClass::Rename], 3, 30),
+                    1 => Trigger::size_spread(8, 32.0),
+                    2 => Trigger::op_count(vec![OpClass::DirMeta], 4, 30),
+                    _ => Trigger::op_count(vec![OpClass::Delete], 4, 30),
+                },
+                churn_tight,
+            ],
+            150,
+        ),
         ShallowProfile::VarianceCoupled => Trigger::within(
             vec![
                 easy_req,
                 Trigger::membership_churn(2, 2_400_000),
-                Trigger::variance_episodes(
-                    Metric::Storage,
-                    1.15 + (variant % 3) as f64 * 0.04,
-                    2,
-                ),
+                Trigger::variance_episodes(Metric::Storage, 1.15 + (variant % 3) as f64 * 0.04, 2),
             ],
             400,
         ),
@@ -485,22 +496,102 @@ pub fn all_historical_bugs() -> Vec<BugSpec> {
 
     // CephFS: 16 failures (2 gated).
     let ceph: Vec<HistEntry> = vec![
-        HistEntry { id: "CEPH-64333", title: "PG autoscaler tuning causes catastrophic cluster crash", kind: Crash, tier: Deep },
-        HistEntry { id: "CEPH-41935", title: "MDSs keep crashing within the rebalance process (Windows only)", kind: Crash, tier: Gated(Gate::WindowsOnly) },
-        HistEntry { id: "CEPH-55568", title: "CephPGImbalance alert inaccuracies under mixed HDD/SSD hardware", kind: ImbalancedStorage, tier: Gated(Gate::HardwareFault) },
-        HistEntry { id: "CEPH-63014", title: "mclock scheduler latency imbalance under heavy writes after OSD restart", kind: ImbalancedNetwork, tier: Shallow(EasyReqChurnWide) },
-        HistEntry { id: "CEPH-64611", title: "inconsistent return codes in MDS code base break load collection", kind: ImbalancedStorage, tier: Shallow(HardReqRebalanceWide) },
-        HistEntry { id: "CEPH-65806", title: "IO hangs issuing balanced reads to replica OSDs while PG peering", kind: ImbalancedNetwork, tier: Shallow(HardReqChurnTight) },
-        HistEntry { id: "CEPH-61520", title: "object size spread defeats straw2 weighting", kind: ImbalancedStorage, tier: ReqOnly },
-        HistEntry { id: "CEPH-59333", title: "subtree pinning overloads one MDS under deep mkdir trees", kind: ImbalancedCpu, tier: ReqOnly },
-        HistEntry { id: "CEPH-62214", title: "backfill reservation leak after OSD add under writes", kind: ImbalancedStorage, tier: Shallow(EasyReqChurnTight) },
-        HistEntry { id: "CEPH-60625", title: "up:replay MDS consumes all CPU after gateway churn", kind: ImbalancedCpu, tier: Shallow(EasyReqChurnWide) },
-        HistEntry { id: "CEPH-63790", title: "balancer upmap entries pile onto a single OSD", kind: ImbalancedStorage, tier: Shallow(VarianceCoupled) },
-        HistEntry { id: "CEPH-64118", title: "degraded-ratio accounting drifts during overlapping rebalances", kind: ImbalancedStorage, tier: Shallow(VarianceCoupled) },
-        HistEntry { id: "CEPH-62045", title: "MDS export_dir storm after double rank failure", kind: ImbalancedNetwork, tier: Deep },
-        HistEntry { id: "CEPH-63377", title: "pg_upmap_items survive OSD removal and strand data", kind: ImbalancedStorage, tier: Deep },
-        HistEntry { id: "CEPH-64901", title: "snap trim queue starves recovery on one OSD", kind: ImbalancedStorage, tier: Deep },
-        HistEntry { id: "CEPH-61782", title: "stray directory migration loses hardlinked inodes", kind: DataLoss, tier: Deep },
+        HistEntry {
+            id: "CEPH-64333",
+            title: "PG autoscaler tuning causes catastrophic cluster crash",
+            kind: Crash,
+            tier: Deep,
+        },
+        HistEntry {
+            id: "CEPH-41935",
+            title: "MDSs keep crashing within the rebalance process (Windows only)",
+            kind: Crash,
+            tier: Gated(Gate::WindowsOnly),
+        },
+        HistEntry {
+            id: "CEPH-55568",
+            title: "CephPGImbalance alert inaccuracies under mixed HDD/SSD hardware",
+            kind: ImbalancedStorage,
+            tier: Gated(Gate::HardwareFault),
+        },
+        HistEntry {
+            id: "CEPH-63014",
+            title: "mclock scheduler latency imbalance under heavy writes after OSD restart",
+            kind: ImbalancedNetwork,
+            tier: Shallow(EasyReqChurnWide),
+        },
+        HistEntry {
+            id: "CEPH-64611",
+            title: "inconsistent return codes in MDS code base break load collection",
+            kind: ImbalancedStorage,
+            tier: Shallow(HardReqRebalanceWide),
+        },
+        HistEntry {
+            id: "CEPH-65806",
+            title: "IO hangs issuing balanced reads to replica OSDs while PG peering",
+            kind: ImbalancedNetwork,
+            tier: Shallow(HardReqChurnTight),
+        },
+        HistEntry {
+            id: "CEPH-61520",
+            title: "object size spread defeats straw2 weighting",
+            kind: ImbalancedStorage,
+            tier: ReqOnly,
+        },
+        HistEntry {
+            id: "CEPH-59333",
+            title: "subtree pinning overloads one MDS under deep mkdir trees",
+            kind: ImbalancedCpu,
+            tier: ReqOnly,
+        },
+        HistEntry {
+            id: "CEPH-62214",
+            title: "backfill reservation leak after OSD add under writes",
+            kind: ImbalancedStorage,
+            tier: Shallow(EasyReqChurnTight),
+        },
+        HistEntry {
+            id: "CEPH-60625",
+            title: "up:replay MDS consumes all CPU after gateway churn",
+            kind: ImbalancedCpu,
+            tier: Shallow(EasyReqChurnWide),
+        },
+        HistEntry {
+            id: "CEPH-63790",
+            title: "balancer upmap entries pile onto a single OSD",
+            kind: ImbalancedStorage,
+            tier: Shallow(VarianceCoupled),
+        },
+        HistEntry {
+            id: "CEPH-64118",
+            title: "degraded-ratio accounting drifts during overlapping rebalances",
+            kind: ImbalancedStorage,
+            tier: Shallow(VarianceCoupled),
+        },
+        HistEntry {
+            id: "CEPH-62045",
+            title: "MDS export_dir storm after double rank failure",
+            kind: ImbalancedNetwork,
+            tier: Deep,
+        },
+        HistEntry {
+            id: "CEPH-63377",
+            title: "pg_upmap_items survive OSD removal and strand data",
+            kind: ImbalancedStorage,
+            tier: Deep,
+        },
+        HistEntry {
+            id: "CEPH-64901",
+            title: "snap trim queue starves recovery on one OSD",
+            kind: ImbalancedStorage,
+            tier: Deep,
+        },
+        HistEntry {
+            id: "CEPH-61782",
+            title: "stray directory migration loses hardlinked inodes",
+            kind: DataLoss,
+            tier: Deep,
+        },
     ];
     for (i, e) in ceph.into_iter().enumerate() {
         out.push(hist_spec(Flavor::CephFs, 100 + i as u64, e));
@@ -508,18 +599,78 @@ pub fn all_historical_bugs() -> Vec<BugSpec> {
 
     // GlusterFS: 12 failures (1 gated).
     let gluster: Vec<HistEntry> = vec![
-        HistEntry { id: "GLUSTER-3356", title: "massive latency spikes requiring force-remount (hotspot accumulation)", kind: ImbalancedStorage, tier: Shallow(VarianceCoupled) },
-        HistEntry { id: "GLUSTER-3513", title: "improper error handling during data migration causes data loss", kind: DataLoss, tier: Shallow(HardReqRebalanceWide) },
-        HistEntry { id: "GLUSTER-1699", title: "brick offline with signal 11 during rebalance healing (hardware)", kind: Crash, tier: Gated(Gate::HardwareFault) },
-        HistEntry { id: "GLUSTER-1245142", title: "rebalance hangs on distribute volume when glusterd stopped on peer", kind: ImbalancedStorage, tier: Deep },
-        HistEntry { id: "GLUSTER-2816", title: "small-file create storms skew the DHT layout", kind: ImbalancedStorage, tier: ReqOnly },
-        HistEntry { id: "GLUSTER-3153", title: "overwrite bursts leave sparse bricks unbalanced", kind: ImbalancedStorage, tier: ReqOnly },
-        HistEntry { id: "GLUSTER-2430", title: "fix-layout misses bricks added mid-round", kind: ImbalancedStorage, tier: Shallow(EasyReqChurnWide) },
-        HistEntry { id: "GLUSTER-3088", title: "rebalance status stuck after brick replace under writes", kind: ImbalancedStorage, tier: Shallow(EasyReqChurnTight) },
-        HistEntry { id: "GLUSTER-2644", title: "rename during migration leaves stale linkfiles", kind: ImbalancedStorage, tier: Shallow(HardReqChurnTight) },
-        HistEntry { id: "GLUSTER-3201", title: "self-heal daemon pegs CPU after volume expand under load", kind: ImbalancedCpu, tier: Shallow(EasyReqChurnWide) },
-        HistEntry { id: "GLUSTER-2977", title: "quota accounting drifts across bricks during periodic rebalance", kind: ImbalancedStorage, tier: Shallow(HardReqRebalanceWide) },
-        HistEntry { id: "GLUSTER-3312", title: "dht layout anomaly after overlapping remove-brick operations", kind: ImbalancedStorage, tier: Deep },
+        HistEntry {
+            id: "GLUSTER-3356",
+            title: "massive latency spikes requiring force-remount (hotspot accumulation)",
+            kind: ImbalancedStorage,
+            tier: Shallow(VarianceCoupled),
+        },
+        HistEntry {
+            id: "GLUSTER-3513",
+            title: "improper error handling during data migration causes data loss",
+            kind: DataLoss,
+            tier: Shallow(HardReqRebalanceWide),
+        },
+        HistEntry {
+            id: "GLUSTER-1699",
+            title: "brick offline with signal 11 during rebalance healing (hardware)",
+            kind: Crash,
+            tier: Gated(Gate::HardwareFault),
+        },
+        HistEntry {
+            id: "GLUSTER-1245142",
+            title: "rebalance hangs on distribute volume when glusterd stopped on peer",
+            kind: ImbalancedStorage,
+            tier: Deep,
+        },
+        HistEntry {
+            id: "GLUSTER-2816",
+            title: "small-file create storms skew the DHT layout",
+            kind: ImbalancedStorage,
+            tier: ReqOnly,
+        },
+        HistEntry {
+            id: "GLUSTER-3153",
+            title: "overwrite bursts leave sparse bricks unbalanced",
+            kind: ImbalancedStorage,
+            tier: ReqOnly,
+        },
+        HistEntry {
+            id: "GLUSTER-2430",
+            title: "fix-layout misses bricks added mid-round",
+            kind: ImbalancedStorage,
+            tier: Shallow(EasyReqChurnWide),
+        },
+        HistEntry {
+            id: "GLUSTER-3088",
+            title: "rebalance status stuck after brick replace under writes",
+            kind: ImbalancedStorage,
+            tier: Shallow(EasyReqChurnTight),
+        },
+        HistEntry {
+            id: "GLUSTER-2644",
+            title: "rename during migration leaves stale linkfiles",
+            kind: ImbalancedStorage,
+            tier: Shallow(HardReqChurnTight),
+        },
+        HistEntry {
+            id: "GLUSTER-3201",
+            title: "self-heal daemon pegs CPU after volume expand under load",
+            kind: ImbalancedCpu,
+            tier: Shallow(EasyReqChurnWide),
+        },
+        HistEntry {
+            id: "GLUSTER-2977",
+            title: "quota accounting drifts across bricks during periodic rebalance",
+            kind: ImbalancedStorage,
+            tier: Shallow(HardReqRebalanceWide),
+        },
+        HistEntry {
+            id: "GLUSTER-3312",
+            title: "dht layout anomaly after overlapping remove-brick operations",
+            kind: ImbalancedStorage,
+            tier: Deep,
+        },
     ];
     for (i, e) in gluster.into_iter().enumerate() {
         out.push(hist_spec(Flavor::GlusterFs, 200 + i as u64, e));
@@ -527,13 +678,48 @@ pub fn all_historical_bugs() -> Vec<BugSpec> {
 
     // LeoFS: 7 failures (0 gated).
     let leofs: Vec<HistEntry> = vec![
-        HistEntry { id: "LEOFS-1115", title: "deleting a storage node causes data loss", kind: DataLoss, tier: ConfOnly },
-        HistEntry { id: "LEOFS-987", title: "multipart upload bursts skew the ring", kind: ImbalancedStorage, tier: ReqOnly },
-        HistEntry { id: "LEOFS-1042", title: "gateway cache misses pile requests on one node after scale-out", kind: ImbalancedNetwork, tier: Shallow(EasyReqChurnWide) },
-        HistEntry { id: "LEOFS-1077", title: "rebalance queue starves under concurrent writes and node swap", kind: ImbalancedStorage, tier: Shallow(EasyReqChurnTight) },
-        HistEntry { id: "LEOFS-1101", title: "delete-heavy workloads corrupt per-node usage during churn", kind: ImbalancedStorage, tier: Shallow(HardReqChurnTight) },
-        HistEntry { id: "LEOFS-1089", title: "ring checksum mismatch leaves vnode arcs unbalanced", kind: ImbalancedStorage, tier: Shallow(VarianceCoupled) },
-        HistEntry { id: "LEOFS-1123", title: "compaction after resize storm strands objects on one node", kind: ImbalancedStorage, tier: Deep },
+        HistEntry {
+            id: "LEOFS-1115",
+            title: "deleting a storage node causes data loss",
+            kind: DataLoss,
+            tier: ConfOnly,
+        },
+        HistEntry {
+            id: "LEOFS-987",
+            title: "multipart upload bursts skew the ring",
+            kind: ImbalancedStorage,
+            tier: ReqOnly,
+        },
+        HistEntry {
+            id: "LEOFS-1042",
+            title: "gateway cache misses pile requests on one node after scale-out",
+            kind: ImbalancedNetwork,
+            tier: Shallow(EasyReqChurnWide),
+        },
+        HistEntry {
+            id: "LEOFS-1077",
+            title: "rebalance queue starves under concurrent writes and node swap",
+            kind: ImbalancedStorage,
+            tier: Shallow(EasyReqChurnTight),
+        },
+        HistEntry {
+            id: "LEOFS-1101",
+            title: "delete-heavy workloads corrupt per-node usage during churn",
+            kind: ImbalancedStorage,
+            tier: Shallow(HardReqChurnTight),
+        },
+        HistEntry {
+            id: "LEOFS-1089",
+            title: "ring checksum mismatch leaves vnode arcs unbalanced",
+            kind: ImbalancedStorage,
+            tier: Shallow(VarianceCoupled),
+        },
+        HistEntry {
+            id: "LEOFS-1123",
+            title: "compaction after resize storm strands objects on one node",
+            kind: ImbalancedStorage,
+            tier: Deep,
+        },
     ];
     for (i, e) in leofs.into_iter().enumerate() {
         out.push(hist_spec(Flavor::LeoFs, 300 + i as u64, e));
@@ -545,12 +731,18 @@ pub fn all_historical_bugs() -> Vec<BugSpec> {
 
 /// Historical failures for one platform.
 pub fn historical_bugs(platform: Flavor) -> Vec<BugSpec> {
-    all_historical_bugs().into_iter().filter(|b| b.platform == platform).collect()
+    all_historical_bugs()
+        .into_iter()
+        .filter(|b| b.platform == platform)
+        .collect()
 }
 
 /// Table 1 of the paper: number of studied failures per platform.
 pub fn table1_counts() -> Vec<(Flavor, usize)> {
-    Flavor::all().iter().map(|&f| (f, historical_bugs(f).len())).collect()
+    Flavor::all()
+        .iter()
+        .map(|&f| (f, historical_bugs(f).len()))
+        .collect()
 }
 
 /// A scripted reproduction support: the trigger parameters for the bug
@@ -571,7 +763,13 @@ mod tests {
     #[test]
     fn table1_counts_match_paper() {
         let counts = table1_counts();
-        let get = |f: Flavor| counts.iter().find(|(p, _)| *p == f).map(|(_, c)| *c).unwrap();
+        let get = |f: Flavor| {
+            counts
+                .iter()
+                .find(|(p, _)| *p == f)
+                .map(|(_, c)| *c)
+                .unwrap()
+        };
         assert_eq!(get(Flavor::Hdfs), 18);
         assert_eq!(get(Flavor::CephFs), 16);
         assert_eq!(get(Flavor::GlusterFs), 12);
@@ -601,8 +799,10 @@ mod tests {
 
     #[test]
     fn exactly_five_bugs_are_gated() {
-        let gated: Vec<_> =
-            all_historical_bugs().into_iter().filter(|b| !b.reproducible()).collect();
+        let gated: Vec<_> = all_historical_bugs()
+            .into_iter()
+            .filter(|b| !b.reproducible())
+            .collect();
         assert_eq!(gated.len(), 5);
         let windows = gated.iter().filter(|b| b.gate == Gate::WindowsOnly).count();
         assert_eq!(windows, 2);
@@ -612,15 +812,21 @@ mod tests {
     fn input_space_distribution_matches_finding4() {
         let bugs = all_historical_bugs();
         let live: Vec<_> = bugs.iter().filter(|b| b.reproducible()).collect();
-        let req_only =
-            live.iter().filter(|b| b.trigger.needs_requests() && !b.trigger.needs_configs());
-        let conf_only =
-            live.iter().filter(|b| !b.trigger.needs_requests() && b.trigger.needs_configs());
+        let req_only = live
+            .iter()
+            .filter(|b| b.trigger.needs_requests() && !b.trigger.needs_configs());
+        let conf_only = live
+            .iter()
+            .filter(|b| !b.trigger.needs_requests() && b.trigger.needs_configs());
         // 7 request-only (13% of 53) and 2 config-only (4%); note some
         // "both" triggers include a rebalance-burst side, which is not a
         // config op, so needs_configs may be false for those — we check
         // only the strict one-space tiers here.
-        assert_eq!(req_only.count(), 7 + 4, "req-only tier plus rebalance-side shallows");
+        assert_eq!(
+            req_only.count(),
+            7 + 4,
+            "req-only tier plus rebalance-side shallows"
+        );
         assert_eq!(conf_only.count(), 2);
     }
 
@@ -629,26 +835,34 @@ mod tests {
         for b in all_historical_bugs() {
             if b.reproducible() {
                 let d = b.trigger.depth();
-                assert!(d >= 1 && d <= 12, "{} depth {}", b.id, d);
+                assert!((1..=12).contains(&d), "{} depth {}", b.id, d);
             }
         }
     }
 
     #[test]
     fn figure2_bug_exists() {
-        assert!(all_historical_bugs().iter().any(|b| b.id == figure2_bug_id()));
+        assert!(all_historical_bugs()
+            .iter()
+            .any(|b| b.id == figure2_bug_id()));
     }
 
     #[test]
     fn gluster_case_study_is_cache_remigration() {
-        let b = all_new_bugs().into_iter().find(|b| b.id == "Bug#S24387").unwrap();
+        let b = all_new_bugs()
+            .into_iter()
+            .find(|b| b.id == "Bug#S24387")
+            .unwrap();
         let has_cache = match &b.trigger {
             Trigger::All { subs, .. } | Trigger::Within { subs, .. } => {
                 subs.iter().any(|t| matches!(t, Trigger::CacheRemigration))
             }
             t => matches!(t, Trigger::CacheRemigration),
         };
-        assert!(has_cache, "case study must hinge on the cache-remigration path");
+        assert!(
+            has_cache,
+            "case study must hinge on the cache-remigration path"
+        );
         assert!(matches!(b.effect, Effect::DeleteMigratedData { .. }));
         assert_eq!(b.platform, Flavor::GlusterFs);
     }

@@ -159,9 +159,7 @@ impl BugEngine {
     pub fn observe(&mut self, now: SimTime, ev: &SimEvent) -> Vec<usize> {
         let mut fired = Vec::new();
         for (i, bug) in self.bugs.iter_mut().enumerate() {
-            if bug.triggered_at.is_none()
-                && bug.spec.reproducible()
-                && bug.trigger.observe(now, ev)
+            if bug.triggered_at.is_none() && bug.spec.reproducible() && bug.trigger.observe(now, ev)
             {
                 bug.triggered_at = Some(now);
                 fired.push(i);
@@ -242,7 +240,11 @@ mod tests {
     }
 
     fn op_event() -> SimEvent {
-        SimEvent::Op { class: OpClass::Create, ok: true, size: 0 }
+        SimEvent::Op {
+            class: OpClass::Create,
+            ok: true,
+            size: 0,
+        }
     }
 
     #[test]

@@ -237,12 +237,24 @@ pub enum Trigger {
 impl Trigger {
     /// Builds a subsequence trigger.
     pub fn subseq(classes: Vec<OpClass>, window: usize) -> Trigger {
-        Trigger::Subseq { classes, window, progress: 0, since: 0 }
+        Trigger::Subseq {
+            classes,
+            window,
+            progress: 0,
+            since: 0,
+        }
     }
 
     /// Builds an operation-count trigger (no time bound).
     pub fn op_count(classes: Vec<OpClass>, count: usize, window: usize) -> Trigger {
-        Trigger::OpCount { classes, count, window, max_span_ms: 0, hits: VecDeque::new(), opno: 0 }
+        Trigger::OpCount {
+            classes,
+            count,
+            window,
+            max_span_ms: 0,
+            hits: VecDeque::new(),
+            opno: 0,
+        }
     }
 
     /// Builds an operation-count trigger whose hits must also fall within
@@ -253,27 +265,52 @@ impl Trigger {
         window: usize,
         max_span_ms: u64,
     ) -> Trigger {
-        Trigger::OpCount { classes, count, window, max_span_ms, hits: VecDeque::new(), opno: 0 }
+        Trigger::OpCount {
+            classes,
+            count,
+            window,
+            max_span_ms,
+            hits: VecDeque::new(),
+            opno: 0,
+        }
     }
 
     /// Builds a size-spread trigger.
     pub fn size_spread(n: usize, ratio: f64) -> Trigger {
-        Trigger::SizeSpread { n, ratio, sizes: VecDeque::new() }
+        Trigger::SizeSpread {
+            n,
+            ratio,
+            sizes: VecDeque::new(),
+        }
     }
 
     /// Builds a variance-episode trigger.
     pub fn variance_episodes(metric: Metric, ratio: f64, needed: u32) -> Trigger {
-        Trigger::VarianceEpisodes { metric, ratio, needed, seen: 0, above: false }
+        Trigger::VarianceEpisodes {
+            metric,
+            ratio,
+            needed,
+            seen: 0,
+            above: false,
+        }
     }
 
     /// Builds a rebalance-burst trigger.
     pub fn rebalance_burst(count: u32, window_ms: u64) -> Trigger {
-        Trigger::RebalanceBurst { count, window_ms, times: VecDeque::new() }
+        Trigger::RebalanceBurst {
+            count,
+            window_ms,
+            times: VecDeque::new(),
+        }
     }
 
     /// Builds a membership-churn trigger.
     pub fn membership_churn(count: u32, window_ms: u64) -> Trigger {
-        Trigger::MembershipChurn { count, window_ms, times: VecDeque::new() }
+        Trigger::MembershipChurn {
+            count,
+            window_ms,
+            times: VecDeque::new(),
+        }
     }
 
     /// Builds an offline-during-rebalance trigger.
@@ -283,17 +320,33 @@ impl Trigger {
 
     /// Builds a requests-during-rebalance trigger.
     pub fn requests_during_rebalance(count: usize) -> Trigger {
-        Trigger::RequestsDuringRebalance { count, seen: 0, running: false }
+        Trigger::RequestsDuringRebalance {
+            count,
+            seen: 0,
+            running: false,
+        }
     }
 
     /// Builds a sustained-variance trigger.
     pub fn sustained_variance(metric: Metric, ratio: f64, samples: u32) -> Trigger {
-        Trigger::SustainedVariance { metric, ratio, samples, run: 0 }
+        Trigger::SustainedVariance {
+            metric,
+            ratio,
+            samples,
+            run: 0,
+        }
     }
 
     /// Builds an echoed-mix trigger.
     pub fn echoed_mix(len: usize, repeats: u32, tol: usize) -> Trigger {
-        Trigger::EchoedMix { len, repeats, tol, chunk: Vec::new(), prev: Vec::new(), run: 0 }
+        Trigger::EchoedMix {
+            len,
+            repeats,
+            tol,
+            chunk: Vec::new(),
+            prev: Vec::new(),
+            run: 0,
+        }
     }
 
     /// Builds a conjunction.
@@ -311,7 +364,13 @@ impl Trigger {
     /// and a virtual-time horizon.
     pub fn within_timed(subs: Vec<Trigger>, horizon: usize, horizon_ms: u64) -> Trigger {
         let stamps = vec![None; subs.len()];
-        Trigger::Within { subs, horizon, horizon_ms, stamps, opno: 0 }
+        Trigger::Within {
+            subs,
+            horizon,
+            horizon_ms,
+            stamps,
+            opno: 0,
+        }
     }
 
     /// The number of "steps" (operation classes) a tester must coordinate
@@ -364,8 +423,16 @@ impl Trigger {
     /// Feeds one event; returns `true` when the trigger fires on it.
     pub fn observe(&mut self, now: SimTime, ev: &SimEvent) -> bool {
         match self {
-            Trigger::Subseq { classes, window, progress, since } => {
-                if let SimEvent::Op { class, ok: true, .. } = ev {
+            Trigger::Subseq {
+                classes,
+                window,
+                progress,
+                since,
+            } => {
+                if let SimEvent::Op {
+                    class, ok: true, ..
+                } = ev
+                {
                     if *progress > 0 {
                         *since += 1;
                         if *since > *window {
@@ -384,8 +451,18 @@ impl Trigger {
                 }
                 false
             }
-            Trigger::OpCount { classes, count, window, max_span_ms, hits, opno } => {
-                if let SimEvent::Op { class, ok: true, .. } = ev {
+            Trigger::OpCount {
+                classes,
+                count,
+                window,
+                max_span_ms,
+                hits,
+                opno,
+            } => {
+                if let SimEvent::Op {
+                    class, ok: true, ..
+                } = ev
+                {
                     *opno += 1;
                     if classes.contains(class) {
                         hits.push_back((*opno, now.as_millis()));
@@ -406,7 +483,12 @@ impl Trigger {
                 false
             }
             Trigger::SizeSpread { n, ratio, sizes } => {
-                if let SimEvent::Op { class, ok: true, size } = ev {
+                if let SimEvent::Op {
+                    class,
+                    ok: true,
+                    size,
+                } = ev
+                {
                     if matches!(class, OpClass::Create | OpClass::Resize) && *size > 0 {
                         sizes.push_back(*size);
                         if sizes.len() > *n {
@@ -421,8 +503,19 @@ impl Trigger {
                 }
                 false
             }
-            Trigger::VarianceEpisodes { metric, ratio, needed, seen, above } => {
-                if let SimEvent::Variance { storage, cpu, network } = ev {
+            Trigger::VarianceEpisodes {
+                metric,
+                ratio,
+                needed,
+                seen,
+                above,
+            } => {
+                if let SimEvent::Variance {
+                    storage,
+                    cpu,
+                    network,
+                } = ev
+                {
                     let v = match metric {
                         Metric::Storage => *storage,
                         Metric::Cpu => *cpu,
@@ -440,7 +533,11 @@ impl Trigger {
                 }
                 false
             }
-            Trigger::RebalanceBurst { count, window_ms, times } => {
+            Trigger::RebalanceBurst {
+                count,
+                window_ms,
+                times,
+            } => {
                 if matches!(ev, SimEvent::RebalanceStart) {
                     times.push_back(now.as_millis());
                     while times
@@ -454,9 +551,19 @@ impl Trigger {
                 false
             }
             Trigger::CacheRemigration => {
-                matches!(ev, SimEvent::MigrationStep { cache_hit: true, had_link: true })
+                matches!(
+                    ev,
+                    SimEvent::MigrationStep {
+                        cache_hit: true,
+                        had_link: true
+                    }
+                )
             }
-            Trigger::MembershipChurn { count, window_ms, times } => {
+            Trigger::MembershipChurn {
+                count,
+                window_ms,
+                times,
+            } => {
                 if matches!(ev, SimEvent::MembershipChange { .. }) {
                     times.push_back(now.as_millis());
                     while times
@@ -487,7 +594,11 @@ impl Trigger {
                 }
                 _ => false,
             },
-            Trigger::RequestsDuringRebalance { count, seen, running } => match ev {
+            Trigger::RequestsDuringRebalance {
+                count,
+                seen,
+                running,
+            } => match ev {
                 SimEvent::RebalanceStart => {
                     *running = true;
                     false
@@ -496,7 +607,9 @@ impl Trigger {
                     *running = false;
                     false
                 }
-                SimEvent::Op { class, ok: true, .. } if class.is_request() => {
+                SimEvent::Op {
+                    class, ok: true, ..
+                } if class.is_request() => {
                     if *running {
                         *seen += 1;
                     }
@@ -504,8 +617,18 @@ impl Trigger {
                 }
                 _ => false,
             },
-            Trigger::SustainedVariance { metric, ratio, samples, run } => {
-                if let SimEvent::Variance { storage, cpu, network } = ev {
+            Trigger::SustainedVariance {
+                metric,
+                ratio,
+                samples,
+                run,
+            } => {
+                if let SimEvent::Variance {
+                    storage,
+                    cpu,
+                    network,
+                } = ev
+                {
                     let v = match metric {
                         Metric::Storage => *storage,
                         Metric::Cpu => *cpu,
@@ -519,14 +642,24 @@ impl Trigger {
                 }
                 false
             }
-            Trigger::EchoedMix { len, repeats, tol, chunk, prev, run } => {
-                if let SimEvent::Op { class, ok: true, .. } = ev {
+            Trigger::EchoedMix {
+                len,
+                repeats,
+                tol,
+                chunk,
+                prev,
+                run,
+            } => {
+                if let SimEvent::Op {
+                    class, ok: true, ..
+                } = ev
+                {
                     chunk.push(*class);
                     if chunk.len() == *len {
                         let mut cur = std::mem::take(chunk);
                         cur.sort_by_key(|c| c.index());
-                        let mixed = cur.iter().any(|c| c.is_request())
-                            && cur.iter().any(|c| c.is_config());
+                        let mixed =
+                            cur.iter().any(|c| c.is_request()) && cur.iter().any(|c| c.is_config());
                         // Multiset distance: elements of `cur` not matched
                         // in `prev` (symmetric because lengths are equal).
                         let mut rest = prev.clone();
@@ -562,7 +695,13 @@ impl Trigger {
                 }
                 all
             }
-            Trigger::Within { subs, horizon, horizon_ms, stamps, opno } => {
+            Trigger::Within {
+                subs,
+                horizon,
+                horizon_ms,
+                stamps,
+                opno,
+            } => {
                 if matches!(ev, SimEvent::Op { ok: true, .. }) {
                     *opno += 1;
                 }
@@ -579,8 +718,7 @@ impl Trigger {
                 stamps.iter().all(|s| {
                     s.is_some_and(|(at_op, at_ms)| {
                         now_op.saturating_sub(at_op) <= *horizon
-                            && (*horizon_ms == 0
-                                || now_ms.saturating_sub(at_ms) <= *horizon_ms)
+                            && (*horizon_ms == 0 || now_ms.saturating_sub(at_ms) <= *horizon_ms)
                     })
                 })
             }
@@ -593,33 +731,50 @@ impl Trigger {
 /// parameters (used by [`Trigger::Within`] to re-arm expired sub-fires).
 fn rearmed(t: &Trigger) -> Trigger {
     match t {
-        Trigger::Subseq { classes, window, .. } => Trigger::subseq(classes.clone(), *window),
-        Trigger::OpCount { classes, count, window, max_span_ms, .. } => {
-            Trigger::op_count_timed(classes.clone(), *count, *window, *max_span_ms)
-        }
+        Trigger::Subseq {
+            classes, window, ..
+        } => Trigger::subseq(classes.clone(), *window),
+        Trigger::OpCount {
+            classes,
+            count,
+            window,
+            max_span_ms,
+            ..
+        } => Trigger::op_count_timed(classes.clone(), *count, *window, *max_span_ms),
         Trigger::SizeSpread { n, ratio, .. } => Trigger::size_spread(*n, *ratio),
-        Trigger::VarianceEpisodes { metric, ratio, needed, .. } => {
-            Trigger::variance_episodes(*metric, *ratio, *needed)
-        }
-        Trigger::RebalanceBurst { count, window_ms, .. } => {
-            Trigger::rebalance_burst(*count, *window_ms)
-        }
+        Trigger::VarianceEpisodes {
+            metric,
+            ratio,
+            needed,
+            ..
+        } => Trigger::variance_episodes(*metric, *ratio, *needed),
+        Trigger::RebalanceBurst {
+            count, window_ms, ..
+        } => Trigger::rebalance_burst(*count, *window_ms),
         Trigger::CacheRemigration => Trigger::CacheRemigration,
-        Trigger::MembershipChurn { count, window_ms, .. } => {
-            Trigger::membership_churn(*count, *window_ms)
-        }
+        Trigger::MembershipChurn {
+            count, window_ms, ..
+        } => Trigger::membership_churn(*count, *window_ms),
         Trigger::OfflineDuringRebalance { .. } => Trigger::offline_during_rebalance(),
         Trigger::RequestsDuringRebalance { count, .. } => {
             Trigger::requests_during_rebalance(*count)
         }
-        Trigger::SustainedVariance { metric, ratio, samples, .. } => {
-            Trigger::sustained_variance(*metric, *ratio, *samples)
-        }
-        Trigger::EchoedMix { len, repeats, tol, .. } => Trigger::echoed_mix(*len, *repeats, *tol),
+        Trigger::SustainedVariance {
+            metric,
+            ratio,
+            samples,
+            ..
+        } => Trigger::sustained_variance(*metric, *ratio, *samples),
+        Trigger::EchoedMix {
+            len, repeats, tol, ..
+        } => Trigger::echoed_mix(*len, *repeats, *tol),
         Trigger::All { subs, .. } => Trigger::all(subs.iter().map(rearmed).collect()),
-        Trigger::Within { subs, horizon, horizon_ms, .. } => {
-            Trigger::within_timed(subs.iter().map(rearmed).collect(), *horizon, *horizon_ms)
-        }
+        Trigger::Within {
+            subs,
+            horizon,
+            horizon_ms,
+            ..
+        } => Trigger::within_timed(subs.iter().map(rearmed).collect(), *horizon, *horizon_ms),
         Trigger::Never => Trigger::Never,
     }
 }
@@ -629,16 +784,27 @@ mod tests {
     use super::*;
 
     fn op(class: OpClass) -> SimEvent {
-        SimEvent::Op { class, ok: true, size: 0 }
+        SimEvent::Op {
+            class,
+            ok: true,
+            size: 0,
+        }
     }
 
     fn write(size: Bytes) -> SimEvent {
-        SimEvent::Op { class: OpClass::Create, ok: true, size }
+        SimEvent::Op {
+            class: OpClass::Create,
+            ok: true,
+            size,
+        }
     }
 
     #[test]
     fn subseq_fires_in_order_within_window() {
-        let mut t = Trigger::subseq(vec![OpClass::Create, OpClass::VolumeAdd, OpClass::Delete], 2);
+        let mut t = Trigger::subseq(
+            vec![OpClass::Create, OpClass::VolumeAdd, OpClass::Delete],
+            2,
+        );
         assert!(!t.observe(SimTime::ZERO, &op(OpClass::Create)));
         assert!(!t.observe(SimTime::ZERO, &op(OpClass::Read)));
         assert!(!t.observe(SimTime::ZERO, &op(OpClass::VolumeAdd)));
@@ -652,13 +818,20 @@ mod tests {
         // Two unrelated ops exceed the window of 1.
         assert!(!t.observe(SimTime::ZERO, &op(OpClass::Read)));
         assert!(!t.observe(SimTime::ZERO, &op(OpClass::Read)));
-        assert!(!t.observe(SimTime::ZERO, &op(OpClass::Delete)), "progress must have reset");
+        assert!(
+            !t.observe(SimTime::ZERO, &op(OpClass::Delete)),
+            "progress must have reset"
+        );
     }
 
     #[test]
     fn subseq_ignores_failed_ops() {
         let mut t = Trigger::subseq(vec![OpClass::Create], 4);
-        let failed = SimEvent::Op { class: OpClass::Create, ok: false, size: 0 };
+        let failed = SimEvent::Op {
+            class: OpClass::Create,
+            ok: false,
+            size: 0,
+        };
         assert!(!t.observe(SimTime::ZERO, &failed));
         assert!(t.observe(SimTime::ZERO, &op(OpClass::Create)));
     }
@@ -669,7 +842,7 @@ mod tests {
         assert!(!t.observe(SimTime::ZERO, &op(OpClass::Create))); // op 1
         assert!(!t.observe(SimTime::ZERO, &op(OpClass::Read))); // op 2
         assert!(!t.observe(SimTime::ZERO, &op(OpClass::Read))); // op 3
-        // Op 4: the create at op 1 has slid out of the window of 3.
+                                                                // Op 4: the create at op 1 has slid out of the window of 3.
         assert!(!t.observe(SimTime::ZERO, &op(OpClass::Create)));
         // Op 5: creates at ops 4 and 5 are both inside the window.
         assert!(t.observe(SimTime::ZERO, &op(OpClass::Create)));
@@ -687,8 +860,16 @@ mod tests {
     #[test]
     fn variance_episodes_counts_rising_edges() {
         let mut t = Trigger::variance_episodes(Metric::Storage, 1.3, 2);
-        let hi = SimEvent::Variance { storage: 1.5, cpu: 1.0, network: 1.0 };
-        let lo = SimEvent::Variance { storage: 1.0, cpu: 1.0, network: 1.0 };
+        let hi = SimEvent::Variance {
+            storage: 1.5,
+            cpu: 1.0,
+            network: 1.0,
+        };
+        let lo = SimEvent::Variance {
+            storage: 1.0,
+            cpu: 1.0,
+            network: 1.0,
+        };
         assert!(!t.observe(SimTime::ZERO, &hi)); // episode 1
         assert!(!t.observe(SimTime::ZERO, &hi)); // still above: same episode
         assert!(!t.observe(SimTime::ZERO, &lo));
@@ -698,9 +879,17 @@ mod tests {
     #[test]
     fn variance_episodes_watches_selected_metric_only() {
         let mut t = Trigger::variance_episodes(Metric::Cpu, 1.3, 1);
-        let storage_hi = SimEvent::Variance { storage: 9.0, cpu: 1.0, network: 1.0 };
+        let storage_hi = SimEvent::Variance {
+            storage: 9.0,
+            cpu: 1.0,
+            network: 1.0,
+        };
         assert!(!t.observe(SimTime::ZERO, &storage_hi));
-        let cpu_hi = SimEvent::Variance { storage: 1.0, cpu: 2.0, network: 1.0 };
+        let cpu_hi = SimEvent::Variance {
+            storage: 1.0,
+            cpu: 2.0,
+            network: 1.0,
+        };
         assert!(t.observe(SimTime::ZERO, &cpu_hi));
     }
 
@@ -715,7 +904,9 @@ mod tests {
     #[test]
     fn offline_during_rebalance_needs_active_round() {
         let mut t = Trigger::offline_during_rebalance();
-        let remove = SimEvent::MembershipChange { class: OpClass::StorageRemove };
+        let remove = SimEvent::MembershipChange {
+            class: OpClass::StorageRemove,
+        };
         assert!(!t.observe(SimTime::ZERO, &remove));
         assert!(!t.observe(SimTime::ZERO, &SimEvent::RebalanceStart));
         assert!(t.observe(SimTime::ZERO, &remove));
@@ -725,7 +916,9 @@ mod tests {
     fn offline_during_rebalance_ignores_additions() {
         let mut t = Trigger::offline_during_rebalance();
         t.observe(SimTime::ZERO, &SimEvent::RebalanceStart);
-        let add = SimEvent::MembershipChange { class: OpClass::StorageAdd };
+        let add = SimEvent::MembershipChange {
+            class: OpClass::StorageAdd,
+        };
         assert!(!t.observe(SimTime::ZERO, &add));
     }
 
@@ -767,11 +960,22 @@ mod tests {
     #[test]
     fn sustained_variance_requires_consecutive_samples() {
         let mut t = Trigger::sustained_variance(Metric::Storage, 1.1, 3);
-        let hi = SimEvent::Variance { storage: 1.2, cpu: 1.0, network: 1.0 };
-        let lo = SimEvent::Variance { storage: 1.0, cpu: 1.0, network: 1.0 };
+        let hi = SimEvent::Variance {
+            storage: 1.2,
+            cpu: 1.0,
+            network: 1.0,
+        };
+        let lo = SimEvent::Variance {
+            storage: 1.0,
+            cpu: 1.0,
+            network: 1.0,
+        };
         assert!(!t.observe(SimTime::ZERO, &hi));
         assert!(!t.observe(SimTime::ZERO, &hi));
-        assert!(!t.observe(SimTime::ZERO, &lo), "run must reset on a low sample");
+        assert!(
+            !t.observe(SimTime::ZERO, &lo),
+            "run must reset on a low sample"
+        );
         assert!(!t.observe(SimTime::ZERO, &hi));
         assert!(!t.observe(SimTime::ZERO, &hi));
         assert!(t.observe(SimTime::ZERO, &hi));
@@ -898,15 +1102,24 @@ mod tests {
         let mut t = Trigger::CacheRemigration;
         assert!(!t.observe(
             SimTime::ZERO,
-            &SimEvent::MigrationStep { cache_hit: true, had_link: false }
+            &SimEvent::MigrationStep {
+                cache_hit: true,
+                had_link: false
+            }
         ));
         assert!(!t.observe(
             SimTime::ZERO,
-            &SimEvent::MigrationStep { cache_hit: false, had_link: true }
+            &SimEvent::MigrationStep {
+                cache_hit: false,
+                had_link: true
+            }
         ));
         assert!(t.observe(
             SimTime::ZERO,
-            &SimEvent::MigrationStep { cache_hit: true, had_link: true }
+            &SimEvent::MigrationStep {
+                cache_hit: true,
+                had_link: true
+            }
         ));
     }
 }

@@ -56,7 +56,10 @@ impl PeriodicTimer {
     /// Panics if `period_ms` is zero.
     pub fn new(period_ms: u64) -> Self {
         assert!(period_ms > 0, "timer period must be positive");
-        PeriodicTimer { period_ms, last_fire: SimTime::ZERO }
+        PeriodicTimer {
+            period_ms,
+            last_fire: SimTime::ZERO,
+        }
     }
 
     /// Returns the number of periods that elapsed since the last call and

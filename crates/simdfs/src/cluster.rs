@@ -49,6 +49,11 @@ pub struct Cluster {
     pub volume_owner: BTreeMap<VolumeId, NodeId>,
     next_node: u32,
     next_volume: u32,
+    /// Placement topology generation: bumped on every mutation that changes
+    /// which volumes [`Cluster::volume_views`] returns (storage node or
+    /// volume membership, capacities, online status). Fill-level changes do
+    /// *not* bump it. Placement caches key off this counter.
+    generation: u64,
 }
 
 impl Cluster {
@@ -57,13 +62,24 @@ impl Cluster {
         Cluster::default()
     }
 
+    /// The current placement topology generation (see the field docs).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Adds a management node with the given core count.
     pub fn add_mgmt(&mut self, cores: u32) -> NodeId {
         let id = NodeId(self.next_node);
         self.next_node += 1;
         self.mgmt.insert(
             id,
-            MgmtNode { id, online: true, cores, load: Default::default(), joined: Default::default() },
+            MgmtNode {
+                id,
+                online: true,
+                cores,
+                load: Default::default(),
+                joined: Default::default(),
+            },
         );
         id
     }
@@ -89,7 +105,11 @@ impl Cluster {
         for _ in 0..volumes.max(1) {
             let vid = VolumeId(self.next_volume);
             self.next_volume += 1;
-            vols.push(Volume { id: vid, capacity, used: 0 });
+            vols.push(Volume {
+                id: vid,
+                capacity,
+                used: 0,
+            });
             self.volume_owner.insert(vid, id);
             vol_ids.push(vid);
         }
@@ -103,6 +123,7 @@ impl Cluster {
                 joined: Default::default(),
             },
         );
+        self.generation += 1;
         (id, vol_ids)
     }
 
@@ -124,6 +145,7 @@ impl Cluster {
         for v in &dead_vols {
             self.volume_owner.remove(v);
         }
+        self.generation += 1;
         Ok(self.strip_replicas(&dead_vols))
     }
 
@@ -149,11 +171,19 @@ impl Cluster {
 
     /// Attaches a new volume to a storage node.
     pub fn add_volume(&mut self, node: NodeId, capacity: Bytes) -> SimResult<VolumeId> {
-        let n = self.storage.get_mut(&node).ok_or(SimError::NoSuchNode(node))?;
+        let n = self
+            .storage
+            .get_mut(&node)
+            .ok_or(SimError::NoSuchNode(node))?;
         let vid = VolumeId(self.next_volume);
         self.next_volume += 1;
-        n.volumes.push(Volume { id: vid, capacity, used: 0 });
+        n.volumes.push(Volume {
+            id: vid,
+            capacity,
+            used: 0,
+        });
         self.volume_owner.insert(vid, node);
+        self.generation += 1;
         Ok(vid)
     }
 
@@ -163,7 +193,10 @@ impl Cluster {
         &mut self,
         vol: VolumeId,
     ) -> SimResult<Vec<(crate::types::FileId, Replica)>> {
-        let owner = *self.volume_owner.get(&vol).ok_or(SimError::NoSuchVolume(vol))?;
+        let owner = *self
+            .volume_owner
+            .get(&vol)
+            .ok_or(SimError::NoSuchVolume(vol))?;
         let live_volumes: usize = self.storage.values().map(|n| n.volumes.len()).sum();
         if live_volumes <= 1 {
             return Err(SimError::LastNode(owner));
@@ -171,6 +204,7 @@ impl Cluster {
         let node = self.storage.get_mut(&owner).expect("owner map consistent");
         node.volumes.retain(|v| v.id != vol);
         self.volume_owner.remove(&vol);
+        self.generation += 1;
         Ok(self.strip_replicas(&[vol]))
     }
 
@@ -178,6 +212,7 @@ impl Cluster {
     pub fn expand_volume(&mut self, vol: VolumeId, delta: Bytes) -> SimResult<()> {
         let v = self.volume_mut(vol)?;
         v.capacity = v.capacity.saturating_add(delta);
+        self.generation += 1;
         Ok(())
     }
 
@@ -194,11 +229,15 @@ impl Cluster {
             });
         }
         v.capacity = new_cap;
+        self.generation += 1;
         Ok(())
     }
 
     fn volume_mut(&mut self, vol: VolumeId) -> SimResult<&mut Volume> {
-        let owner = *self.volume_owner.get(&vol).ok_or(SimError::NoSuchVolume(vol))?;
+        let owner = *self
+            .volume_owner
+            .get(&vol)
+            .ok_or(SimError::NoSuchVolume(vol))?;
         self.storage
             .get_mut(&owner)
             .and_then(|n| n.volume_mut(vol))
@@ -214,6 +253,15 @@ impl Cluster {
     /// Views of every volume on online storage nodes, for placement.
     pub fn volume_views(&self) -> Vec<VolumeView> {
         let mut views = Vec::new();
+        self.volume_views_into(&mut views);
+        views
+    }
+
+    /// Allocation-free variant of [`Cluster::volume_views`]: clears and
+    /// refills `views`, reusing its capacity. The hot path calls this with
+    /// a long-lived buffer once per executed operation.
+    pub fn volume_views_into(&self, views: &mut Vec<VolumeView>) {
+        views.clear();
         for node in self.storage.values().filter(|n| n.online) {
             for v in &node.volumes {
                 views.push(VolumeView {
@@ -225,23 +273,36 @@ impl Cluster {
                 });
             }
         }
-        views
     }
 
     /// Stores `bytes` of file `fid` on `vol` as a new replica.
-    pub fn store(&mut self, fid: crate::types::FileId, vol: VolumeId, bytes: Bytes) -> SimResult<()> {
+    pub fn store(
+        &mut self,
+        fid: crate::types::FileId,
+        vol: VolumeId,
+        bytes: Bytes,
+    ) -> SimResult<()> {
         let v = self.volume_mut(vol)?;
         if v.free() < bytes {
-            return Err(SimError::OutOfSpace { requested: bytes, free: v.free() });
+            return Err(SimError::OutOfSpace {
+                requested: bytes,
+                free: v.free(),
+            });
         }
         v.used += bytes;
-        self.files.entry(fid).or_default().replicas.push(Replica { volume: vol, bytes });
+        self.files
+            .entry(fid)
+            .or_default()
+            .replicas
+            .push(Replica { volume: vol, bytes });
         Ok(())
     }
 
     /// Frees every replica of a file and removes its metadata.
     pub fn free_file(&mut self, fid: crate::types::FileId) -> Bytes {
-        let Some(meta) = self.files.remove(&fid) else { return 0 };
+        let Some(meta) = self.files.remove(&fid) else {
+            return 0;
+        };
         let mut freed = 0;
         for r in meta.replicas {
             if let Ok(v) = self.volume_mut(r.volume) {
@@ -284,9 +345,14 @@ impl Cluster {
             let target = scale(r.bytes);
             if target > r.bytes {
                 let grow = target - r.bytes;
-                let v = self.volume(r.volume).ok_or(SimError::NoSuchVolume(r.volume))?;
+                let v = self
+                    .volume(r.volume)
+                    .ok_or(SimError::NoSuchVolume(r.volume))?;
                 if v.free() < grow {
-                    return Err(SimError::OutOfSpace { requested: grow, free: v.free() });
+                    return Err(SimError::OutOfSpace {
+                        requested: grow,
+                        free: v.free(),
+                    });
                 }
             }
         }
@@ -316,7 +382,10 @@ impl Cluster {
         to: VolumeId,
         kept: Bytes,
     ) -> SimResult<Bytes> {
-        let meta = self.files.get(&fid).ok_or(SimError::NoSuchPath(format!("{fid}")))?;
+        let meta = self
+            .files
+            .get(&fid)
+            .ok_or(SimError::NoSuchPath(format!("{fid}")))?;
         let idx = meta
             .replicas
             .iter()
@@ -327,7 +396,10 @@ impl Cluster {
         {
             let dest = self.volume_mut(to)?;
             if dest.free() < kept {
-                return Err(SimError::OutOfSpace { requested: kept, free: dest.free() });
+                return Err(SimError::OutOfSpace {
+                    requested: kept,
+                    free: dest.free(),
+                });
             }
             dest.used += kept;
         }
@@ -336,7 +408,10 @@ impl Cluster {
             src.used = src.used.saturating_sub(moved);
         }
         let meta = self.files.get_mut(&fid).expect("checked above");
-        meta.replicas[idx] = Replica { volume: to, bytes: kept };
+        meta.replicas[idx] = Replica {
+            volume: to,
+            bytes: kept,
+        };
         Ok(moved)
     }
 
@@ -363,27 +438,67 @@ impl Cluster {
 
     /// Total free bytes across online storage nodes.
     pub fn total_free(&self) -> Bytes {
-        self.storage.values().filter(|n| n.online).map(|n| n.free()).sum()
+        self.storage
+            .values()
+            .filter(|n| n.online)
+            .map(|n| n.free())
+            .sum()
     }
 
     /// Total capacity across online storage nodes.
     pub fn total_capacity(&self) -> Bytes {
-        self.storage.values().filter(|n| n.online).map(|n| n.capacity()).sum()
+        self.storage
+            .values()
+            .filter(|n| n.online)
+            .map(|n| n.capacity())
+            .sum()
     }
 
     /// Total bytes stored across online storage nodes.
     pub fn total_used(&self) -> Bytes {
-        self.storage.values().filter(|n| n.online).map(|n| n.used()).sum()
+        self.storage
+            .values()
+            .filter(|n| n.online)
+            .map(|n| n.used())
+            .sum()
     }
 
     /// Online management nodes, in id order.
     pub fn online_mgmt(&self) -> Vec<NodeId> {
-        self.mgmt.values().filter(|m| m.online).map(|m| m.id).collect()
+        self.mgmt
+            .values()
+            .filter(|m| m.online)
+            .map(|m| m.id)
+            .collect()
     }
 
     /// Online storage nodes, in id order.
     pub fn online_storage(&self) -> Vec<NodeId> {
-        self.storage.values().filter(|s| s.online).map(|s| s.id).collect()
+        self.storage
+            .values()
+            .filter(|s| s.online)
+            .map(|s| s.id)
+            .collect()
+    }
+
+    /// Whether any management node is online (allocation-free).
+    pub fn has_online_mgmt(&self) -> bool {
+        self.mgmt.values().any(|m| m.online)
+    }
+
+    /// Whether any storage node is online (allocation-free).
+    pub fn has_online_storage(&self) -> bool {
+        self.storage.values().any(|s| s.online)
+    }
+
+    /// Number of online management nodes (allocation-free).
+    pub fn online_mgmt_count(&self) -> usize {
+        self.mgmt.values().filter(|m| m.online).count()
+    }
+
+    /// The `i`-th online management node in id order (allocation-free).
+    pub fn nth_online_mgmt(&self, i: usize) -> Option<NodeId> {
+        self.mgmt.values().filter(|m| m.online).nth(i).map(|m| m.id)
     }
 
     /// Ids of every node (for inventory reporting).
@@ -392,7 +507,11 @@ impl Cluster {
             .mgmt
             .values()
             .map(|m| (m.id, NodeRole::Management, m.online))
-            .chain(self.storage.values().map(|s| (s.id, NodeRole::Storage, s.online)))
+            .chain(
+                self.storage
+                    .values()
+                    .map(|s| (s.id, NodeRole::Storage, s.online)),
+            )
             .collect();
         out.sort_by_key(|(id, _, _)| *id);
         out
@@ -402,6 +521,8 @@ impl Cluster {
     pub fn set_offline(&mut self, id: NodeId) {
         if let Some(n) = self.storage.get_mut(&id) {
             n.online = false;
+            // Offline storage nodes drop out of `volume_views`.
+            self.generation += 1;
         }
         if let Some(n) = self.mgmt.get_mut(&id) {
             n.online = false;
@@ -500,7 +621,10 @@ mod tests {
         let mut c = cluster_with(1, 1, 1000);
         let vid = c.volume_views()[0].volume;
         c.store(FileId(1), vid, 600).unwrap();
-        assert!(matches!(c.reduce_volume(vid, 500), Err(SimError::VolumeBusy { .. })));
+        assert!(matches!(
+            c.reduce_volume(vid, 500),
+            Err(SimError::VolumeBusy { .. })
+        ));
         c.reduce_volume(vid, 300).unwrap();
         assert_eq!(c.volume(vid).unwrap().capacity, 700);
     }
@@ -577,10 +701,62 @@ mod tests {
     }
 
     #[test]
+    fn generation_tracks_view_changing_mutations_only() {
+        let mut c = cluster_with(2, 1, 1000);
+        let g0 = c.generation();
+        // Fill-level changes do not bump the generation.
+        let vid = c.volume_views()[0].volume;
+        c.store(FileId(1), vid, 100).unwrap();
+        c.free_file(FileId(1));
+        c.add_mgmt(4);
+        assert_eq!(c.generation(), g0);
+        // Every view-changing mutation bumps it.
+        let (node, _) = c.add_storage(1, 1000);
+        assert_eq!(c.generation(), g0 + 1);
+        let v = c.add_volume(node, 1000).unwrap();
+        assert_eq!(c.generation(), g0 + 2);
+        c.expand_volume(v, 10).unwrap();
+        assert_eq!(c.generation(), g0 + 3);
+        c.reduce_volume(v, 10).unwrap();
+        assert_eq!(c.generation(), g0 + 4);
+        c.remove_volume(v).unwrap();
+        assert_eq!(c.generation(), g0 + 5);
+        c.set_offline(node);
+        assert_eq!(c.generation(), g0 + 6);
+        let other = c.online_storage()[0];
+        assert!(c.remove_storage(other).is_err() || c.generation() > g0 + 6);
+        // Failed mutations leave the counter alone.
+        let g = c.generation();
+        assert!(c.add_volume(NodeId(9999), 10).is_err());
+        assert_eq!(c.generation(), g);
+    }
+
+    #[test]
+    fn volume_views_into_matches_allocating_variant() {
+        let mut c = cluster_with(3, 2, 1000);
+        let vid = c.volume_views()[2].volume;
+        c.store(FileId(7), vid, 123).unwrap();
+        let mut buf = vec![VolumeView {
+            volume: VolumeId(999),
+            node: NodeId(999),
+            capacity: 0,
+            used: 0,
+            online: false,
+        }];
+        c.volume_views_into(&mut buf);
+        assert_eq!(buf, c.volume_views());
+    }
+
+    #[test]
     fn node_ids_lists_everyone() {
         let c = cluster_with(2, 1, 1000);
         let ids = c.node_ids();
         assert_eq!(ids.len(), 3);
-        assert_eq!(ids.iter().filter(|(_, r, _)| *r == NodeRole::Management).count(), 1);
+        assert_eq!(
+            ids.iter()
+                .filter(|(_, r, _)| *r == NodeRole::Management)
+                .count(),
+            1
+        );
     }
 }

@@ -61,11 +61,19 @@ pub enum Region {
 ///
 /// A "feature" abstracts a small cluster of real branches (e.g. one
 /// operation handler with its error/size/replica sub-branches).
-const REWARD: [(Region, u32); 4] =
-    [(Region::Base, 14), (Region::Pair, 10), (Region::State, 9), (Region::Deep, 16)];
+const REWARD: [(Region, u32); 4] = [
+    (Region::Base, 14),
+    (Region::Pair, 10),
+    (Region::State, 9),
+    (Region::Deep, 16),
+];
 
 fn reward(region: Region) -> u32 {
-    REWARD.iter().find(|(r, _)| *r == region).map(|(_, w)| *w).unwrap_or(8)
+    REWARD
+        .iter()
+        .find(|(r, _)| *r == region)
+        .map(|(_, w)| *w)
+        .unwrap_or(8)
 }
 
 /// Deterministic coverage accumulator for one simulated DFS instance.
@@ -79,7 +87,11 @@ pub struct CoverageModel {
 impl CoverageModel {
     /// Creates an empty model over the given universe.
     pub fn new(universe: CoverageUniverse) -> Self {
-        CoverageModel { universe, hits: HashSet::new(), seen_features: HashSet::new() }
+        CoverageModel {
+            universe,
+            hits: HashSet::new(),
+            seen_features: HashSet::new(),
+        }
     }
 
     /// Region id-space offset and length.
@@ -124,7 +136,10 @@ impl CoverageModel {
     /// Covered branches within one region (used by tests/diagnostics).
     pub fn covered_in(&self, region: Region) -> u64 {
         let (offset, len) = self.region_range(region);
-        self.hits.iter().filter(|&&id| id >= offset && id < offset + len).count() as u64
+        self.hits
+            .iter()
+            .filter(|&&id| id >= offset && id < offset + len)
+            .count() as u64
     }
 
     /// The configured universe.
@@ -146,7 +161,12 @@ mod tests {
     use super::*;
 
     fn small() -> CoverageModel {
-        CoverageModel::new(CoverageUniverse { base: 1000, pair: 500, state: 400, deep: 300 })
+        CoverageModel::new(CoverageUniverse {
+            base: 1000,
+            pair: 500,
+            state: 400,
+            deep: 300,
+        })
     }
 
     #[test]
@@ -184,12 +204,21 @@ mod tests {
 
     #[test]
     fn region_saturates_at_its_size() {
-        let mut m = CoverageModel::new(CoverageUniverse { base: 64, pair: 0, state: 0, deep: 0 });
+        let mut m = CoverageModel::new(CoverageUniverse {
+            base: 64,
+            pair: 0,
+            state: 0,
+            deep: 0,
+        });
         for f in 0..10_000u64 {
             m.touch(Region::Base, f);
         }
         assert!(m.covered() <= 64);
-        assert!(m.covered() > 55, "region should nearly saturate, got {}", m.covered());
+        assert!(
+            m.covered() > 55,
+            "region should nearly saturate, got {}",
+            m.covered()
+        );
     }
 
     #[test]
@@ -215,7 +244,12 @@ mod tests {
 
     #[test]
     fn universe_total_adds_up() {
-        let u = CoverageUniverse { base: 1, pair: 2, state: 3, deep: 4 };
+        let u = CoverageUniverse {
+            base: 1,
+            pair: 2,
+            state: 3,
+            deep: 4,
+        };
         assert_eq!(u.total(), 10);
     }
 }

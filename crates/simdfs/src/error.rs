@@ -32,7 +32,11 @@ pub enum SimError {
     /// The target node is offline and cannot serve the request.
     NodeOffline(NodeId),
     /// A volume reduction would drop below the data currently stored on it.
-    VolumeBusy { volume: VolumeId, used: u64, requested_capacity: u64 },
+    VolumeBusy {
+        volume: VolumeId,
+        used: u64,
+        requested_capacity: u64,
+    },
     /// The testbed has no hardware left for another node or volume (the
     /// paper's environment is a fixed pool of 10 containers).
     ResourceLimit(String),
@@ -58,7 +62,11 @@ impl std::fmt::Display for SimError {
                 write!(f, "cannot remove {n}: it is the last node of its role")
             }
             SimError::NodeOffline(n) => write!(f, "node offline: {n}"),
-            SimError::VolumeBusy { volume, used, requested_capacity } => write!(
+            SimError::VolumeBusy {
+                volume,
+                used,
+                requested_capacity,
+            } => write!(
                 f,
                 "volume {volume} holds {used} B, cannot shrink to {requested_capacity} B"
             ),
@@ -87,10 +95,17 @@ mod tests {
             SimError::DirectoryNotEmpty("/a".into()),
             SimError::NoSuchNode(NodeId(1)),
             SimError::NoSuchVolume(VolumeId(2)),
-            SimError::OutOfSpace { requested: 10, free: 5 },
+            SimError::OutOfSpace {
+                requested: 10,
+                free: 5,
+            },
             SimError::LastNode(NodeId(0)),
             SimError::NodeOffline(NodeId(3)),
-            SimError::VolumeBusy { volume: VolumeId(1), used: 9, requested_capacity: 4 },
+            SimError::VolumeBusy {
+                volume: VolumeId(1),
+                used: 9,
+                requested_capacity: 4,
+            },
             SimError::ResourceLimit("node".into()),
             SimError::ClusterDown,
         ];

@@ -7,9 +7,7 @@
 //! reports in Table 5).
 
 use crate::coverage::CoverageUniverse;
-use crate::placement::{
-    CrushStraw2, DhtHashRing, FreeSpaceWeighted, PlacementPolicy, VnodeRing,
-};
+use crate::placement::{CrushStraw2, DhtHashRing, FreeSpaceWeighted, PlacementPolicy, VnodeRing};
 use crate::types::{Bytes, GIB, MIB};
 use serde::{Deserialize, Serialize};
 
@@ -29,7 +27,12 @@ pub enum Flavor {
 impl Flavor {
     /// All four flavors in the paper's presentation order.
     pub fn all() -> [Flavor; 4] {
-        [Flavor::Hdfs, Flavor::CephFs, Flavor::GlusterFs, Flavor::LeoFs]
+        [
+            Flavor::Hdfs,
+            Flavor::CephFs,
+            Flavor::GlusterFs,
+            Flavor::LeoFs,
+        ]
     }
 
     /// Canonical display name.
@@ -192,10 +195,17 @@ impl FlavorConfig {
                 flavor,
                 replicas: 3,
                 balance_threshold: 0.10,
-                balancer: BalancerStyle::OnDemand { check_period_ms: 600_000 },
+                balancer: BalancerStyle::OnDemand {
+                    check_period_ms: 600_000,
+                },
                 placement: PlacementKind::FreeSpaceWeighted,
                 routing: RoutingKind::RoundRobin,
-                coverage: CoverageUniverse { base: 26_000, pair: 7_500, state: 6_000, deep: 6_000 },
+                coverage: CoverageUniverse {
+                    base: 26_000,
+                    pair: 7_500,
+                    state: 6_000,
+                    deep: 6_000,
+                },
                 mgmt_nodes: 2,
                 storage_nodes: 8,
                 volumes_per_node: 2,
@@ -248,7 +258,12 @@ impl FlavorConfig {
                 balancer: BalancerStyle::Periodic { period_ms: 300_000 },
                 placement: PlacementKind::DhtRing,
                 routing: RoutingKind::HashPath,
-                coverage: CoverageUniverse { base: 32_000, pair: 9_000, state: 7_000, deep: 7_500 },
+                coverage: CoverageUniverse {
+                    base: 32_000,
+                    pair: 9_000,
+                    state: 7_000,
+                    deep: 7_500,
+                },
                 mgmt_nodes: 2,
                 storage_nodes: 8,
                 volumes_per_node: 2,
@@ -272,7 +287,12 @@ impl FlavorConfig {
                 balancer: BalancerStyle::OnMembership,
                 placement: PlacementKind::VnodeRing,
                 routing: RoutingKind::HashPath,
-                coverage: CoverageUniverse { base: 7_600, pair: 2_100, state: 1_700, deep: 1_700 },
+                coverage: CoverageUniverse {
+                    base: 7_600,
+                    pair: 2_100,
+                    state: 1_700,
+                    deep: 1_700,
+                },
                 mgmt_nodes: 3,
                 storage_nodes: 7,
                 volumes_per_node: 1,
@@ -327,7 +347,11 @@ mod tests {
     fn ten_node_clusters() {
         for f in Flavor::all() {
             let c = f.config();
-            assert_eq!(c.mgmt_nodes + c.storage_nodes, 10, "{f} must form a 10-node cluster");
+            assert_eq!(
+                c.mgmt_nodes + c.storage_nodes,
+                10,
+                "{f} must form a 10-node cluster"
+            );
         }
     }
 

@@ -37,7 +37,7 @@ pub fn mix(a: u64, b: u64) -> u64 {
 /// floats, and the result is never exactly 0, so it is safe as input to
 /// `ln`.
 pub fn hash01(h: u64) -> f64 {
-    let m = mix(h, 0x7531_d0_c0_ffee);
+    let m = mix(h, 0x7531_d0c0_ffee);
     ((m >> 11) as f64 + 1.0) / ((1u64 << 53) as f64 + 2.0)
 }
 

@@ -31,7 +31,10 @@ pub struct DecayingRate {
 
 impl Default for DecayingRate {
     fn default() -> Self {
-        DecayingRate { value: 0.0, last: SimTime::ZERO }
+        DecayingRate {
+            value: 0.0,
+            last: SimTime::ZERO,
+        }
     }
 }
 
@@ -143,7 +146,9 @@ pub struct ClusterSnapshot {
 impl ClusterSnapshot {
     /// Samples for online nodes of the given role.
     pub fn by_role(&self, role: NodeRole) -> impl Iterator<Item = &NodeLoadSample> {
-        self.nodes.iter().filter(move |n| n.role == role && n.online)
+        self.nodes
+            .iter()
+            .filter(move |n| n.role == role && n.online)
     }
 
     /// Max-over-mean imbalance ratio for a metric over the given samples.
@@ -153,14 +158,27 @@ impl ClusterSnapshot {
     /// with no load is trivially balanced). This is the LBS quantity from
     /// Section 2.2 of the paper.
     pub fn imbalance_ratio(values: &[f64]) -> f64 {
-        if values.len() < 2 {
+        Self::imbalance_ratio_iter(values.iter().copied())
+    }
+
+    /// Streaming form of [`ClusterSnapshot::imbalance_ratio`]: consumes the
+    /// values in one pass with no intermediate collection. The simulator's
+    /// per-operation variance sampling uses this directly over live node
+    /// state instead of materializing a full snapshot.
+    pub fn imbalance_ratio_iter(values: impl Iterator<Item = f64>) -> f64 {
+        let (mut n, mut sum, mut max) = (0usize, 0.0f64, f64::MIN);
+        for v in values {
+            n += 1;
+            sum += v;
+            max = max.max(v);
+        }
+        if n < 2 {
             return 1.0;
         }
-        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let mean = sum / n as f64;
         if mean <= f64::EPSILON {
             return 1.0;
         }
-        let max = values.iter().cloned().fold(f64::MIN, f64::max);
         max / mean
     }
 
@@ -225,7 +243,10 @@ mod tests {
         let mut r = DecayingRate::new();
         r.add(SimTime(0), 100.0);
         let decayed = r.value_at(SimTime(300_000));
-        assert!(decayed < 100.0 * 0.37 + 1.0, "expected ~e^-1 decay, got {decayed}");
+        assert!(
+            decayed < 100.0 * 0.37 + 1.0,
+            "expected ~e^-1 decay, got {decayed}"
+        );
         assert!(decayed > 30.0);
     }
 
@@ -278,7 +299,11 @@ mod tests {
         off.online = false;
         let snap = ClusterSnapshot {
             time: SimTime::ZERO,
-            nodes: vec![sample(1, NodeRole::Storage, 10), sample(2, NodeRole::Storage, 10), off],
+            nodes: vec![
+                sample(1, NodeRole::Storage, 10),
+                sample(2, NodeRole::Storage, 10),
+                off,
+            ],
         };
         assert!((snap.storage_imbalance() - 1.0).abs() < 1e-12);
     }

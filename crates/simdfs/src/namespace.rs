@@ -113,8 +113,9 @@ impl Namespace {
             .ok_or_else(|| SimError::AlreadyExists("/".to_string()))?;
         let mut idx = 0usize;
         for comp in dirs {
-            let entry =
-                self.arena[idx].as_ref().ok_or_else(|| SimError::NoSuchPath(path.into()))?;
+            let entry = self.arena[idx]
+                .as_ref()
+                .ok_or_else(|| SimError::NoSuchPath(path.into()))?;
             if entry.kind != EntryKind::Dir {
                 return Err(SimError::NotADirectory(path.into()));
             }
@@ -144,13 +145,17 @@ impl Namespace {
             name: name.to_string(),
         };
         let idx = self.alloc(e);
-        self.entry_mut(parent).children.insert(name.to_string(), idx);
+        self.entry_mut(parent)
+            .children
+            .insert(name.to_string(), idx);
         Ok(())
     }
 
     /// Removes an empty directory.
     pub fn rmdir(&mut self, path: &str) -> SimResult<()> {
-        let idx = self.lookup(path).ok_or_else(|| SimError::NoSuchPath(path.into()))?;
+        let idx = self
+            .lookup(path)
+            .ok_or_else(|| SimError::NoSuchPath(path.into()))?;
         if idx == 0 {
             return Err(SimError::DirectoryNotEmpty("/".into()));
         }
@@ -186,7 +191,9 @@ impl Namespace {
             name: name.to_string(),
         };
         let idx = self.alloc(e);
-        self.entry_mut(parent).children.insert(name.to_string(), idx);
+        self.entry_mut(parent)
+            .children
+            .insert(name.to_string(), idx);
         self.file_count += 1;
         self.total_bytes += size;
         Ok(id)
@@ -194,7 +201,9 @@ impl Namespace {
 
     /// Deletes a file, returning its id and former size.
     pub fn delete(&mut self, path: &str) -> SimResult<(FileId, Bytes)> {
-        let idx = self.lookup(path).ok_or_else(|| SimError::NoSuchPath(path.into()))?;
+        let idx = self
+            .lookup(path)
+            .ok_or_else(|| SimError::NoSuchPath(path.into()))?;
         let entry = self.entry(idx);
         if entry.kind != EntryKind::File {
             return Err(SimError::IsADirectory(path.into()));
@@ -216,7 +225,9 @@ impl Namespace {
     /// This backs `append` (grow), `overwrite` (replace) and
     /// `truncate-overwrite` (shrink-then-write) operations.
     pub fn resize(&mut self, path: &str, new_size: Bytes) -> SimResult<(FileId, Bytes)> {
-        let idx = self.lookup(path).ok_or_else(|| SimError::NoSuchPath(path.into()))?;
+        let idx = self
+            .lookup(path)
+            .ok_or_else(|| SimError::NoSuchPath(path.into()))?;
         let entry = self.entry_mut(idx);
         if entry.kind != EntryKind::File {
             return Err(SimError::IsADirectory(path.into()));
@@ -230,7 +241,9 @@ impl Namespace {
 
     /// Looks up a file for reading, returning `(id, size)`.
     pub fn open(&self, path: &str) -> SimResult<(FileId, Bytes)> {
-        let idx = self.lookup(path).ok_or_else(|| SimError::NoSuchPath(path.into()))?;
+        let idx = self
+            .lookup(path)
+            .ok_or_else(|| SimError::NoSuchPath(path.into()))?;
         let entry = self.entry(idx);
         if entry.kind != EntryKind::File {
             return Err(SimError::IsADirectory(path.into()));
@@ -244,7 +257,9 @@ impl Namespace {
     /// Returns the file id when a file was moved (renames of files change
     /// their DHT hash location, which matters for GlusterFS linkfiles).
     pub fn rename(&mut self, from: &str, to: &str) -> SimResult<Option<FileId>> {
-        let idx = self.lookup(from).ok_or_else(|| SimError::NoSuchPath(from.into()))?;
+        let idx = self
+            .lookup(from)
+            .ok_or_else(|| SimError::NoSuchPath(from.into()))?;
         if idx == 0 {
             return Err(SimError::IsADirectory("/".into()));
         }
@@ -267,7 +282,9 @@ impl Namespace {
         let old_parent = self.entry(idx).parent;
         let old_name = self.entry(idx).name.clone();
         self.entry_mut(old_parent).children.remove(&old_name);
-        self.entry_mut(new_parent).children.insert(new_name.to_string(), idx);
+        self.entry_mut(new_parent)
+            .children
+            .insert(new_name.to_string(), idx);
         let e = self.entry_mut(idx);
         e.parent = new_parent;
         e.name = new_name.to_string();
@@ -297,7 +314,7 @@ impl Namespace {
     /// Collects every file as `(path, id, size)`, in depth-first order.
     pub fn files(&self) -> Vec<(String, FileId, Bytes)> {
         let mut out = Vec::with_capacity(self.file_count);
-        self.walk(0, &mut String::new(), &mut out, &mut Vec::new());
+        self.walk(0, &mut String::new(), &mut out, &mut Vec::new(), None);
         out
     }
 
@@ -305,7 +322,25 @@ impl Namespace {
     pub fn directories(&self) -> Vec<String> {
         let mut dirs = Vec::new();
         let mut out = Vec::new();
-        self.walk(0, &mut String::new(), &mut out, &mut dirs);
+        self.walk(0, &mut String::new(), &mut out, &mut dirs, None);
+        dirs
+    }
+
+    /// Like [`Self::files`], skipping the top-level entry named `skip`
+    /// without materializing its subtree's paths (the `/sys` preload tree
+    /// can hold thousands of files a caller would only filter back out).
+    pub fn files_excluding_top(&self, skip: &str) -> Vec<(String, FileId, Bytes)> {
+        let mut out = Vec::new();
+        self.walk(0, &mut String::new(), &mut out, &mut Vec::new(), Some(skip));
+        out
+    }
+
+    /// Like [`Self::directories`], skipping the top-level entry named
+    /// `skip` and everything beneath it.
+    pub fn directories_excluding_top(&self, skip: &str) -> Vec<String> {
+        let mut dirs = Vec::new();
+        let mut out = Vec::new();
+        self.walk(0, &mut String::new(), &mut out, &mut dirs, Some(skip));
         dirs
     }
 
@@ -315,9 +350,13 @@ impl Namespace {
         prefix: &mut String,
         files: &mut Vec<(String, FileId, Bytes)>,
         dirs: &mut Vec<String>,
+        skip_top: Option<&str>,
     ) {
         let entry = self.entry(idx);
         for (name, &child_idx) in &entry.children {
+            if prefix.is_empty() && skip_top == Some(name.as_str()) {
+                continue;
+            }
             let child = self.entry(child_idx);
             let len = prefix.len();
             prefix.push('/');
@@ -330,7 +369,7 @@ impl Namespace {
                 )),
                 EntryKind::Dir => {
                     dirs.push(prefix.clone());
-                    self.walk(child_idx, prefix, files, dirs);
+                    self.walk(child_idx, prefix, files, dirs, skip_top);
                 }
             }
             prefix.truncate(len);
@@ -362,7 +401,10 @@ mod tests {
         ns.mkdir("/d").unwrap();
         ns.mkdir("/d/e").unwrap();
         assert_eq!(ns.kind("/d/e"), Some(EntryKind::Dir));
-        assert_eq!(ns.rmdir("/d"), Err(SimError::DirectoryNotEmpty("/d".into())));
+        assert_eq!(
+            ns.rmdir("/d"),
+            Err(SimError::DirectoryNotEmpty("/d".into()))
+        );
         ns.rmdir("/d/e").unwrap();
         ns.rmdir("/d").unwrap();
         assert!(!ns.exists("/d"));
@@ -378,7 +420,10 @@ mod tests {
     fn create_duplicate_fails() {
         let mut ns = Namespace::new();
         ns.create("/f", 1).unwrap();
-        assert!(matches!(ns.create("/f", 2), Err(SimError::AlreadyExists(_))));
+        assert!(matches!(
+            ns.create("/f", 2),
+            Err(SimError::AlreadyExists(_))
+        ));
     }
 
     #[test]
@@ -417,7 +462,10 @@ mod tests {
         let mut ns = Namespace::new();
         ns.create("/f", 1).unwrap();
         ns.create("/g", 1).unwrap();
-        assert!(matches!(ns.rename("/f", "/g"), Err(SimError::AlreadyExists(_))));
+        assert!(matches!(
+            ns.rename("/f", "/g"),
+            Err(SimError::AlreadyExists(_))
+        ));
     }
 
     #[test]

@@ -92,7 +92,11 @@ mod tests {
     use super::*;
 
     fn vol(id: u32, cap: Bytes, used: Bytes) -> Volume {
-        Volume { id: VolumeId(id), capacity: cap, used }
+        Volume {
+            id: VolumeId(id),
+            capacity: cap,
+            used,
+        }
     }
 
     #[test]

@@ -42,6 +42,51 @@ impl VolumeView {
 /// A replica placement decision: one volume per replica.
 pub type Placement = Vec<VolumeId>;
 
+/// Precomputed, generation-invalidated placement state.
+///
+/// Ring policies pay an `O(V log V)` ring build per [`PlacementPolicy::place`]
+/// call; on the fuzzing hot path that cost dominates. A `PlacementCache`
+/// holds each policy's precomputed structures — sorted DHT ring, vnode
+/// ring, CRUSH weight table — tagged with the cluster *topology generation*
+/// they were built for, plus reusable scoring scratch buffers. The
+/// structures index into the canonical `views` slice rather than copying
+/// it, so per-call fill levels (`used`) are always read fresh while the
+/// membership-dependent parts are rebuilt only when the generation changes
+/// (see [`crate::cluster::Cluster::generation`]).
+#[derive(Debug, Default)]
+pub struct PlacementCache {
+    /// `(generation, policy name)` the cached structures were built for.
+    built: Option<(u64, &'static str)>,
+    /// Ring entries `(hash point, tie-break, view index)`.
+    ring: Vec<(u64, u32, u32)>,
+    /// Per-view weights (CRUSH straw2).
+    weights: Vec<f64>,
+    /// Scratch: scored candidates `(score, view index)`.
+    scored: Vec<(f64, u32)>,
+    /// Scratch: nodes already granted a replica for the current key.
+    nodes: Vec<NodeId>,
+}
+
+impl PlacementCache {
+    /// Creates an empty cache (first use triggers a rebuild).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops the cached structures; the next placement rebuilds them.
+    /// Required when the cluster object itself is replaced (its generation
+    /// counter restarts) rather than mutated.
+    pub fn invalidate(&mut self) {
+        self.built = None;
+    }
+
+    /// Whether the cache currently holds structures built for
+    /// `(generation, policy)`.
+    pub fn is_fresh(&self, generation: u64, policy: &'static str) -> bool {
+        self.built == Some((generation, policy))
+    }
+}
+
 /// A deterministic replica placement policy.
 pub trait PlacementPolicy: std::fmt::Debug + Send {
     /// Human-readable policy name.
@@ -51,7 +96,74 @@ pub trait PlacementPolicy: std::fmt::Debug + Send {
     /// for the data identified by `key`. `views` lists candidate volumes on
     /// online nodes; policies must not return duplicates. An empty result
     /// means no placement is possible.
+    ///
+    /// This is the uncached reference path: ring policies rebuild their
+    /// ring on every call. The simulator's hot path goes through
+    /// [`PlacementPolicy::place_cached`] instead.
     fn place(&self, key: u64, size: Bytes, replicas: usize, views: &[VolumeView]) -> Placement;
+
+    /// Rebuilds `cache`'s precomputed structures for `views`. Called by
+    /// [`PlacementPolicy::place_cached`] when the topology generation
+    /// changed; policies without precomputable state do nothing.
+    fn rebuild(&self, _cache: &mut PlacementCache, _views: &[VolumeView]) {}
+
+    /// Places using `cache`, which must hold structures built by
+    /// [`PlacementPolicy::rebuild`] for this exact `views` slice (same
+    /// membership and order; `used` fill levels may differ), writing the
+    /// chosen volumes into `out` (cleared first). The default falls back
+    /// to the uncached path.
+    fn place_via(
+        &self,
+        _cache: &mut PlacementCache,
+        key: u64,
+        size: Bytes,
+        replicas: usize,
+        views: &[VolumeView],
+        out: &mut Placement,
+    ) {
+        *out = self.place(key, size, replicas, views);
+    }
+
+    /// Cached entry point: rebuilds the cache iff `generation` does not
+    /// match what it was built for, then places through it into `out`
+    /// (cleared first; reuse one buffer across calls to keep the hot loop
+    /// allocation-free). `views` must be the canonical view list for
+    /// `generation` — callers that filter or reorder views (e.g.
+    /// bug-injected hotspot placement) must use
+    /// [`PlacementPolicy::place`] directly.
+    #[allow(clippy::too_many_arguments)]
+    fn place_cached_into(
+        &self,
+        cache: &mut PlacementCache,
+        generation: u64,
+        key: u64,
+        size: Bytes,
+        replicas: usize,
+        views: &[VolumeView],
+        out: &mut Placement,
+    ) {
+        if !cache.is_fresh(generation, self.name()) {
+            self.rebuild(cache, views);
+            cache.built = Some((generation, self.name()));
+        }
+        self.place_via(cache, key, size, replicas, views, out);
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`PlacementPolicy::place_cached_into`].
+    fn place_cached(
+        &self,
+        cache: &mut PlacementCache,
+        generation: u64,
+        key: u64,
+        size: Bytes,
+        replicas: usize,
+        views: &[VolumeView],
+    ) -> Placement {
+        let mut out = Vec::new();
+        self.place_cached_into(cache, generation, key, size, replicas, views, &mut out);
+        out
+    }
 }
 
 /// Selects up to `replicas` entries from scored candidates, preferring
@@ -63,11 +175,10 @@ fn pick_distinct_nodes(
     size: Bytes,
 ) -> Placement {
     // Sort by score descending; ties broken by volume id for determinism.
-    scored.sort_by(|a, b| {
-        b.0.partial_cmp(&a.0)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.1.volume.cmp(&b.1.volume))
-    });
+    // `total_cmp` keeps the comparator a total order even for NaN scores —
+    // `partial_cmp(..).unwrap_or(Equal)` silently made the comparison
+    // inconsistent and the resulting order permutation-dependent.
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.volume.cmp(&b.1.volume)));
     let mut out = Vec::with_capacity(replicas);
     let mut used_nodes = Vec::new();
     for (_, v) in scored.iter().filter(|(_, v)| v.free() >= size) {
@@ -93,6 +204,47 @@ fn pick_distinct_nodes(
     out
 }
 
+/// Index-based variant of [`pick_distinct_nodes`] used by the cached path:
+/// sorts `(score, view index)` pairs in place and reuses the caller's
+/// node scratch and output buffers, so a call allocates nothing once the
+/// buffers are warm.
+fn pick_distinct_nodes_indexed(
+    scored: &mut [(f64, u32)],
+    views: &[VolumeView],
+    replicas: usize,
+    size: Bytes,
+    used_nodes: &mut Vec<NodeId>,
+    out: &mut Placement,
+) {
+    scored.sort_unstable_by(|a, b| {
+        b.0.total_cmp(&a.0)
+            .then_with(|| views[a.1 as usize].volume.cmp(&views[b.1 as usize].volume))
+    });
+    used_nodes.clear();
+    out.clear();
+    for &(_, i) in scored.iter() {
+        if out.len() == replicas {
+            break;
+        }
+        let v = &views[i as usize];
+        if v.free() >= size && !used_nodes.contains(&v.node) {
+            used_nodes.push(v.node);
+            out.push(v.volume);
+        }
+    }
+    if out.len() < replicas {
+        for &(_, i) in scored.iter() {
+            if out.len() == replicas {
+                break;
+            }
+            let v = &views[i as usize];
+            if v.free() >= size && !out.contains(&v.volume) {
+                out.push(v.volume);
+            }
+        }
+    }
+}
+
 /// GlusterFS-style DHT hash partitioning.
 ///
 /// Volumes own contiguous arcs of a 64-bit hash ring (one point per volume,
@@ -102,43 +254,109 @@ fn pick_distinct_nodes(
 #[derive(Debug, Default, Clone)]
 pub struct DhtHashRing;
 
+/// Walks a sorted `(hash, tie-break, view index)` ring clockwise from the
+/// key's successor point, preferring distinct nodes, then filling with
+/// same-node volumes when `fill_same_node` is set and nodes are scarce.
+#[allow(clippy::too_many_arguments)]
+fn walk_ring(
+    ring: &[(u64, u32, u32)],
+    views: &[VolumeView],
+    key: u64,
+    size: Bytes,
+    replicas: usize,
+    used_nodes: &mut Vec<NodeId>,
+    fill_same_node: bool,
+    out: &mut Placement,
+) {
+    out.clear();
+    if ring.is_empty() {
+        return;
+    }
+    let start = ring.partition_point(|&(h, _, _)| h < key) % ring.len();
+    used_nodes.clear();
+    for i in 0..ring.len() {
+        let v = &views[ring[(start + i) % ring.len()].2 as usize];
+        if out.len() == replicas {
+            break;
+        }
+        if v.free() >= size && !used_nodes.contains(&v.node) && !out.contains(&v.volume) {
+            used_nodes.push(v.node);
+            out.push(v.volume);
+        }
+    }
+    if fill_same_node && out.len() < replicas {
+        for i in 0..ring.len() {
+            let v = &views[ring[(start + i) % ring.len()].2 as usize];
+            if out.len() == replicas {
+                break;
+            }
+            if v.free() >= size && !out.contains(&v.volume) {
+                out.push(v.volume);
+            }
+        }
+    }
+}
+
+impl DhtHashRing {
+    fn build_ring(views: &[VolumeView], ring: &mut Vec<(u64, u32, u32)>) {
+        ring.clear();
+        ring.extend(views.iter().enumerate().map(|(i, v)| {
+            (
+                mix(v.volume.0 as u64, 0x6c75_7374_6572),
+                v.volume.0,
+                i as u32,
+            )
+        }));
+        ring.sort_unstable_by_key(|&(h, vol, _)| (h, vol));
+    }
+}
+
 impl PlacementPolicy for DhtHashRing {
     fn name(&self) -> &'static str {
         "dht-hash-ring"
     }
 
     fn place(&self, key: u64, size: Bytes, replicas: usize, views: &[VolumeView]) -> Placement {
-        let mut ring: Vec<(u64, VolumeView)> =
-            views.iter().map(|v| (mix(v.volume.0 as u64, 0x6c75_7374_6572), *v)).collect();
-        ring.sort_by_key(|(h, v)| (*h, v.volume));
-        if ring.is_empty() {
-            return Vec::new();
-        }
-        let start = ring.partition_point(|(h, _)| *h < key) % ring.len();
-        let mut out = Vec::with_capacity(replicas);
+        let mut ring = Vec::new();
+        Self::build_ring(views, &mut ring);
         let mut used_nodes = Vec::new();
-        for i in 0..ring.len() {
-            let v = &ring[(start + i) % ring.len()].1;
-            if out.len() == replicas {
-                break;
-            }
-            if v.free() >= size && !used_nodes.contains(&v.node) {
-                used_nodes.push(v.node);
-                out.push(v.volume);
-            }
-        }
-        if out.len() < replicas {
-            for i in 0..ring.len() {
-                let v = &ring[(start + i) % ring.len()].1;
-                if out.len() == replicas {
-                    break;
-                }
-                if v.free() >= size && !out.contains(&v.volume) {
-                    out.push(v.volume);
-                }
-            }
-        }
+        let mut out = Vec::new();
+        walk_ring(
+            &ring,
+            views,
+            key,
+            size,
+            replicas,
+            &mut used_nodes,
+            true,
+            &mut out,
+        );
         out
+    }
+
+    fn rebuild(&self, cache: &mut PlacementCache, views: &[VolumeView]) {
+        Self::build_ring(views, &mut cache.ring);
+    }
+
+    fn place_via(
+        &self,
+        cache: &mut PlacementCache,
+        key: u64,
+        size: Bytes,
+        replicas: usize,
+        views: &[VolumeView],
+        out: &mut Placement,
+    ) {
+        walk_ring(
+            &cache.ring,
+            views,
+            key,
+            size,
+            replicas,
+            &mut cache.nodes,
+            true,
+            out,
+        );
     }
 }
 
@@ -164,30 +382,63 @@ impl PlacementPolicy for VnodeRing {
     }
 
     fn place(&self, key: u64, size: Bytes, replicas: usize, views: &[VolumeView]) -> Placement {
-        let mut ring: Vec<(u64, usize)> = Vec::with_capacity(views.len() * self.vnodes as usize);
+        let mut ring = Vec::new();
+        self.build_ring(views, &mut ring);
+        let mut used_nodes = Vec::new();
+        let mut out = Vec::new();
+        walk_ring(
+            &ring,
+            views,
+            key,
+            size,
+            replicas,
+            &mut used_nodes,
+            false,
+            &mut out,
+        );
+        out
+    }
+
+    fn rebuild(&self, cache: &mut PlacementCache, views: &[VolumeView]) {
+        self.build_ring(views, &mut cache.ring);
+    }
+
+    fn place_via(
+        &self,
+        cache: &mut PlacementCache,
+        key: u64,
+        size: Bytes,
+        replicas: usize,
+        views: &[VolumeView],
+        out: &mut Placement,
+    ) {
+        walk_ring(
+            &cache.ring,
+            views,
+            key,
+            size,
+            replicas,
+            &mut cache.nodes,
+            false,
+            out,
+        );
+    }
+}
+
+impl VnodeRing {
+    fn build_ring(&self, views: &[VolumeView], ring: &mut Vec<(u64, u32, u32)>) {
+        ring.clear();
+        ring.reserve(views.len() * self.vnodes as usize);
         for (idx, v) in views.iter().enumerate() {
             for vn in 0..self.vnodes {
-                ring.push((mix(v.volume.0 as u64, vn as u64 + 1), idx));
+                ring.push((
+                    mix(v.volume.0 as u64, vn as u64 + 1),
+                    idx as u32,
+                    idx as u32,
+                ));
             }
         }
         ring.sort_unstable();
-        if ring.is_empty() {
-            return Vec::new();
-        }
-        let start = ring.partition_point(|(h, _)| *h < key) % ring.len();
-        let mut out = Vec::with_capacity(replicas);
-        let mut used_nodes = Vec::new();
-        for i in 0..ring.len() {
-            let v = &views[ring[(start + i) % ring.len()].1];
-            if out.len() == replicas {
-                break;
-            }
-            if v.free() >= size && !used_nodes.contains(&v.node) && !out.contains(&v.volume) {
-                used_nodes.push(v.node);
-                out.push(v.volume);
-            }
-        }
-        out
     }
 }
 
@@ -214,6 +465,30 @@ impl PlacementPolicy for CrushStraw2 {
             .collect();
         pick_distinct_nodes(scored, replicas, size)
     }
+
+    fn rebuild(&self, cache: &mut PlacementCache, views: &[VolumeView]) {
+        cache.weights.clear();
+        cache.weights.extend(views.iter().map(VolumeView::weight));
+    }
+
+    fn place_via(
+        &self,
+        cache: &mut PlacementCache,
+        key: u64,
+        size: Bytes,
+        replicas: usize,
+        views: &[VolumeView],
+        out: &mut Placement,
+    ) {
+        let weights = &cache.weights;
+        let scored = &mut cache.scored;
+        scored.clear();
+        scored.extend(views.iter().enumerate().map(|(i, v)| {
+            let u = hash01(mix(key, v.volume.0 as u64));
+            (-(-u.ln() / weights[i]), i as u32)
+        }));
+        pick_distinct_nodes_indexed(scored, views, replicas, size, &mut cache.nodes, out);
+    }
 }
 
 /// HDFS-style free-space-weighted placement.
@@ -231,19 +506,44 @@ impl PlacementPolicy for FreeSpaceWeighted {
     }
 
     fn place(&self, key: u64, size: Bytes, replicas: usize, views: &[VolumeView]) -> Placement {
-        let scored: Vec<(f64, VolumeView)> = views
-            .iter()
-            .map(|v| {
-                let free_frac = if v.capacity == 0 {
-                    0.0
-                } else {
-                    v.free() as f64 / v.capacity as f64
-                };
-                let jitter = hash01(mix(key, v.volume.0 as u64 ^ 0x4846_5353));
-                (free_frac * (0.75 + 0.5 * jitter), *v)
-            })
-            .collect();
+        let scored: Vec<(f64, VolumeView)> =
+            views.iter().map(|v| (Self::score(key, v), *v)).collect();
         pick_distinct_nodes(scored, replicas, size)
+    }
+
+    // Free-space scores depend on live fill levels, so nothing is
+    // precomputable; the cached path still reuses the scoring scratch
+    // buffers instead of allocating per call.
+    fn place_via(
+        &self,
+        cache: &mut PlacementCache,
+        key: u64,
+        size: Bytes,
+        replicas: usize,
+        views: &[VolumeView],
+        out: &mut Placement,
+    ) {
+        let scored = &mut cache.scored;
+        scored.clear();
+        scored.extend(
+            views
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (Self::score(key, v), i as u32)),
+        );
+        pick_distinct_nodes_indexed(scored, views, replicas, size, &mut cache.nodes, out);
+    }
+}
+
+impl FreeSpaceWeighted {
+    fn score(key: u64, v: &VolumeView) -> f64 {
+        let free_frac = if v.capacity == 0 {
+            0.0
+        } else {
+            v.free() as f64 / v.capacity as f64
+        };
+        let jitter = hash01(mix(key, v.volume.0 as u64 ^ 0x4846_5353));
+        free_frac * (0.75 + 0.5 * jitter)
     }
 }
 
@@ -289,7 +589,12 @@ mod tests {
     fn all_policies_are_deterministic() {
         let vs = views(6, 1 << 30);
         for p in policies() {
-            assert_eq!(p.place(7, 10, 2, &vs), p.place(7, 10, 2, &vs), "{}", p.name());
+            assert_eq!(
+                p.place(7, 10, 2, &vs),
+                p.place(7, 10, 2, &vs),
+                "{}",
+                p.name()
+            );
         }
     }
 
@@ -316,15 +621,38 @@ mod tests {
         // Two volumes on node 0, one on node 1: a 2-replica placement must
         // span both nodes.
         let vs = vec![
-            VolumeView { volume: VolumeId(0), node: NodeId(0), capacity: 1 << 30, used: 0, online: true },
-            VolumeView { volume: VolumeId(1), node: NodeId(0), capacity: 1 << 30, used: 0, online: true },
-            VolumeView { volume: VolumeId(2), node: NodeId(1), capacity: 1 << 30, used: 0, online: true },
+            VolumeView {
+                volume: VolumeId(0),
+                node: NodeId(0),
+                capacity: 1 << 30,
+                used: 0,
+                online: true,
+            },
+            VolumeView {
+                volume: VolumeId(1),
+                node: NodeId(0),
+                capacity: 1 << 30,
+                used: 0,
+                online: true,
+            },
+            VolumeView {
+                volume: VolumeId(2),
+                node: NodeId(1),
+                capacity: 1 << 30,
+                used: 0,
+                online: true,
+            },
         ];
         for p in policies() {
             let placed = p.place(42, 1, 2, &vs);
             assert_eq!(placed.len(), 2, "{}", p.name());
             let has_node1 = placed.contains(&VolumeId(2));
-            assert!(has_node1, "{} did not spread across nodes: {:?}", p.name(), placed);
+            assert!(
+                has_node1,
+                "{} did not spread across nodes: {:?}",
+                p.name(),
+                placed
+            );
         }
     }
 
@@ -344,7 +672,10 @@ mod tests {
             }
         }
         let frac = moved as f64 / total as f64;
-        assert!(frac < 0.35, "vnode ring moved {frac:.2} of keys on single-node add");
+        assert!(
+            frac < 0.35,
+            "vnode ring moved {frac:.2} of keys on single-node add"
+        );
         assert!(frac > 0.01, "adding a node should move some keys");
     }
 
@@ -362,7 +693,102 @@ mod tests {
         let small_avg = (counts[0] + counts[1] + counts[2]) as f64 / 3.0;
         let big = counts[3] as f64;
         let ratio = big / small_avg;
-        assert!((2.0..4.5).contains(&ratio), "weight ratio {ratio:.2}, counts {counts:?}");
+        assert!(
+            (2.0..4.5).contains(&ratio),
+            "weight ratio {ratio:.2}, counts {counts:?}"
+        );
+    }
+
+    #[test]
+    fn cached_placement_matches_uncached_reference() {
+        // The cached path must be bit-identical to `place()` across keys,
+        // replica counts, fill-level drift, and topology changes (which
+        // bump the generation and force a rebuild).
+        for p in policies() {
+            let mut cache = PlacementCache::new();
+            let mut vs = views(6, 1 << 30);
+            // The generation advances once per round (the end-of-round
+            // topology change below bumps it).
+            for round in 0..4u64 {
+                let generation = round;
+                for k in 0..200u64 {
+                    let key = mix(k, round);
+                    let size = 1 + (k % 7) * 1024;
+                    let replicas = 1 + (k % 4) as usize;
+                    let legacy = p.place(key, size, replicas, &vs);
+                    let cached = p.place_cached(&mut cache, generation, key, size, replicas, &vs);
+                    assert_eq!(legacy, cached, "{} diverged at key {key:#x}", p.name());
+                    // Fill levels drift without a generation bump: caches
+                    // must read `used` fresh, not from build time.
+                    vs[(k % 6) as usize].used = (vs[(k % 6) as usize].used + size) % (1 << 29);
+                }
+                // Topology change: add a volume and bump the generation.
+                let n = vs.len() as u32;
+                vs.push(VolumeView {
+                    volume: VolumeId(n),
+                    node: NodeId(n),
+                    capacity: 1 << 30,
+                    used: 0,
+                    online: true,
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn cached_placement_survives_policy_switch_and_invalidate() {
+        // One cache shared across policies (as the simulator owns a single
+        // cache): switching the policy at the same generation must rebuild,
+        // and an explicit invalidate must too.
+        let vs = views(5, 1 << 30);
+        let mut cache = PlacementCache::new();
+        let dht = DhtHashRing;
+        let vnode = VnodeRing::default();
+        let a = dht.place_cached(&mut cache, 7, 11, 64, 2, &vs);
+        assert_eq!(a, dht.place(11, 64, 2, &vs));
+        let b = vnode.place_cached(&mut cache, 7, 11, 64, 2, &vs);
+        assert_eq!(b, vnode.place(11, 64, 2, &vs));
+        cache.invalidate();
+        let c = vnode.place_cached(&mut cache, 7, 11, 64, 2, &vs);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn nan_scores_sort_consistently_regardless_of_input_order() {
+        // Regression: the old comparator used `partial_cmp(..).unwrap_or(Equal)`,
+        // so a NaN score compared Equal to everything and the final order
+        // (hence the placement) depended on the input permutation. With
+        // `total_cmp`, NaN sorts to a fixed position and both permutations
+        // must agree.
+        let mk = |vol: u32| VolumeView {
+            volume: VolumeId(vol),
+            node: NodeId(vol),
+            capacity: 1 << 20,
+            used: 0,
+            online: true,
+        };
+        let scored_fwd = vec![(0.5, mk(0)), (f64::NAN, mk(1)), (0.9, mk(2))];
+        let mut scored_rev = scored_fwd.clone();
+        scored_rev.reverse();
+        let fwd = pick_distinct_nodes(scored_fwd, 2, 1);
+        let rev = pick_distinct_nodes(scored_rev, 2, 1);
+        assert_eq!(fwd, rev, "NaN score made placement permutation-dependent");
+        // NaN sorts above all ordered floats under total_cmp (positive NaN
+        // has the largest bit pattern), so it wins a slot deterministically.
+        assert_eq!(fwd, vec![VolumeId(1), VolumeId(2)]);
+
+        // The indexed (cached-path) variant must agree with the same rule.
+        let views = vec![mk(0), mk(1), mk(2)];
+        let mut fwd_idx = vec![(0.5, 0u32), (f64::NAN, 1), (0.9, 2)];
+        let mut rev_idx = fwd_idx.clone();
+        rev_idx.reverse();
+        let mut scratch = Vec::new();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        pick_distinct_nodes_indexed(&mut fwd_idx, &views, 2, 1, &mut scratch, &mut a);
+        pick_distinct_nodes_indexed(&mut rev_idx, &views, 2, 1, &mut scratch, &mut b);
+        assert_eq!(a, b);
+        assert_eq!(a, fwd);
     }
 
     #[test]
@@ -376,6 +802,9 @@ mod tests {
                 empties += 1;
             }
         }
-        assert!(empties > 190, "free-space policy picked the full volume too often");
+        assert!(
+            empties > 190,
+            "free-space policy picked the full volume too often"
+        );
     }
 }

@@ -201,7 +201,10 @@ mod tests {
             OpClass::VolumeReduce,
         ];
         for c in all {
-            assert!(c.is_request() ^ c.is_config(), "{c:?} must be exactly one input space");
+            assert!(
+                c.is_request() ^ c.is_config(),
+                "{c:?} must be exactly one input space"
+            );
         }
         // 6 request classes model the 9 file operators; 8 config classes
         // model the 8 node/volume operators of the paper's grammar.
@@ -220,23 +223,52 @@ mod tests {
 
     #[test]
     fn request_classes_match() {
-        assert_eq!(DfsRequest::Create { path: "/f".into(), size: 1 }.class(), OpClass::Create);
         assert_eq!(
-            DfsRequest::Append { path: "/f".into(), delta: 1 }.class(),
+            DfsRequest::Create {
+                path: "/f".into(),
+                size: 1
+            }
+            .class(),
+            OpClass::Create
+        );
+        assert_eq!(
+            DfsRequest::Append {
+                path: "/f".into(),
+                delta: 1
+            }
+            .class(),
             OpClass::Resize
         );
         assert_eq!(DfsRequest::AddMgmtNode.class(), OpClass::MgmtAdd);
         assert_eq!(
-            DfsRequest::ReduceVolume { volume: VolumeId(0), delta: 1 }.class(),
+            DfsRequest::ReduceVolume {
+                volume: VolumeId(0),
+                delta: 1
+            }
+            .class(),
             OpClass::VolumeReduce
         );
     }
 
     #[test]
     fn payload_reflects_written_bytes() {
-        assert_eq!(DfsRequest::Create { path: "/f".into(), size: 77 }.payload(), 77);
+        assert_eq!(
+            DfsRequest::Create {
+                path: "/f".into(),
+                size: 77
+            }
+            .payload(),
+            77
+        );
         assert_eq!(DfsRequest::Open { path: "/f".into() }.payload(), 0);
-        assert_eq!(DfsRequest::Append { path: "/f".into(), delta: 5 }.payload(), 5);
+        assert_eq!(
+            DfsRequest::Append {
+                path: "/f".into(),
+                delta: 5
+            }
+            .payload(),
+            5
+        );
     }
 
     #[test]

@@ -18,7 +18,7 @@ use crate::flavor::{BalancerStyle, Flavor, FlavorConfig, RoutingKind};
 use crate::hashing::{hash_str, mix};
 use crate::metrics::{ClusterSnapshot, NodeLoadSample};
 use crate::namespace::Namespace;
-use crate::placement::PlacementPolicy;
+use crate::placement::{Placement, PlacementCache, PlacementPolicy, VolumeView};
 use crate::request::{DfsRequest, OpClass, ReqOutcome};
 use crate::types::{Bytes, FileId, NodeId, NodeRole, SimTime, VolumeId, MIB};
 use std::collections::HashMap;
@@ -49,9 +49,11 @@ impl BugSet {
                 v.extend(catalog::historical_bugs(flavor));
                 v
             }
-            BugSet::Custom(specs) => {
-                specs.iter().filter(|s| s.platform == flavor).cloned().collect()
-            }
+            BugSet::Custom(specs) => specs
+                .iter()
+                .filter(|s| s.platform == flavor)
+                .cloned()
+                .collect(),
         }
     }
 }
@@ -87,6 +89,19 @@ pub struct DfsSim {
     ns: Namespace,
     cluster: Cluster,
     placement: Box<dyn PlacementPolicy>,
+    /// Precomputed placement structures keyed off the cluster's topology
+    /// generation (rings, weight tables) plus scoring scratch buffers.
+    placement_cache: PlacementCache,
+    /// Whether placement goes through the generation-keyed cache (default)
+    /// or the uncached reference path (benchmark baseline).
+    placement_caching: bool,
+    /// Reusable canonical volume-view buffer for the placement hot path.
+    views_buf: Vec<VolumeView>,
+    /// Reusable per-block placement output buffer.
+    placed_buf: Placement,
+    /// Reusable fragment-plan buffer (returned to the pool by the
+    /// `plan_fragments` callers after they consume the plan).
+    frags_buf: Vec<(VolumeId, Bytes)>,
     balancer: Balancer,
     bugs: BugEngine,
     coverage: CoverageModel,
@@ -100,6 +115,10 @@ pub struct DfsSim {
     crashed: Vec<NodeId>,
     stats: SimStats,
     last_variance: (f64, f64, f64),
+    /// Snapshot of the freshly built namespace + cluster (topology and
+    /// `/sys` preload), cloned back on [`DfsSim::reset`] instead of
+    /// replaying the whole deploy-time ingest.
+    pristine: Option<Box<(Namespace, Cluster)>>,
 }
 
 impl DfsSim {
@@ -122,6 +141,11 @@ impl DfsSim {
         };
         let mut sim = DfsSim {
             placement: cfg.placement.build(),
+            placement_cache: PlacementCache::new(),
+            placement_caching: true,
+            views_buf: Vec::new(),
+            placed_buf: Vec::new(),
+            frags_buf: Vec::new(),
             balancer: Balancer::new(cfg.balance_threshold),
             coverage: CoverageModel::new(cfg.coverage),
             bugs,
@@ -137,10 +161,12 @@ impl DfsSim {
             crashed: Vec::new(),
             stats: SimStats::default(),
             last_variance: (1.0, 1.0, 1.0),
+            pristine: None,
             cfg,
             bug_set,
         };
         sim.build_topology();
+        sim.pristine = Some(Box::new((sim.ns.clone(), sim.cluster.clone())));
         sim
     }
 
@@ -149,7 +175,8 @@ impl DfsSim {
             self.cluster.add_mgmt(6);
         }
         for _ in 0..self.cfg.storage_nodes {
-            self.cluster.add_storage(self.cfg.volumes_per_node, self.cfg.volume_capacity);
+            self.cluster
+                .add_storage(self.cfg.volumes_per_node, self.cfg.volume_capacity);
         }
         self.preload_base_data();
     }
@@ -161,11 +188,12 @@ impl DfsSim {
         if self.cfg.base_fill <= 0.0 || self.cfg.base_file_size == 0 {
             return;
         }
-        let raw_target =
-            (self.cluster.total_capacity() as f64 * self.cfg.base_fill) as u64;
+        let raw_target = (self.cluster.total_capacity() as f64 * self.cfg.base_fill) as u64;
         let per_file = self.cfg.base_file_size * self.cfg.replicas as u64;
         let count = raw_target / per_file.max(1);
-        let _ = self.apply_request(&DfsRequest::Mkdir { path: "/sys".into() });
+        let _ = self.apply_request(&DfsRequest::Mkdir {
+            path: "/sys".into(),
+        });
         // Deploy-time ingest is balanced: operators bulk-load evenly (and
         // any imbalance would have been rebalanced long before testing
         // starts), so fragments go round-robin across volumes rather than
@@ -177,12 +205,18 @@ impl DfsSim {
         let mut rr = 0usize;
         for i in 0..count {
             let path = format!("/sys/base{i}");
-            let Ok(fid) = self.ns.create(&path, self.cfg.base_file_size) else { continue };
+            let Ok(fid) = self.ns.create(&path, self.cfg.base_file_size) else {
+                continue;
+            };
             for _copy in 0..self.cfg.replicas {
                 for _try in 0..views.len() {
                     let v = views[rr % views.len()];
                     rr += 1;
-                    if self.cluster.store(fid, v.volume, self.cfg.base_file_size).is_ok() {
+                    if self
+                        .cluster
+                        .store(fid, v.volume, self.cfg.base_file_size)
+                        .is_ok()
+                    {
                         break;
                     }
                 }
@@ -248,6 +282,12 @@ impl DfsSim {
         &self.crashed
     }
 
+    /// Routes placement through the uncached reference path when disabled.
+    /// Benchmark baseline knob; results are identical either way.
+    pub fn set_placement_caching(&mut self, enabled: bool) {
+        self.placement_caching = enabled;
+    }
+
     /// Bytes lost to data-loss effects so far.
     pub fn bytes_lost(&self) -> Bytes {
         self.stats.bytes_lost
@@ -297,7 +337,11 @@ impl DfsSim {
         self.advance(cost);
 
         // Feed the bug engine and coverage model.
-        let ev = SimEvent::Op { class, ok, size: req.payload() };
+        let ev = SimEvent::Op {
+            class,
+            ok,
+            size: req.payload(),
+        };
         self.feed_bugs(&ev);
         if ok && class.is_membership() {
             let mev = SimEvent::MembershipChange { class };
@@ -319,7 +363,7 @@ impl DfsSim {
     }
 
     fn cluster_down(&self) -> bool {
-        self.cluster.online_mgmt().is_empty() || self.cluster.online_storage().is_empty()
+        !self.cluster.has_online_mgmt() || !self.cluster.has_online_storage()
     }
 
     fn request_cost(&self, req: &DfsRequest) -> u64 {
@@ -345,23 +389,25 @@ impl DfsSim {
     }
 
     fn route_request(&mut self, req: &DfsRequest) -> Option<NodeId> {
-        let online = self.cluster.online_mgmt();
-        if online.is_empty() {
+        let online_len = self.cluster.online_mgmt_count();
+        if online_len == 0 {
             return None;
         }
         // A NetFunnel effect hijacks routing toward its victim.
-        let funnel_active =
-            self.bugs.active_effects().any(|(s, _)| matches!(s.effect, Effect::NetFunnel));
+        let funnel_active = self
+            .bugs
+            .active_effects()
+            .any(|(s, _)| matches!(s.effect, Effect::NetFunnel));
         if funnel_active {
             let victim = self
                 .bugs
                 .active_effects()
                 .find(|(s, _)| matches!(s.effect, Effect::NetFunnel))
                 .and_then(|(_, v)| v)
-                .filter(|v| online.contains(v))
+                .filter(|v| self.cluster.mgmt.get(v).is_some_and(|m| m.online))
                 // The original victim is gone: the faulty measuring code
                 // now funnels everything to the first surviving gateway.
-                .or_else(|| online.first().copied());
+                .or_else(|| self.cluster.nth_online_mgmt(0));
             if let Some(v) = victim {
                 return Some(v);
             }
@@ -372,30 +418,32 @@ impl DfsSim {
         // requests follow the flavor's routing scheme.
         let pick = if req.class().is_config() || path.is_empty() {
             self.rr_counter += 1;
-            (self.rr_counter as usize) % online.len()
+            (self.rr_counter as usize) % online_len
         } else {
             match self.cfg.routing {
                 RoutingKind::RoundRobin => {
                     self.rr_counter += 1;
-                    (self.rr_counter as usize) % online.len()
+                    (self.rr_counter as usize) % online_len
                 }
-                RoutingKind::HashPath => (hash_str(path) as usize) % online.len(),
+                RoutingKind::HashPath => (hash_str(path) as usize) % online_len,
                 RoutingKind::PrimarySubtree => {
                     // Dynamic subtree partitioning: hot directories are
                     // split across MDS ranks, so at equilibrium requests
                     // spread per-path within each directory.
                     let top = path.split('/').find(|c| !c.is_empty()).unwrap_or("");
-                    (mix(hash_str(top), hash_str(path)) as usize) % online.len()
+                    (mix(hash_str(top), hash_str(path)) as usize) % online_len
                 }
             }
         };
-        Some(online[pick])
+        self.cluster.nth_online_mgmt(pick)
     }
 
     fn charge_mgmt(&mut self, mgmt: Option<NodeId>, req: &DfsRequest) {
         let now = self.clock.now();
         let Some(id) = mgmt else { return };
-        let Some(node) = self.cluster.mgmt.get_mut(&id) else { return };
+        let Some(node) = self.cluster.mgmt.get_mut(&id) else {
+            return;
+        };
         node.load.rps.add(now, 1.0);
         // Uniform per-request metadata cost: data transfer is handled by
         // the storage pipeline, not the management node's CPU.
@@ -445,7 +493,10 @@ impl DfsSim {
                 if let Some(n) = self.cluster.mgmt.get_mut(&id) {
                     n.joined = now;
                 }
-                Ok(ReqOutcome { new_node: Some(id), ..Default::default() })
+                Ok(ReqOutcome {
+                    new_node: Some(id),
+                    ..Default::default()
+                })
             }
             DfsRequest::RemoveMgmtNode { node } => {
                 self.cluster.remove_mgmt(*node)?;
@@ -461,7 +512,11 @@ impl DfsSim {
                 if let Some(n) = self.cluster.storage.get_mut(&id) {
                     n.joined = now;
                 }
-                Ok(ReqOutcome { new_node: Some(id), new_volumes: vols, ..Default::default() })
+                Ok(ReqOutcome {
+                    new_node: Some(id),
+                    new_volumes: vols,
+                    ..Default::default()
+                })
             }
             DfsRequest::RemoveStorageNode { node } => {
                 let displaced = self.cluster.remove_storage(*node)?;
@@ -479,7 +534,10 @@ impl DfsSim {
                 }
                 let cap = self.clamp_capacity(*capacity);
                 let vid = self.cluster.add_volume(*node, cap)?;
-                Ok(ReqOutcome { new_volumes: vec![vid], ..Default::default() })
+                Ok(ReqOutcome {
+                    new_volumes: vec![vid],
+                    ..Default::default()
+                })
             }
             DfsRequest::RemoveVolume { volume } => {
                 let displaced = self.cluster.remove_volume(*volume)?;
@@ -523,10 +581,12 @@ impl DfsSim {
                 // Roll back partial placement.
                 self.cluster.free_file(fid);
                 let _ = self.ns.delete(path);
+                self.frags_buf = fragments;
                 return Err(e);
             }
             self.charge_storage_write(*vol);
         }
+        self.frags_buf = fragments;
         if let Some(meta) = self.cluster.files.get_mut(&fid) {
             meta.key = key;
         }
@@ -543,11 +603,20 @@ impl DfsSim {
         if size == 0 {
             return Ok(Vec::new());
         }
-        let mut views = self.cluster.volume_views();
-        let hotspot = self.bugs.active_effects().find_map(|(s, v)| match s.effect {
-            Effect::HotspotPlacement { pct } => v.map(|victim| (pct, victim)),
-            _ => None,
-        });
+        let mut views = std::mem::take(&mut self.views_buf);
+        self.cluster.volume_views_into(&mut views);
+        // Whether `views` is still the canonical list for the current
+        // generation: the cached placement path requires it (rings index
+        // into the canonical slice), hotspot-filtered views must go through
+        // the uncached reference path.
+        let mut canonical = true;
+        let hotspot = self
+            .bugs
+            .active_effects()
+            .find_map(|(s, v)| match s.effect {
+                Effect::HotspotPlacement { pct } => v.map(|victim| (pct, victim)),
+                _ => None,
+            });
         if let Some((pct, victim)) = hotspot {
             let roll = (mix(key, 0x68_6f_74) % 100) as u8;
             if roll < pct {
@@ -558,12 +627,12 @@ impl DfsSim {
                     // placement path now funnels toward the currently most
                     // utilized node instead.
                     if let Some(hot) = Balancer::hottest_node(&self.cluster) {
-                        victim_views =
-                            views.iter().copied().filter(|v| v.node == hot).collect();
+                        victim_views = views.iter().copied().filter(|v| v.node == hot).collect();
                     }
                 }
                 if !victim_views.is_empty() {
                     views = victim_views;
+                    canonical = false;
                 }
             }
         }
@@ -584,26 +653,47 @@ impl DfsSim {
         // individually; consecutive blocks landing on the same volume are
         // coalesced only up to a migration-friendly cap.
         const MAX_FRAGMENT: Bytes = 64 * MIB;
-        let mut out: Vec<(VolumeId, Bytes)> = Vec::new();
+        let mut out = std::mem::take(&mut self.frags_buf);
+        out.clear();
+        let mut placed = std::mem::take(&mut self.placed_buf);
         let mut remaining = size;
         let mut block_idx = 0u64;
+        let mut failed = None;
+        let generation = self.cluster.generation();
         while remaining > 0 {
             let b = block.min(remaining);
-            let placed =
-                self.placement.place(mix(key, block_idx), b, self.cfg.replicas, &views);
+            if canonical && self.placement_caching {
+                self.placement.place_cached_into(
+                    &mut self.placement_cache,
+                    generation,
+                    mix(key, block_idx),
+                    b,
+                    self.cfg.replicas,
+                    &views,
+                    &mut placed,
+                );
+            } else {
+                placed = self
+                    .placement
+                    .place(mix(key, block_idx), b, self.cfg.replicas, &views);
+            }
             // Fewer replicas than requested is acceptable under space
             // pressure (reduced redundancy); zero placements is ENOSPC.
             if placed.is_empty() {
-                return Err(SimError::OutOfSpace {
+                failed = Some(SimError::OutOfSpace {
                     requested: b,
                     free: self.cluster.total_free(),
                 });
+                break;
             }
-            for vol in placed {
+            for &vol in &placed {
                 let cap = MAX_FRAGMENT.max(block);
-                match out.iter_mut().rev().take(self.cfg.replicas).find(|(v, bytes)| {
-                    *v == vol && bytes.saturating_add(b) <= cap
-                }) {
+                match out
+                    .iter_mut()
+                    .rev()
+                    .take(self.cfg.replicas)
+                    .find(|(v, bytes)| *v == vol && bytes.saturating_add(b) <= cap)
+                {
                     Some((_, bytes)) => *bytes += b,
                     None => out.push((vol, b)),
                 }
@@ -616,7 +706,15 @@ impl DfsSim {
             remaining -= b;
             block_idx += 1;
         }
-        Ok(out)
+        self.views_buf = views;
+        self.placed_buf = placed;
+        match failed {
+            Some(e) => {
+                self.frags_buf = out;
+                Err(e)
+            }
+            None => Ok(out),
+        }
     }
 
     fn do_resize(&mut self, path: &str, new_size: Bytes) -> SimResult<ReqOutcome> {
@@ -629,6 +727,7 @@ impl DfsSim {
                 self.cluster.store(fid, *vol, *bytes)?;
                 self.charge_storage_write(*vol);
             }
+            self.frags_buf = fragments;
             self.ns.resize(path, new_size)?;
             return Ok(ReqOutcome::default());
         }
@@ -644,6 +743,7 @@ impl DfsSim {
                 self.cluster.store(fid, *vol, *bytes)?;
                 self.charge_storage_write(*vol);
             }
+            self.frags_buf = fragments;
             self.ns.resize(path, new_size)?;
             return Ok(ReqOutcome::default());
         }
@@ -663,6 +763,32 @@ impl DfsSim {
         Ok(ReqOutcome::default())
     }
 
+    /// Single-replica hash-location lookup on the canonical views (Gluster
+    /// linkfile maintenance), through the placement cache when enabled.
+    fn hash_location(&mut self, key: u64) -> Option<VolumeId> {
+        self.cluster.volume_views_into(&mut self.views_buf);
+        if self.placement_caching {
+            let mut placed = std::mem::take(&mut self.placed_buf);
+            self.placement.place_cached_into(
+                &mut self.placement_cache,
+                self.cluster.generation(),
+                key,
+                0,
+                1,
+                &self.views_buf,
+                &mut placed,
+            );
+            let loc = placed.first().copied();
+            self.placed_buf = placed;
+            loc
+        } else {
+            self.placement
+                .place(key, 0, 1, &self.views_buf)
+                .first()
+                .copied()
+        }
+    }
+
     fn do_rename(&mut self, from: &str, to: &str) -> SimResult<ReqOutcome> {
         let moved_file = self.ns.rename(from, to)?;
         if let Some(fid) = moved_file {
@@ -671,13 +797,10 @@ impl DfsSim {
                 // DHT semantics: data stays put; if the new hash location
                 // differs from where the data lives, a linkfile appears at
                 // the hash location.
-                let views = self.cluster.volume_views();
-                let hash_loc =
-                    self.placement.place(new_key, 0, 1, &views).first().copied();
+                let hash_loc = self.hash_location(new_key);
                 if let Some(meta) = self.cluster.files.get_mut(&fid) {
                     meta.key = new_key;
-                    let data_at: Vec<VolumeId> =
-                        meta.replicas.iter().map(|r| r.volume).collect();
+                    let data_at: Vec<VolumeId> = meta.replicas.iter().map(|r| r.volume).collect();
                     meta.linkfile_at = match hash_loc {
                         Some(h) if !data_at.contains(&h) => Some(h),
                         _ => None,
@@ -728,15 +851,22 @@ impl DfsSim {
     /// a deeply imbalanced state takes coordinated sequences, not a single
     /// heavyweight command (Finding 6).
     fn replace_displaced(&mut self, displaced: Vec<(FileId, crate::cluster::Replica)>) {
-        let mut views = self.cluster.volume_views();
+        let mut views = std::mem::take(&mut self.views_buf);
+        self.cluster.volume_views_into(&mut views);
         for (fid, replica) in displaced {
-            // Least-utilized volume with room (by fill fraction).
+            // Least-utilized volume with room (by fill fraction). `total_cmp`
+            // keeps the sort a total order (fill fractions are never NaN
+            // here thanks to `capacity.max(1)`, but a partial comparator
+            // falling back to `Equal` is a latent determinism hazard).
             views.sort_by(|a, b| {
                 let fa = a.used as f64 / a.capacity.max(1) as f64;
                 let fb = b.used as f64 / b.capacity.max(1) as f64;
-                fa.partial_cmp(&fb).unwrap_or(std::cmp::Ordering::Equal).then(a.volume.cmp(&b.volume))
+                fa.total_cmp(&fb).then(a.volume.cmp(&b.volume))
             });
-            let target = views.iter().find(|v| v.free() >= replica.bytes).map(|v| v.volume);
+            let target = views
+                .iter()
+                .find(|v| v.free() >= replica.bytes)
+                .map(|v| v.volume);
             match target {
                 Some(vol) if self.cluster.store(fid, vol, replica.bytes).is_ok() => {
                     self.charge_storage_write(vol);
@@ -749,6 +879,7 @@ impl DfsSim {
                 }
             }
         }
+        self.views_buf = views;
     }
 
     // ------------------------------------------------------------------
@@ -777,7 +908,9 @@ impl DfsSim {
                 self.execute_move(&m);
             }
             if self.balancer.status() == RebalanceStatus::Done {
-                let ev = SimEvent::RebalanceDone { moves: self.balancer.total_moves as usize };
+                let ev = SimEvent::RebalanceDone {
+                    moves: self.balancer.total_moves as usize,
+                };
                 self.feed_bugs(&ev);
                 self.touch_deep(0xD0_4E, self.balancer.total_moves);
             }
@@ -786,7 +919,9 @@ impl DfsSim {
 
     fn execute_move(&mut self, m: &MigrationMove) {
         // The plan may be stale: the file may be gone or moved meanwhile.
-        let Some(meta) = self.cluster.files.get(&m.file) else { return };
+        let Some(meta) = self.cluster.files.get(&m.file) else {
+            return;
+        };
         if !meta.replicas.iter().any(|r| r.volume == m.from) {
             return;
         }
@@ -822,8 +957,7 @@ impl DfsSim {
                 if self.cfg.hash_cache_ttl_ms > 0 {
                     self.hash_cache
                         .insert(key, now.advanced(self.cfg.hash_cache_ttl_ms));
-                    let views = self.cluster.volume_views();
-                    let hash_loc = self.placement.place(key, 0, 1, &views).first().copied();
+                    let hash_loc = self.hash_location(key);
                     if let Some(meta) = self.cluster.files.get_mut(&m.file) {
                         let data_at: Vec<VolumeId> =
                             meta.replicas.iter().map(|r| r.volume).collect();
@@ -846,7 +980,10 @@ impl DfsSim {
                 // a real balancer iteration would skip it.
             }
         }
-        let ev = SimEvent::MigrationStep { cache_hit, had_link };
+        let ev = SimEvent::MigrationStep {
+            cache_hit,
+            had_link,
+        };
         self.feed_bugs(&ev);
         let variance_bucket = self.variance_bucket();
         self.touch_deep(
@@ -861,7 +998,10 @@ impl DfsSim {
             BalancerStyle::Continuous => true,
             BalancerStyle::OnDemand { .. } | BalancerStyle::Periodic { .. } => {
                 let now = self.clock.now();
-                self.check_timer.as_mut().map(|t| t.due(now) > 0).unwrap_or(false)
+                self.check_timer
+                    .as_mut()
+                    .map(|t| t.due(now) > 0)
+                    .unwrap_or(false)
             }
             BalancerStyle::OnMembership => membership,
         };
@@ -872,8 +1012,8 @@ impl DfsSim {
         let gluster_topology = self.cfg.flavor == Flavor::GlusterFs
             && membership
             && matches!(class, OpClass::VolumeAdd | OpClass::VolumeRemove);
-        let recovery = membership
-            && matches!(class, OpClass::StorageRemove | OpClass::VolumeRemove);
+        let recovery =
+            membership && matches!(class, OpClass::StorageRemove | OpClass::VolumeRemove);
         if (due || gluster_topology || recovery)
             && self.balancer.status() == RebalanceStatus::Done
             && self.balancer.needs_rebalance(&self.cluster)
@@ -896,17 +1036,41 @@ impl DfsSim {
     }
 
     fn start_rebalance_round(&mut self) {
-        let mut plan = self.balancer.plan(&self.cluster);
-        // Effect hooks in the planner.
-        if self.bugs.any_active(|e| matches!(e, Effect::MisreportRebalance)) {
-            plan.clear();
-        } else if self.bugs.any_active(|e| {
-            matches!(e, Effect::SkipMigrationFromHot | Effect::HotspotPlacement { .. })
-        }) {
-            if let Some(hot) = Balancer::hottest_node(&self.cluster) {
-                plan.retain(|m| m.from_node != hot);
+        // Effect hooks in the planner. The hooks are applied *before*
+        // planning where the outcome is provable without the plan: a
+        // MisreportRebalance always clears it, and the hot-node filter
+        // empties it whenever every donor IS the hot node (the common
+        // hotspot-bug steady state) — both shortcuts skip the full
+        // file-table scan `plan` would do, which otherwise dominates
+        // continuous-balancer campaigns.
+        let misreport = self
+            .bugs
+            .any_active(|e| matches!(e, Effect::MisreportRebalance));
+        let hot_filtered = self.bugs.any_active(|e| {
+            matches!(
+                e,
+                Effect::SkipMigrationFromHot | Effect::HotspotPlacement { .. }
+            )
+        });
+        let plan = if misreport {
+            Vec::new()
+        } else if hot_filtered {
+            match Balancer::hottest_node(&self.cluster) {
+                Some(hot) => {
+                    let donors = self.balancer.donor_nodes(&self.cluster);
+                    if !donors.is_empty() && donors.iter().all(|d| *d == hot) {
+                        Vec::new()
+                    } else {
+                        let mut plan = self.balancer.plan(&self.cluster);
+                        plan.retain(|m| m.from_node != hot);
+                        plan
+                    }
+                }
+                None => self.balancer.plan(&self.cluster),
             }
-        }
+        } else {
+            self.balancer.plan(&self.cluster)
+        };
         let planned = plan.len() as u64;
         self.balancer.start_round(plan);
         self.stats.rebalance_rounds += 1;
@@ -953,11 +1117,12 @@ impl DfsSim {
                 let mut loads = self.cluster.node_storage();
                 loads.sort_by_key(|(_, b)| std::cmp::Reverse(*b));
                 let keep_alive = 1; // never crash the very last node
-                for (node, _) in loads
-                    .into_iter()
-                    .take(count as usize)
-                    .take(self.cluster.online_storage().len().saturating_sub(keep_alive))
-                {
+                for (node, _) in loads.into_iter().take(count as usize).take(
+                    self.cluster
+                        .online_storage()
+                        .len()
+                        .saturating_sub(keep_alive),
+                ) {
                     self.cluster.set_offline(node);
                     self.crashed.push(node);
                     if self.bugs.bugs()[idx].victim.is_none() {
@@ -980,7 +1145,7 @@ impl DfsSim {
         for victim in spins {
             let target = victim
                 .filter(|v| self.cluster.mgmt.get(v).is_some_and(|m| m.online))
-                .or_else(|| self.cluster.online_mgmt().first().copied());
+                .or_else(|| self.cluster.nth_online_mgmt(0));
             if let Some(v) = target {
                 if let Some(node) = self.cluster.mgmt.get_mut(&v) {
                     node.load.cpu.add(now, 6.0);
@@ -990,12 +1155,50 @@ impl DfsSim {
     }
 
     fn sample_variance(&mut self) {
-        let snap = self.load_snapshot();
-        let s = snap.storage_imbalance();
-        let c = snap.cpu_imbalance();
-        let n = snap.network_imbalance();
-        self.last_variance = (s, c, n);
-        let ev = SimEvent::Variance { storage: s, cpu: c, network: n };
+        // Runs once per executed operation, so it streams the three
+        // imbalance ratios straight off live node state instead of
+        // materializing (allocating + sorting) a full `ClusterSnapshot`.
+        // The filters mirror `load_snapshot` + `ClusterSnapshot::by_role`:
+        // online nodes only, diskless storage nodes excluded.
+        let now = self.clock.now();
+        let storage = ClusterSnapshot::imbalance_ratio_iter(
+            self.cluster
+                .storage
+                .values()
+                .filter(|st| st.online && !st.volumes.is_empty())
+                .filter_map(|st| {
+                    let capacity: Bytes = st.volumes.iter().map(|v| v.capacity).sum();
+                    if capacity == 0 {
+                        return None;
+                    }
+                    let used: Bytes = st.volumes.iter().map(|v| v.used).sum();
+                    Some(used as f64 / capacity as f64)
+                }),
+        );
+        let cpu = ClusterSnapshot::imbalance_ratio_iter(
+            self.cluster
+                .mgmt
+                .values_mut()
+                .filter(|m| m.online)
+                .map(|m| m.load.cpu.value_at(now)),
+        );
+        let network = ClusterSnapshot::imbalance_ratio_iter(
+            self.cluster
+                .mgmt
+                .values_mut()
+                .filter(|m| m.online)
+                .map(|m| {
+                    m.load.rps.value_at(now)
+                        + m.load.read_io.value_at(now)
+                        + m.load.write_io.value_at(now)
+                }),
+        );
+        self.last_variance = (storage, cpu, network);
+        let ev = SimEvent::Variance {
+            storage,
+            cpu,
+            network,
+        };
         self.feed_bugs(&ev);
     }
 
@@ -1017,7 +1220,8 @@ impl DfsSim {
         self.coverage.touch(Region::Base, base_feat);
         // Pair and triple: execution-dependency branches.
         if let Some(prev) = self.prev_kind {
-            self.coverage.touch(Region::Pair, mix(prev, mix(kind, 0x5041_4952)));
+            self.coverage
+                .touch(Region::Pair, mix(prev, mix(kind, 0x5041_4952)));
             if let Some(prev2) = self.prev2_kind {
                 self.coverage
                     .touch(Region::Pair, mix(prev2, mix(prev, mix(kind, 0x5452_4950))));
@@ -1046,8 +1250,19 @@ impl DfsSim {
 
     /// Collects a cluster-wide load snapshot (the `LoadMonitor()` data).
     pub fn load_snapshot(&mut self) -> ClusterSnapshot {
+        let mut snap = ClusterSnapshot::default();
+        self.load_snapshot_into(&mut snap);
+        snap
+    }
+
+    /// Allocation-free variant of [`DfsSim::load_snapshot`]: clears and
+    /// refills `out`, reusing its sample buffer. The campaign loop calls
+    /// this once per iteration with a long-lived snapshot.
+    pub fn load_snapshot_into(&mut self, out: &mut ClusterSnapshot) {
         let now = self.clock.now();
-        let mut nodes = Vec::new();
+        out.time = now;
+        let nodes = &mut out.nodes;
+        nodes.clear();
         for m in self.cluster.mgmt.values_mut() {
             nodes.push(NodeLoadSample {
                 node: m.id,
@@ -1084,7 +1299,6 @@ impl DfsSim {
             });
         }
         nodes.sort_by_key(|n| n.node);
-        ClusterSnapshot { time: now, nodes }
     }
 
     /// Resets the DFS to its initial state: fresh namespace and topology,
@@ -1092,9 +1306,25 @@ impl DfsSim {
     /// survive (as they do across DFS restarts in the paper's campaigns),
     /// and the virtual clock keeps running.
     pub fn reset(&mut self) {
-        self.ns = Namespace::new();
-        self.cluster = Cluster::new();
-        self.build_topology();
+        // Rebuilding the topology replays the deploy-time ingest
+        // (thousands of `/sys` files); cloning the pristine snapshot
+        // restores the identical state in one pass.
+        match self.pristine.take() {
+            Some(p) => {
+                self.ns.clone_from(&p.0);
+                self.cluster.clone_from(&p.1);
+                self.pristine = Some(p);
+            }
+            None => {
+                self.ns = Namespace::new();
+                self.cluster = Cluster::new();
+                self.build_topology();
+            }
+        }
+        // The restored cluster's generation counter restarts at its initial
+        // value, so the tag-based freshness check would wrongly accept
+        // stale rings.
+        self.placement_cache.invalidate();
         self.balancer = Balancer::new(self.cfg.balance_threshold);
         self.bugs.rearm();
         self.hash_cache.clear();
@@ -1170,7 +1400,6 @@ fn size_bucket(bytes: Bytes) -> u64 {
 fn path_depth(path: &str) -> u64 {
     path.split('/').filter(|c| !c.is_empty()).count().min(4) as u64
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1189,10 +1418,16 @@ mod tests {
         let used = s.cluster.total_used() as f64;
         let cap = s.cluster.total_capacity() as f64;
         let fill = used / cap;
-        assert!((0.25..0.45).contains(&fill), "expected ~35% fill, got {fill:.2}");
+        assert!(
+            (0.25..0.45).contains(&fill),
+            "expected ~35% fill, got {fill:.2}"
+        );
         // Base data is spread evenly enough to start balanced.
         let ratio = s.load_snapshot().storage_imbalance();
-        assert!(ratio < 1.15, "preload should be near-balanced, ratio {ratio:.3}");
+        assert!(
+            ratio < 1.15,
+            "preload should be near-balanced, ratio {ratio:.3}"
+        );
         // Preload leaves no runtime load and no coverage.
         assert_eq!(s.coverage_count(), 0);
         assert_eq!(s.stats().ops, 0);
@@ -1202,7 +1437,11 @@ mod tests {
     fn preload_survives_reset() {
         let mut s = DfsSim::new(Flavor::GlusterFs, BugSet::None);
         let used = s.cluster.total_used();
-        s.execute(&DfsRequest::Create { path: "/x".into(), size: MIB }).unwrap();
+        s.execute(&DfsRequest::Create {
+            path: "/x".into(),
+            size: MIB,
+        })
+        .unwrap();
         s.reset();
         assert_eq!(s.cluster.total_used(), used, "reset must restore base data");
     }
@@ -1210,7 +1449,11 @@ mod tests {
     #[test]
     fn create_places_replicas() {
         let mut s = sim(Flavor::Hdfs);
-        s.execute(&DfsRequest::Create { path: "/a".into(), size: 10 * MIB }).unwrap();
+        s.execute(&DfsRequest::Create {
+            path: "/a".into(),
+            size: 10 * MIB,
+        })
+        .unwrap();
         let meta: Vec<_> = s.cluster.files.values().collect();
         assert_eq!(meta.len(), 1);
         assert_eq!(meta[0].replicas.len(), 3, "HDFS uses 3 replicas");
@@ -1220,9 +1463,14 @@ mod tests {
     #[test]
     fn delete_frees_data() {
         let mut s = sim(Flavor::GlusterFs);
-        s.execute(&DfsRequest::Create { path: "/a".into(), size: 8 * MIB }).unwrap();
+        s.execute(&DfsRequest::Create {
+            path: "/a".into(),
+            size: 8 * MIB,
+        })
+        .unwrap();
         assert!(s.cluster.total_used() > 0);
-        s.execute(&DfsRequest::Delete { path: "/a".into() }).unwrap();
+        s.execute(&DfsRequest::Delete { path: "/a".into() })
+            .unwrap();
         assert_eq!(s.cluster.total_used(), 0);
         assert_eq!(s.namespace().file_count(), 0);
     }
@@ -1230,16 +1478,26 @@ mod tests {
     #[test]
     fn append_grows_replicas() {
         let mut s = sim(Flavor::LeoFs);
-        s.execute(&DfsRequest::Create { path: "/a".into(), size: 4 * MIB }).unwrap();
+        s.execute(&DfsRequest::Create {
+            path: "/a".into(),
+            size: 4 * MIB,
+        })
+        .unwrap();
         let before = s.cluster.total_used();
-        s.execute(&DfsRequest::Append { path: "/a".into(), delta: 4 * MIB }).unwrap();
+        s.execute(&DfsRequest::Append {
+            path: "/a".into(),
+            delta: 4 * MIB,
+        })
+        .unwrap();
         assert_eq!(s.cluster.total_used(), before * 2);
     }
 
     #[test]
     fn failed_request_is_counted_but_harmless() {
         let mut s = sim(Flavor::Hdfs);
-        let err = s.execute(&DfsRequest::Delete { path: "/missing".into() });
+        let err = s.execute(&DfsRequest::Delete {
+            path: "/missing".into(),
+        });
         assert!(err.is_err());
         assert_eq!(s.stats().failed_ops, 1);
         assert_eq!(s.stats().ops, 1);
@@ -1258,7 +1516,10 @@ mod tests {
         let mut s = sim(Flavor::CephFs);
         let n_before = s.cluster.online_storage().len();
         let out = s
-            .execute(&DfsRequest::AddStorageNode { volumes: 2, capacity: MIB * 512 })
+            .execute(&DfsRequest::AddStorageNode {
+                volumes: 2,
+                capacity: MIB * 512,
+            })
             .unwrap();
         assert!(out.new_node.is_some());
         assert_eq!(out.new_volumes.len(), 2);
@@ -1269,11 +1530,16 @@ mod tests {
     fn remove_storage_node_replaces_data() {
         let mut s = sim(Flavor::CephFs);
         for i in 0..20 {
-            s.execute(&DfsRequest::Create { path: format!("/f{i}"), size: 4 * MIB }).unwrap();
+            s.execute(&DfsRequest::Create {
+                path: format!("/f{i}"),
+                size: 4 * MIB,
+            })
+            .unwrap();
         }
         let used_before = s.cluster.total_used();
         let victim = s.cluster.online_storage()[0];
-        s.execute(&DfsRequest::RemoveStorageNode { node: victim }).unwrap();
+        s.execute(&DfsRequest::RemoveStorageNode { node: victim })
+            .unwrap();
         // All data should be re-placed (ample free space), nothing lost.
         assert_eq!(s.cluster.total_used(), used_before);
         assert_eq!(s.bytes_lost(), 0);
@@ -1285,10 +1551,18 @@ mod tests {
         // subset by filling then expanding should be corrected over time.
         let mut s = sim(Flavor::CephFs);
         for i in 0..40 {
-            s.execute(&DfsRequest::Create { path: format!("/f{i}"), size: 16 * MIB }).unwrap();
+            s.execute(&DfsRequest::Create {
+                path: format!("/f{i}"),
+                size: 16 * MIB,
+            })
+            .unwrap();
         }
         // Add an empty node: now it is far below mean.
-        s.execute(&DfsRequest::AddStorageNode { volumes: 2, capacity: 4 << 30 }).unwrap();
+        s.execute(&DfsRequest::AddStorageNode {
+            volumes: 2,
+            capacity: 4 << 30,
+        })
+        .unwrap();
         // Let the balancer work.
         for _ in 0..200 {
             s.tick(2_000);
@@ -1306,9 +1580,17 @@ mod tests {
     fn explicit_rebalance_api_works() {
         let mut s = sim(Flavor::GlusterFs);
         for i in 0..30 {
-            s.execute(&DfsRequest::Create { path: format!("/f{i}"), size: 16 * MIB }).unwrap();
+            s.execute(&DfsRequest::Create {
+                path: format!("/f{i}"),
+                size: 16 * MIB,
+            })
+            .unwrap();
         }
-        s.execute(&DfsRequest::AddStorageNode { volumes: 2, capacity: 4 << 30 }).unwrap();
+        s.execute(&DfsRequest::AddStorageNode {
+            volumes: 2,
+            capacity: 4 << 30,
+        })
+        .unwrap();
         s.rebalance();
         let mut guard = 0;
         while s.rebalance_status() == RebalanceStatus::Running && guard < 10_000 {
@@ -1322,7 +1604,11 @@ mod tests {
     fn coverage_grows_with_activity() {
         let mut s = sim(Flavor::Hdfs);
         assert_eq!(s.coverage_count(), 0);
-        s.execute(&DfsRequest::Create { path: "/a".into(), size: MIB }).unwrap();
+        s.execute(&DfsRequest::Create {
+            path: "/a".into(),
+            size: MIB,
+        })
+        .unwrap();
         let c1 = s.coverage_count();
         assert!(c1 > 0);
         s.execute(&DfsRequest::Open { path: "/a".into() }).unwrap();
@@ -1332,7 +1618,11 @@ mod tests {
     #[test]
     fn coverage_survives_reset() {
         let mut s = sim(Flavor::Hdfs);
-        s.execute(&DfsRequest::Create { path: "/a".into(), size: MIB }).unwrap();
+        s.execute(&DfsRequest::Create {
+            path: "/a".into(),
+            size: MIB,
+        })
+        .unwrap();
         let c = s.coverage_count();
         s.reset();
         assert_eq!(s.coverage_count(), c);
@@ -1343,7 +1633,11 @@ mod tests {
     #[test]
     fn reset_restores_topology() {
         let mut s = sim(Flavor::LeoFs);
-        s.execute(&DfsRequest::AddStorageNode { volumes: 1, capacity: MIB }).unwrap();
+        s.execute(&DfsRequest::AddStorageNode {
+            volumes: 1,
+            capacity: MIB,
+        })
+        .unwrap();
         let grown = s.cluster.online_storage().len();
         s.reset();
         assert_eq!(
@@ -1358,7 +1652,11 @@ mod tests {
         let mut s = sim(Flavor::Hdfs);
         let snap = s.load_snapshot();
         assert_eq!(snap.nodes.len(), 10);
-        let mgmt = snap.nodes.iter().filter(|n| n.role == NodeRole::Management).count();
+        let mgmt = snap
+            .nodes
+            .iter()
+            .filter(|n| n.role == NodeRole::Management)
+            .count();
         assert_eq!(mgmt, 2);
     }
 
@@ -1369,22 +1667,37 @@ mod tests {
         let mut saw_linkfile = false;
         for i in 0..30 {
             let p = format!("/f{i}");
-            s.execute(&DfsRequest::Create { path: p.clone(), size: MIB }).unwrap();
-            s.execute(&DfsRequest::Rename { from: p, to: format!("/renamed{i}") }).unwrap();
+            s.execute(&DfsRequest::Create {
+                path: p.clone(),
+                size: MIB,
+            })
+            .unwrap();
+            s.execute(&DfsRequest::Rename {
+                from: p,
+                to: format!("/renamed{i}"),
+            })
+            .unwrap();
         }
         for meta in s.cluster.files.values() {
             if meta.linkfile_at.is_some() {
                 saw_linkfile = true;
             }
         }
-        assert!(saw_linkfile, "renames should produce at least one DHT linkfile");
+        assert!(
+            saw_linkfile,
+            "renames should produce at least one DHT linkfile"
+        );
     }
 
     #[test]
     fn routing_spreads_requests_across_mgmt_nodes() {
         let mut s = sim(Flavor::Hdfs); // round robin
         for i in 0..40 {
-            s.execute(&DfsRequest::Create { path: format!("/f{i}"), size: MIB }).unwrap();
+            s.execute(&DfsRequest::Create {
+                path: format!("/f{i}"),
+                size: MIB,
+            })
+            .unwrap();
         }
         let snap = s.load_snapshot();
         let rps: Vec<f64> = snap
@@ -1393,7 +1706,10 @@ mod tests {
             .filter(|n| n.role == NodeRole::Management)
             .map(|n| n.rps)
             .collect();
-        assert!(rps.iter().all(|&r| r > 0.0), "all mgmt nodes should receive requests: {rps:?}");
+        assert!(
+            rps.iter().all(|&r| r > 0.0),
+            "all mgmt nodes should receive requests: {rps:?}"
+        );
     }
 
     #[test]
@@ -1401,7 +1717,10 @@ mod tests {
         let mut cfg = Flavor::Hdfs.config();
         cfg.volume_capacity = 8 * MIB;
         let mut s = DfsSim::with_config(cfg, BugSet::None);
-        let big = DfsRequest::Create { path: "/big".into(), size: 64 * MIB };
+        let big = DfsRequest::Create {
+            path: "/big".into(),
+            size: 64 * MIB,
+        };
         assert!(s.execute(&big).is_err());
         assert_eq!(s.namespace().file_count(), 0);
         assert_eq!(s.cluster.total_used(), 0);

@@ -18,16 +18,23 @@ fn arb_request() -> impl Strategy<Value = DfsRequest> {
         (path.clone(), size.clone()).prop_map(|(path, size)| DfsRequest::Create { path, size }),
         path.clone().prop_map(|path| DfsRequest::Delete { path }),
         (path.clone(), size.clone()).prop_map(|(path, delta)| DfsRequest::Append { path, delta }),
-        (path.clone(), size.clone())
-            .prop_map(|(path, size)| DfsRequest::Overwrite { path, size }),
+        (path.clone(), size.clone()).prop_map(|(path, size)| DfsRequest::Overwrite { path, size }),
         path.clone().prop_map(|path| DfsRequest::Open { path }),
         (path.clone(), path.clone()).prop_map(|(from, to)| DfsRequest::Rename { from, to }),
         Just(DfsRequest::AddMgmtNode),
-        node.clone().prop_map(|node| DfsRequest::RemoveMgmtNode { node }),
-        size.clone().prop_map(|capacity| DfsRequest::AddStorageNode { volumes: 2, capacity }),
-        node.clone().prop_map(|node| DfsRequest::RemoveStorageNode { node }),
+        node.clone()
+            .prop_map(|node| DfsRequest::RemoveMgmtNode { node }),
+        size.clone()
+            .prop_map(|capacity| DfsRequest::AddStorageNode {
+                volumes: 2,
+                capacity
+            }),
+        node.clone()
+            .prop_map(|node| DfsRequest::RemoveStorageNode { node }),
         (node, size.clone()).prop_map(|(node, capacity)| DfsRequest::AddVolume { node, capacity }),
-        volume.clone().prop_map(|volume| DfsRequest::RemoveVolume { volume }),
+        volume
+            .clone()
+            .prop_map(|volume| DfsRequest::RemoveVolume { volume }),
         (volume.clone(), size.clone())
             .prop_map(|(volume, delta)| DfsRequest::ExpandVolume { volume, delta }),
         (volume, size).prop_map(|(volume, delta)| DfsRequest::ReduceVolume { volume, delta }),

@@ -23,7 +23,11 @@ pub struct AdaptiveConfig {
 
 impl Default for AdaptiveConfig {
     fn default() -> Self {
-        AdaptiveConfig { initial_t: 0.20, step: 0.025, max_t: 0.35 }
+        AdaptiveConfig {
+            initial_t: 0.20,
+            step: 0.025,
+            max_t: 0.35,
+        }
     }
 }
 

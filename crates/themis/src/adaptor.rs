@@ -68,7 +68,9 @@ pub struct LoadReport {
 impl LoadReport {
     /// Online nodes of a role.
     pub fn by_role(&self, role: Role) -> impl Iterator<Item = &NodeLoad> {
-        self.nodes.iter().filter(move |n| n.role == role && n.online)
+        self.nodes
+            .iter()
+            .filter(move |n| n.role == role && n.online)
     }
 
     /// Nodes flagged as crashed.
@@ -132,6 +134,14 @@ pub trait DfsAdaptor {
 
     /// Collects the current per-node load data.
     fn load_report(&mut self) -> LoadReport;
+
+    /// Collects the current per-node load data into `out`, reusing its
+    /// node buffer. The campaign loop calls this once per iteration with a
+    /// long-lived report; adaptors with cheap incremental access should
+    /// override it (the default delegates to [`Self::load_report`]).
+    fn load_report_into(&mut self, out: &mut LoadReport) {
+        *out = self.load_report();
+    }
 
     /// Invokes the DFS's rebalance API.
     fn rebalance(&mut self);
@@ -216,7 +226,11 @@ mod tests {
 
     #[test]
     fn adaptor_error_display() {
-        assert!(AdaptorError::Rejected("x".into()).to_string().contains("rejected"));
-        assert!(AdaptorError::Down("y".into()).to_string().contains("unreachable"));
+        assert!(AdaptorError::Rejected("x".into())
+            .to_string()
+            .contains("rejected"));
+        assert!(AdaptorError::Down("y".into())
+            .to_string()
+            .contains("unreachable"));
     }
 }

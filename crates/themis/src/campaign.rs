@@ -9,12 +9,12 @@
 //! confirmed failures with reproduction logs.
 
 use crate::adaptive::{AdaptiveConfig, AdaptiveThreshold};
-use crate::adaptor::DfsAdaptor;
+use crate::adaptor::{DfsAdaptor, LoadReport};
 use crate::detector::{Detector, DetectorConfig};
 use crate::gen::MAX_SEQ_LEN;
 use crate::lvm::{self, VarianceWeights};
 use crate::model::InputModel;
-use crate::report::{ConfirmedFailure, LoggedOp};
+use crate::report::{ConfirmedFailure, LoggedOp, ReproLog};
 use crate::strategies::{ExecFeedback, GenCtx, Strategy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -35,6 +35,13 @@ pub struct CampaignConfig {
     pub max_seq_len: usize,
     /// Coverage-trace sampling period in virtual ms (paper: per minute).
     pub sample_period_ms: u64,
+    /// Maximum operations retained in the reproduction log (a ring buffer:
+    /// older entries are evicted). Bounds campaign memory on long
+    /// failure-free stretches; the default of 4096 comfortably covers the
+    /// operation sequences needed to reproduce every catalogued failure
+    /// (reproductions in the paper are tens of operations long) while
+    /// capping the log at a few hundred KiB.
+    pub repro_window: usize,
     /// Optional dynamic threshold adjustment (Section 7): start sensitive
     /// and raise `t` whenever the observer classifies a confirmation as a
     /// false positive. When set, `detector.threshold_t` is only the
@@ -51,6 +58,7 @@ impl Default for CampaignConfig {
             weights: VarianceWeights::default(),
             max_seq_len: MAX_SEQ_LEN,
             sample_period_ms: 60_000,
+            repro_window: 4096,
             adaptive: None,
         }
     }
@@ -59,7 +67,10 @@ impl Default for CampaignConfig {
 impl CampaignConfig {
     /// A configuration with an hour-denominated budget.
     pub fn hours(h: u64) -> Self {
-        CampaignConfig { budget_ms: h * 3_600_000, ..Default::default() }
+        CampaignConfig {
+            budget_ms: h * 3_600_000,
+            ..Default::default()
+        }
     }
 }
 
@@ -73,7 +84,7 @@ pub struct CoveragePoint {
 }
 
 /// The outcome of one campaign.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignResult {
     /// Target name (from the adaptor).
     pub target: String,
@@ -143,13 +154,20 @@ pub fn run_campaign(
         confirmed: Vec::new(),
         candidates_raised: 0,
         filtered_by_double_check: 0,
-        coverage_trace: vec![CoveragePoint { time_ms: adaptor.now_ms(), branches: adaptor.coverage() }],
+        coverage_trace: vec![CoveragePoint {
+            time_ms: adaptor.now_ms(),
+            branches: adaptor.coverage(),
+        }],
         final_coverage: 0,
         ops_sent: 0,
         iterations: 0,
         resets: 0,
     };
-    let mut repro_log: Vec<LoggedOp> = Vec::new();
+    let mut repro_log = ReproLog::new(cfg.repro_window);
+    // Long-lived buffers reused across iterations (the hot loop itself is
+    // allocation-free apart from case generation and confirmations).
+    let mut report = LoadReport::default();
+    let mut persistent: Vec<crate::detector::Candidate> = Vec::new();
     let mut next_sample = adaptor.now_ms() + cfg.sample_period_ms;
     let start = adaptor.now_ms();
     // Imbalance kinds observed on the previous iteration: a candidate must
@@ -162,8 +180,11 @@ pub fn run_campaign(
     while adaptor.now_ms().saturating_sub(start) < cfg.budget_ms {
         result.iterations += 1;
         let case = {
-            let mut ctx =
-                GenCtx { model: &mut model, rng: &mut rng, max_len: cfg.max_seq_len };
+            let mut ctx = GenCtx {
+                model: &mut model,
+                rng: &mut rng,
+                max_len: cfg.max_seq_len,
+            };
             strategy.next_case(&mut ctx)
         };
 
@@ -173,13 +194,18 @@ pub fn run_campaign(
             if ok {
                 model.apply(op);
             }
-            repro_log.push(LoggedOp { time_ms: adaptor.now_ms(), op: op.clone(), ok });
+            repro_log.push(LoggedOp {
+                time_ms: adaptor.now_ms(),
+                op: op.clone(),
+                ok,
+            });
             result.ops_sent += 1;
         }
         model.sync_topology(&adaptor.topology());
 
-        // Monitor, model, detect (Figure 6 steps 6-8).
-        let report = adaptor.load_report();
+        // Monitor, model, detect (Figure 6 steps 6-8). The report buffer
+        // is reused across iterations.
+        adaptor.load_report_into(&mut report);
         let vscore = lvm::score_warmed(&report, cfg.detector.warmup_ms);
         let candidates = detector.check(&report);
 
@@ -189,16 +215,19 @@ pub fn run_campaign(
         // actively rebalancing — transient imbalance during an in-flight
         // migration is normal and acceptable (Section 2.1).
         let quiescent = adaptor.rebalance_done();
-        let persistent: Vec<_> = candidates
-            .iter()
-            .filter(|c| {
-                c.kind == crate::detector::ImbalanceKind::Crash
-                    || (quiescent && prior_kinds.contains(&c.kind))
-            })
-            .cloned()
-            .collect();
-        prior_kinds = candidates.iter().map(|c| c.kind).collect();
-        let candidates = persistent;
+        persistent.clear();
+        persistent.extend(
+            candidates
+                .iter()
+                .filter(|c| {
+                    c.kind == crate::detector::ImbalanceKind::Crash
+                        || (quiescent && prior_kinds.contains(&c.kind))
+                })
+                .cloned(),
+        );
+        prior_kinds.clear();
+        prior_kinds.extend(candidates.iter().map(|c| c.kind));
+        let candidates = &persistent;
 
         let mut confirmed_now = false;
         if !candidates.is_empty() {
@@ -213,13 +242,20 @@ pub fn run_campaign(
                 .collect();
             result.filtered_by_double_check +=
                 candidates.len().saturating_sub(confirmed.len()) as u64;
+            // One snapshot per confirmation batch: every failure confirmed
+            // on this iteration shares the same log.
+            let snapshot = if confirmed.is_empty() {
+                None
+            } else {
+                Some(repro_log.snapshot())
+            };
             for c in confirmed {
                 let failure = ConfirmedFailure {
                     kind: c.kind,
                     ratio: c.ratio,
                     time_ms: adaptor.now_ms(),
                     case: case.clone(),
-                    repro_log: repro_log.clone(),
+                    repro_log: std::sync::Arc::clone(snapshot.as_ref().expect("non-empty")),
                 };
                 observer.on_confirmed(&failure);
                 if let Some(a) = adaptive.as_mut() {
@@ -263,17 +299,20 @@ pub fn run_campaign(
         // Sample the coverage trace on the virtual-minute grid.
         let now = adaptor.now_ms();
         while next_sample <= now {
-            result.coverage_trace
-                .push(CoveragePoint { time_ms: next_sample, branches: adaptor.coverage() });
+            result.coverage_trace.push(CoveragePoint {
+                time_ms: next_sample,
+                branches: adaptor.coverage(),
+            });
             next_sample += cfg.sample_period_ms;
         }
         observer.on_iteration(now);
     }
 
     result.final_coverage = adaptor.coverage();
-    result
-        .coverage_trace
-        .push(CoveragePoint { time_ms: adaptor.now_ms(), branches: result.final_coverage });
+    result.coverage_trace.push(CoveragePoint {
+        time_ms: adaptor.now_ms(),
+        branches: result.final_coverage,
+    });
     result
 }
 
@@ -296,7 +335,13 @@ mod tests {
 
     impl FakeAdaptor {
         fn new(imbalance_after: u64) -> Self {
-            FakeAdaptor { now: 0, ops: 0, coverage: 0, imbalance_after, resets: 0 }
+            FakeAdaptor {
+                now: 0,
+                ops: 0,
+                coverage: 0,
+                imbalance_after,
+                resets: 0,
+            }
         }
 
         fn imbalanced(&self) -> bool {
@@ -387,7 +432,10 @@ mod tests {
         assert!(adaptor.now >= 600_000);
         assert!(res.iterations > 10);
         assert!(res.ops_sent >= res.iterations);
-        assert!(res.confirmed.is_empty(), "balanced fake must confirm nothing");
+        assert!(
+            res.confirmed.is_empty(),
+            "balanced fake must confirm nothing"
+        );
         assert_eq!(res.candidates_raised, 0);
     }
 
@@ -395,9 +443,15 @@ mod tests {
     fn campaign_confirms_persistent_imbalance_and_resets() {
         let mut strat = ThemisMinus;
         let mut adaptor = FakeAdaptor::new(20);
-        let cfg = CampaignConfig { budget_ms: 400_000, ..Default::default() };
+        let cfg = CampaignConfig {
+            budget_ms: 400_000,
+            ..Default::default()
+        };
         let res = run_campaign(&mut strat, &mut adaptor, &cfg, &mut NullObserver);
-        assert!(!res.confirmed.is_empty(), "persistent imbalance must be confirmed");
+        assert!(
+            !res.confirmed.is_empty(),
+            "persistent imbalance must be confirmed"
+        );
         assert!(res.resets >= 1);
         assert_eq!(adaptor.resets, res.resets);
         let f = &res.confirmed[0];
@@ -410,14 +464,20 @@ mod tests {
     fn coverage_trace_is_monotonic_in_time_and_branches() {
         let mut strat = ThemisMinus;
         let mut adaptor = FakeAdaptor::new(u64::MAX);
-        let cfg = CampaignConfig { budget_ms: 300_000, ..Default::default() };
+        let cfg = CampaignConfig {
+            budget_ms: 300_000,
+            ..Default::default()
+        };
         let res = run_campaign(&mut strat, &mut adaptor, &cfg, &mut NullObserver);
         assert!(res.coverage_trace.len() >= 5);
         for w in res.coverage_trace.windows(2) {
             assert!(w[1].time_ms >= w[0].time_ms);
             assert!(w[1].branches >= w[0].branches);
         }
-        assert_eq!(res.final_coverage, res.coverage_trace.last().unwrap().branches);
+        assert_eq!(
+            res.final_coverage,
+            res.coverage_trace.last().unwrap().branches
+        );
     }
 
     #[test]
@@ -430,7 +490,10 @@ mod tests {
         }
         let mut strat = ThemisMinus;
         let mut adaptor = FakeAdaptor::new(10);
-        let cfg = CampaignConfig { budget_ms: 300_000, ..Default::default() };
+        let cfg = CampaignConfig {
+            budget_ms: 300_000,
+            ..Default::default()
+        };
         let mut obs = Counting(0);
         let res = run_campaign(&mut strat, &mut adaptor, &cfg, &mut obs);
         assert_eq!(obs.0, res.confirmed.len() as u64);
@@ -439,7 +502,10 @@ mod tests {
 
     #[test]
     fn campaigns_are_deterministic() {
-        let cfg = CampaignConfig { budget_ms: 200_000, ..Default::default() };
+        let cfg = CampaignConfig {
+            budget_ms: 200_000,
+            ..Default::default()
+        };
         let run = || {
             let mut strat = ThemisMinus;
             let mut adaptor = FakeAdaptor::new(25);

@@ -106,7 +106,12 @@ pub struct Detector {
 impl Detector {
     /// Creates a detector with threshold `t` and default timings.
     pub fn with_threshold(t: f64) -> Self {
-        Detector { cfg: DetectorConfig { threshold_t: t, ..Default::default() } }
+        Detector {
+            cfg: DetectorConfig {
+                threshold_t: t,
+                ..Default::default()
+            },
+        }
     }
 
     /// Runs the three anomaly detectors (plus crash detection) over a load
@@ -115,20 +120,32 @@ impl Detector {
         let mut out = Vec::new();
         let crashed = report.crashed().count();
         if crashed > 0 {
-            out.push(Candidate { kind: ImbalanceKind::Crash, ratio: crashed as f64 });
+            out.push(Candidate {
+                kind: ImbalanceKind::Crash,
+                ratio: crashed as f64,
+            });
         }
         // Exclude warming-up management nodes from the rate-based
         // detectors (their decayed load counters are meaningless).
         let s = lvm::score_warmed(report, self.cfg.warmup_ms);
         let limit = 1.0 + self.cfg.threshold_t;
         if s.storage_ratio > limit && s.storage_mean >= self.cfg.min_storage_mean {
-            out.push(Candidate { kind: ImbalanceKind::Storage, ratio: s.storage_ratio });
+            out.push(Candidate {
+                kind: ImbalanceKind::Storage,
+                ratio: s.storage_ratio,
+            });
         }
         if s.cpu_ratio > limit && s.cpu_mean >= self.cfg.min_cpu_mean {
-            out.push(Candidate { kind: ImbalanceKind::Cpu, ratio: s.cpu_ratio });
+            out.push(Candidate {
+                kind: ImbalanceKind::Cpu,
+                ratio: s.cpu_ratio,
+            });
         }
         if s.network_ratio > limit && s.network_mean >= self.cfg.min_network_mean {
-            out.push(Candidate { kind: ImbalanceKind::Network, ratio: s.network_ratio });
+            out.push(Candidate {
+                kind: ImbalanceKind::Network,
+                ratio: s.network_ratio,
+            });
         }
         out
     }
@@ -143,11 +160,7 @@ impl Detector {
     /// usual" (Section 2.2) and give the rate detectors a fresh, evenly
     /// issued load sample — a healthy cluster spreads the probes, while a
     /// funnel/spin failure concentrates them on its victim.
-    pub fn double_check(
-        &self,
-        adaptor: &mut dyn DfsAdaptor,
-        case: &TestCase,
-    ) -> Vec<Candidate> {
+    pub fn double_check(&self, adaptor: &mut dyn DfsAdaptor, case: &TestCase) -> Vec<Candidate> {
         adaptor.rebalance();
         let mut waited = 0;
         while !adaptor.rebalance_done() && waited < self.cfg.rebalance_timeout_ms {
@@ -248,7 +261,12 @@ mod tests {
         let d = Detector::with_threshold(0.25);
         let report = LoadReport {
             time_ms: 0,
-            nodes: vec![storage(1, 100), storage(2, 100), mgmt(3, 5.0, 5.0), mgmt(4, 5.0, 5.0)],
+            nodes: vec![
+                storage(1, 100),
+                storage(2, 100),
+                mgmt(3, 5.0, 5.0),
+                mgmt(4, 5.0, 5.0),
+            ],
         };
         assert!(d.check(&report).is_empty());
     }

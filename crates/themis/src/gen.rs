@@ -75,7 +75,9 @@ pub fn random_case(model: &mut InputModel, rng: &mut StdRng, max_len: usize) -> 
 /// baseline and the request phases of Alternate).
 pub fn request_only_case(model: &mut InputModel, rng: &mut StdRng, max_len: usize) -> TestCase {
     let len = rng.random_range(1..=max_len.max(1));
-    let ops = (0..len).map(|_| model.instantiate(file_operator(rng), rng)).collect();
+    let ops = (0..len)
+        .map(|_| model.instantiate(file_operator(rng), rng))
+        .collect();
     TestCase::new(ops)
 }
 
@@ -83,7 +85,9 @@ pub fn request_only_case(model: &mut InputModel, rng: &mut StdRng, max_len: usiz
 /// baseline and the config phases of Alternate).
 pub fn config_only_case(model: &mut InputModel, rng: &mut StdRng, max_len: usize) -> TestCase {
     let len = rng.random_range(1..=max_len.max(1));
-    let ops = (0..len).map(|_| model.instantiate(config_operator(rng), rng)).collect();
+    let ops = (0..len)
+        .map(|_| model.instantiate(config_operator(rng), rng))
+        .collect();
     TestCase::new(ops)
 }
 

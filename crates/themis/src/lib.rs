@@ -59,6 +59,6 @@ pub use report::{ConfirmedFailure, LoggedOp};
 pub use seedpool::SeedPool;
 pub use spec::{Operand, OperandKind, Operation, Operator, TestCase};
 pub use strategies::{
-    by_name, Alternate, Concurrent, ExecFeedback, FixConf, FixReq, GenCtx, Strategy,
-    ThemisMinus, ThemisStrategy, COMPARISON_STRATEGIES,
+    by_name, Alternate, Concurrent, ExecFeedback, FixConf, FixReq, GenCtx, Strategy, ThemisMinus,
+    ThemisStrategy, COMPARISON_STRATEGIES,
 };

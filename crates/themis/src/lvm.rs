@@ -26,7 +26,11 @@ pub struct VarianceWeights {
 
 impl Default for VarianceWeights {
     fn default() -> Self {
-        VarianceWeights { storage: 1.0 / 3.0, cpu: 1.0 / 3.0, network: 1.0 / 3.0 }
+        VarianceWeights {
+            storage: 1.0 / 3.0,
+            cpu: 1.0 / 3.0,
+            network: 1.0 / 3.0,
+        }
     }
 }
 
@@ -35,7 +39,11 @@ impl VarianceWeights {
     /// split evenly (the Table 8 sweep).
     pub fn storage_weighted(storage: f64) -> Self {
         let rest = ((1.0 - storage) / 2.0).max(0.0);
-        VarianceWeights { storage, cpu: rest, network: rest }
+        VarianceWeights {
+            storage,
+            cpu: rest,
+            network: rest,
+        }
     }
 }
 
@@ -132,8 +140,17 @@ pub fn score(report: &LoadReport) -> VarianceScore {
         .map(|n| n.storage as f64 / n.capacity as f64)
         .collect();
     let cpu: Vec<f64> = report.by_role(Role::Management).map(|n| n.cpu).collect();
-    let net: Vec<f64> = report.by_role(Role::Management).map(|n| n.network()).collect();
-    let mean = |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+    let net: Vec<f64> = report
+        .by_role(Role::Management)
+        .map(|n| n.network())
+        .collect();
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
     VarianceScore {
         storage: normalized_pairwise(&storage),
         cpu: normalized_pairwise(&cpu),
@@ -188,7 +205,11 @@ mod tests {
     fn even_load_scores_zero_variance() {
         let report = LoadReport {
             time_ms: 0,
-            nodes: vec![storage_node(1, 100), storage_node(2, 100), storage_node(3, 100)],
+            nodes: vec![
+                storage_node(1, 100),
+                storage_node(2, 100),
+                storage_node(3, 100),
+            ],
         };
         let s = score(&report);
         assert_eq!(s.storage, 0.0);
@@ -199,7 +220,11 @@ mod tests {
     fn skewed_load_scores_positive_variance() {
         let report = LoadReport {
             time_ms: 0,
-            nodes: vec![storage_node(1, 10), storage_node(2, 10), storage_node(3, 100)],
+            nodes: vec![
+                storage_node(1, 10),
+                storage_node(2, 10),
+                storage_node(3, 100),
+            ],
         };
         let s = score(&report);
         assert!(s.storage > 0.5);
@@ -239,7 +264,11 @@ mod tests {
 
     #[test]
     fn weighted_score_respects_weights() {
-        let s = VarianceScore { storage: 1.0, storage_ratio: 2.0, ..Default::default() };
+        let s = VarianceScore {
+            storage: 1.0,
+            storage_ratio: 2.0,
+            ..Default::default()
+        };
         let even = s.weighted(&VarianceWeights::default());
         let heavy = s.weighted(&VarianceWeights::storage_weighted(1.0));
         assert!(heavy > even);
@@ -267,7 +296,10 @@ mod tests {
 
     #[test]
     fn degenerate_single_node_is_balanced() {
-        let report = LoadReport { time_ms: 0, nodes: vec![storage_node(1, 100)] };
+        let report = LoadReport {
+            time_ms: 0,
+            nodes: vec![storage_node(1, 100)],
+        };
         let s = score(&report);
         assert_eq!(s.storage, 0.0);
         assert_eq!(s.storage_ratio, 1.0);

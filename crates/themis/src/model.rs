@@ -107,7 +107,11 @@ impl InputModel {
 
     /// A storage node id (`list_S`); 0 when none known.
     pub fn some_storage(&self, rng: &mut StdRng) -> u64 {
-        self.storage_nodes.as_slice().choose(rng).copied().unwrap_or(0)
+        self.storage_nodes
+            .as_slice()
+            .choose(rng)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// A volume id; 0 when none known.
@@ -163,18 +167,14 @@ impl InputModel {
     /// (the mirror side of `Tree_files` / `list_*` maintenance).
     pub fn apply(&mut self, op: &Operation) {
         match (op.opt, op.opds.as_slice()) {
-            (Operator::Create, [Operand::FileName(p), _]) => {
-                if !self.files.contains(p) {
-                    self.files.push(p.clone());
-                }
+            (Operator::Create, [Operand::FileName(p), _]) if !self.files.contains(p) => {
+                self.files.push(p.clone());
             }
             (Operator::Delete, [Operand::FileName(p)]) => {
                 self.files.retain(|f| f != p);
             }
-            (Operator::Mkdir, [Operand::FileName(p)]) => {
-                if !self.dirs.contains(p) {
-                    self.dirs.push(p.clone());
-                }
+            (Operator::Mkdir, [Operand::FileName(p)]) if !self.dirs.contains(p) => {
+                self.dirs.push(p.clone());
             }
             (Operator::Rmdir, [Operand::FileName(p)]) => {
                 self.dirs.retain(|d| d != p);
@@ -193,28 +193,31 @@ impl InputModel {
     /// Whether every identifier the operation references is known to the
     /// model (used by mutation's dangling-reference scan).
     pub fn references_valid(&self, op: &Operation) -> bool {
-        op.opds.iter().zip(op.opt.operand_shape()).all(|(opd, kind)| match (opd, kind) {
-            (Operand::FileName(p), OperandKind::FileName) => {
-                match op.opt {
-                    // Fresh destinations are always fine.
-                    Operator::Create | Operator::Mkdir => true,
-                    Operator::Rmdir => self.dirs.contains(p),
-                    Operator::Rename => {
-                        // Source must exist; destination is checked above
-                        // by position — treat any known path as valid.
-                        self.files.contains(p) || self.dirs.contains(p) || p.starts_with("/f")
+        op.opds
+            .iter()
+            .zip(op.opt.operand_shape())
+            .all(|(opd, kind)| match (opd, kind) {
+                (Operand::FileName(p), OperandKind::FileName) => {
+                    match op.opt {
+                        // Fresh destinations are always fine.
+                        Operator::Create | Operator::Mkdir => true,
+                        Operator::Rmdir => self.dirs.contains(p),
+                        Operator::Rename => {
+                            // Source must exist; destination is checked above
+                            // by position — treat any known path as valid.
+                            self.files.contains(p) || self.dirs.contains(p) || p.starts_with("/f")
+                        }
+                        _ => self.files.contains(p),
                     }
-                    _ => self.files.contains(p),
                 }
-            }
-            (Operand::NodeId(n), OperandKind::NodeId) => match op.opt {
-                Operator::RemoveMn => self.mgmt_nodes.contains(n),
-                _ => self.storage_nodes.contains(n),
-            },
-            (Operand::VolumeId(v), OperandKind::VolumeId) => self.volumes.contains(v),
-            (Operand::Size(_), OperandKind::Size) => true,
-            _ => false,
-        })
+                (Operand::NodeId(n), OperandKind::NodeId) => match op.opt {
+                    Operator::RemoveMn => self.mgmt_nodes.contains(n),
+                    _ => self.storage_nodes.contains(n),
+                },
+                (Operand::VolumeId(v), OperandKind::VolumeId) => self.volumes.contains(v),
+                (Operand::Size(_), OperandKind::Size) => true,
+                _ => false,
+            })
     }
 
     /// Repairs dangling references by replacing the offending operands with
@@ -327,8 +330,11 @@ mod tests {
         let m = model();
         let mut r = rng();
         let sizes: Vec<u64> = (0..300).map(|_| m.some_size(&mut r)).collect();
-        assert!(sizes.iter().any(|&s| s == 0), "boundary 0 must occur");
-        assert!(sizes.iter().any(|&s| s > (1 << 28)), "large sizes must occur");
+        assert!(sizes.contains(&0), "boundary 0 must occur");
+        assert!(
+            sizes.iter().any(|&s| s > (1 << 28)),
+            "large sizes must occur"
+        );
         assert!(sizes.iter().all(|&s| s <= 1 << 33));
     }
 
@@ -351,7 +357,10 @@ mod tests {
         let mut m = model();
         let op = Operation::new(
             Operator::Rename,
-            vec![Operand::FileName("/a".into()), Operand::FileName("/a2".into())],
+            vec![
+                Operand::FileName("/a".into()),
+                Operand::FileName("/a2".into()),
+            ],
         );
         m.apply(&op);
         assert!(!m.files.contains(&"/a".to_string()));
@@ -365,7 +374,10 @@ mod tests {
         let mut op = Operation::new(Operator::Delete, vec![Operand::FileName("/gone".into())]);
         assert!(!m.references_valid(&op));
         m.repair(&mut op, &mut r);
-        assert!(m.references_valid(&op), "repaired op must reference known ids: {op}");
+        assert!(
+            m.references_valid(&op),
+            "repaired op must reference known ids: {op}"
+        );
     }
 
     #[test]

@@ -194,6 +194,9 @@ mod tests {
         let (mut m2, mut r2) = setup();
         let p1 = gen::random_case(&mut m1, &mut r1, MAX_SEQ_LEN);
         let p2 = gen::random_case(&mut m2, &mut r2, MAX_SEQ_LEN);
-        assert_eq!(mutate(&p1, &mut m1, &mut r1, 8), mutate(&p2, &mut m2, &mut r2, 8));
+        assert_eq!(
+            mutate(&p1, &mut m1, &mut r1, 8),
+            mutate(&p2, &mut m2, &mut r2, 8)
+        );
     }
 }

@@ -8,6 +8,8 @@
 use crate::detector::ImbalanceKind;
 use crate::spec::{Operation, TestCase};
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// One operation in the reproduction log, with its execution timestamp.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -20,8 +22,65 @@ pub struct LoggedOp {
     pub ok: bool,
 }
 
+/// A bounded, in-order log of the operations executed since the last DFS
+/// reset.
+///
+/// The campaign loop appends one entry per executed operation; once the
+/// log reaches its window it drops the oldest entries, so a long
+/// failure-free stretch costs constant memory instead of growing without
+/// bound. [`ReproLog::snapshot`] produces the shareable
+/// `Arc<Vec<LoggedOp>>` attached to confirmed failures — when one
+/// iteration confirms several failures they all share a single snapshot
+/// instead of each cloning the full log.
+#[derive(Debug, Clone)]
+pub struct ReproLog {
+    window: usize,
+    buf: VecDeque<LoggedOp>,
+}
+
+impl ReproLog {
+    /// Creates an empty log retaining at most `window` entries (a zero
+    /// window is treated as 1 so confirmations always carry context).
+    pub fn new(window: usize) -> Self {
+        let window = window.max(1);
+        ReproLog {
+            window,
+            buf: VecDeque::with_capacity(window.min(4096)),
+        }
+    }
+
+    /// Appends an entry, evicting the oldest if the window is full.
+    pub fn push(&mut self, entry: LoggedOp) {
+        if self.buf.len() == self.window {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(entry);
+    }
+
+    /// Drops every entry (on DFS reset).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Retained entries.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// An immutable, shareable copy of the retained entries in execution
+    /// order.
+    pub fn snapshot(&self) -> Arc<Vec<LoggedOp>> {
+        Arc::new(self.buf.iter().cloned().collect())
+    }
+}
+
 /// A confirmed imbalance failure.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ConfirmedFailure {
     /// Which anomaly detector confirmed it.
     pub kind: ImbalanceKind,
@@ -31,8 +90,10 @@ pub struct ConfirmedFailure {
     pub time_ms: u64,
     /// The test case whose execution triggered the candidate.
     pub case: TestCase,
-    /// Every operation executed since the last reset, in order.
-    pub repro_log: Vec<LoggedOp>,
+    /// The operations executed since the last reset, in order, bounded by
+    /// [`crate::CampaignConfig::repro_window`]. Failures confirmed in the
+    /// same iteration share one snapshot.
+    pub repro_log: Arc<Vec<LoggedOp>>,
 }
 
 impl ConfirmedFailure {
@@ -45,9 +106,12 @@ impl ConfirmedFailure {
             self.kind, self.ratio, self.time_ms
         ));
         out.push_str(&format!("# confirming case: {}\n", self.case));
-        for entry in &self.repro_log {
+        for entry in self.repro_log.iter() {
             let status = if entry.ok { "ok" } else { "ERR" };
-            out.push_str(&format!("{:>10}ms  [{status}]  {}\n", entry.time_ms, entry.op));
+            out.push_str(&format!(
+                "{:>10}ms  [{status}]  {}\n",
+                entry.time_ms, entry.op
+            ));
         }
         out
     }
@@ -88,9 +152,15 @@ mod tests {
             kind,
             ratio: 2.0,
             time_ms: tag,
-            repro_log: (0..log_len)
-                .map(|i| LoggedOp { time_ms: i as u64, op: c.ops[0].clone(), ok: true })
-                .collect(),
+            repro_log: Arc::new(
+                (0..log_len)
+                    .map(|i| LoggedOp {
+                        time_ms: i as u64,
+                        op: c.ops[0].clone(),
+                        ok: true,
+                    })
+                    .collect(),
+            ),
             case: c,
         }
     }
@@ -124,7 +194,32 @@ mod tests {
     #[test]
     fn failed_ops_render_with_err_marker() {
         let mut f = failure(ImbalanceKind::Network, 1, 1);
-        f.repro_log[0].ok = false;
+        Arc::make_mut(&mut f.repro_log)[0].ok = false;
         assert!(f.render_repro_log().contains("[ERR]"));
+    }
+
+    #[test]
+    fn repro_log_ring_keeps_only_the_window_tail() {
+        let c = case(0);
+        let mut log = ReproLog::new(3);
+        assert!(log.is_empty());
+        for i in 0..5u64 {
+            log.push(LoggedOp {
+                time_ms: i,
+                op: c.ops[0].clone(),
+                ok: true,
+            });
+        }
+        assert_eq!(log.len(), 3);
+        let snap = log.snapshot();
+        let times: Vec<u64> = snap.iter().map(|e| e.time_ms).collect();
+        assert_eq!(
+            times,
+            vec![2, 3, 4],
+            "ring must keep the newest entries in order"
+        );
+        log.clear();
+        assert!(log.is_empty());
+        assert!(log.snapshot().is_empty());
     }
 }

@@ -30,7 +30,10 @@ pub struct SeedPool {
 impl SeedPool {
     /// Creates a pool holding at most `cap` seeds.
     pub fn new(cap: usize) -> Self {
-        SeedPool { seeds: Vec::new(), cap: cap.max(1) }
+        SeedPool {
+            seeds: Vec::new(),
+            cap: cap.max(1),
+        }
     }
 
     /// Number of pooled seeds.
@@ -46,10 +49,15 @@ impl SeedPool {
     /// Admits a seed, keeping the pool sorted by score (descending) and
     /// bounded by capacity (the weakest seed is evicted).
     pub fn push(&mut self, case: TestCase, score: f64) {
-        let pos = self
-            .seeds
-            .partition_point(|s| s.score >= score);
-        self.seeds.insert(pos, Seed { case, score, picks: 0 });
+        let pos = self.seeds.partition_point(|s| s.score >= score);
+        self.seeds.insert(
+            pos,
+            Seed {
+                case,
+                score,
+                picks: 0,
+            },
+        );
         if self.seeds.len() > self.cap {
             self.seeds.truncate(self.cap);
         }
@@ -139,7 +147,10 @@ mod tests {
                 }
             }
         }
-        assert!(top_half > 280, "expected bias toward top half, got {top_half}/400");
+        assert!(
+            top_half > 280,
+            "expected bias toward top half, got {top_half}/400"
+        );
     }
 
     #[test]

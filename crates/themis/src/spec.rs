@@ -238,8 +238,7 @@ impl Operation {
     /// Whether the operation's operands match the operator's shape.
     pub fn well_formed(&self) -> bool {
         let shape = self.opt.operand_shape();
-        shape.len() == self.opds.len()
-            && shape.iter().zip(&self.opds).all(|(k, o)| *k == o.kind())
+        shape.len() == self.opds.len() && shape.iter().zip(&self.opds).all(|(k, o)| *k == o.kind())
     }
 }
 
@@ -300,6 +299,321 @@ impl std::fmt::Display for TestCase {
     }
 }
 
+pub mod json {
+    //! Hand-rolled JSON encoding for test cases.
+    //!
+    //! The build environment has no crates-io access, so instead of
+    //! `serde_json` the test-case wire format is implemented directly:
+    //! `{"ops":[{"opt":"create","opds":[{"file":"/a"},{"size":100}]}]}`.
+    //! Operators are encoded by their grammar [`spelling`], operands by a
+    //! one-key object tagging the kind.
+    //!
+    //! [`spelling`]: super::Operator::spelling
+
+    use super::{Operand, Operation, Operator, TestCase, ALL_OPERATORS};
+
+    /// A malformed test-case document.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct ParseError {
+        /// Byte offset the parser stopped at.
+        pub at: usize,
+        /// What went wrong.
+        pub msg: String,
+    }
+
+    impl std::fmt::Display for ParseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(
+                f,
+                "test-case JSON parse error at byte {}: {}",
+                self.at, self.msg
+            )
+        }
+    }
+
+    impl std::error::Error for ParseError {}
+
+    /// Escapes a string into a JSON string literal (without quotes).
+    pub fn escape_into(out: &mut String, s: &str) {
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    /// Serializes a test case.
+    pub fn to_json(case: &TestCase) -> String {
+        let mut out = String::with_capacity(32 + case.ops.len() * 48);
+        out.push_str("{\"ops\":[");
+        for (i, op) in case.ops.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"opt\":\"");
+            out.push_str(op.opt.spelling());
+            out.push_str("\",\"opds\":[");
+            for (j, opd) in op.opds.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                match opd {
+                    Operand::FileName(p) => {
+                        out.push_str("{\"file\":\"");
+                        escape_into(&mut out, p);
+                        out.push_str("\"}");
+                    }
+                    Operand::NodeId(n) => {
+                        out.push_str(&format!("{{\"node\":{n}}}"));
+                    }
+                    Operand::VolumeId(v) => {
+                        out.push_str(&format!("{{\"vol\":{v}}}"));
+                    }
+                    Operand::Size(s) => {
+                        out.push_str(&format!("{{\"size\":{s}}}"));
+                    }
+                }
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a test case serialized by [`to_json`].
+    pub fn from_json(text: &str) -> Result<TestCase, ParseError> {
+        let mut p = Parser {
+            b: text.as_bytes(),
+            at: 0,
+        };
+        p.skip_ws();
+        p.expect(b'{')?;
+        p.key("ops")?;
+        p.expect(b'[')?;
+        let mut ops = Vec::new();
+        p.skip_ws();
+        if !p.eat(b']') {
+            loop {
+                ops.push(p.operation()?);
+                p.skip_ws();
+                if p.eat(b']') {
+                    break;
+                }
+                p.expect(b',')?;
+            }
+        }
+        p.skip_ws();
+        p.expect(b'}')?;
+        p.skip_ws();
+        if p.at != p.b.len() {
+            return Err(p.err("trailing data"));
+        }
+        Ok(TestCase { ops })
+    }
+
+    struct Parser<'a> {
+        b: &'a [u8],
+        at: usize,
+    }
+
+    impl<'a> Parser<'a> {
+        fn err(&self, msg: impl Into<String>) -> ParseError {
+            ParseError {
+                at: self.at,
+                msg: msg.into(),
+            }
+        }
+
+        fn skip_ws(&mut self) {
+            while self.at < self.b.len() && self.b[self.at].is_ascii_whitespace() {
+                self.at += 1;
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.b.get(self.at).copied()
+        }
+
+        fn eat(&mut self, c: u8) -> bool {
+            if self.peek() == Some(c) {
+                self.at += 1;
+                true
+            } else {
+                false
+            }
+        }
+
+        fn expect(&mut self, c: u8) -> Result<(), ParseError> {
+            self.skip_ws();
+            if self.eat(c) {
+                Ok(())
+            } else {
+                Err(self.err(format!("expected '{}'", c as char)))
+            }
+        }
+
+        /// Consumes `"name":`.
+        fn key(&mut self, name: &str) -> Result<(), ParseError> {
+            self.skip_ws();
+            let got = self.string()?;
+            if got != name {
+                return Err(self.err(format!("expected key \"{name}\", got \"{got}\"")));
+            }
+            self.expect(b':')
+        }
+
+        fn string(&mut self) -> Result<String, ParseError> {
+            self.skip_ws();
+            if !self.eat(b'"') {
+                return Err(self.err("expected string"));
+            }
+            let mut out = String::new();
+            loop {
+                let Some(c) = self.peek() else {
+                    return Err(self.err("unterminated string"));
+                };
+                self.at += 1;
+                match c {
+                    b'"' => return Ok(out),
+                    b'\\' => {
+                        let Some(e) = self.peek() else {
+                            return Err(self.err("unterminated escape"));
+                        };
+                        self.at += 1;
+                        match e {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b'r' => out.push('\r'),
+                            b't' => out.push('\t'),
+                            b'u' => {
+                                if self.at + 4 > self.b.len() {
+                                    return Err(self.err("truncated \\u escape"));
+                                }
+                                let hex = std::str::from_utf8(&self.b[self.at..self.at + 4])
+                                    .map_err(|_| self.err("bad \\u escape"))?;
+                                let code = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| self.err("bad \\u escape"))?;
+                                self.at += 4;
+                                out.push(
+                                    char::from_u32(code)
+                                        .ok_or_else(|| self.err("invalid codepoint"))?,
+                                );
+                            }
+                            other => {
+                                return Err(
+                                    self.err(format!("unknown escape '\\{}'", other as char))
+                                )
+                            }
+                        }
+                    }
+                    c if c < 0x80 => out.push(c as char),
+                    _ => {
+                        // Multi-byte UTF-8: find the full char from the
+                        // source slice.
+                        let start = self.at - 1;
+                        let s = std::str::from_utf8(&self.b[start..])
+                            .map_err(|_| self.err("invalid UTF-8"))?;
+                        let ch = s.chars().next().unwrap();
+                        self.at = start + ch.len_utf8();
+                        out.push(ch);
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<u64, ParseError> {
+            self.skip_ws();
+            let start = self.at;
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.at += 1;
+            }
+            if start == self.at {
+                return Err(self.err("expected number"));
+            }
+            std::str::from_utf8(&self.b[start..self.at])
+                .unwrap()
+                .parse()
+                .map_err(|_| self.err("number out of range"))
+        }
+
+        fn operation(&mut self) -> Result<Operation, ParseError> {
+            self.expect(b'{')?;
+            self.key("opt")?;
+            let spelling = self.string()?;
+            let opt = ALL_OPERATORS
+                .iter()
+                .copied()
+                .find(|o| o.spelling() == spelling)
+                .ok_or_else(|| self.err(format!("unknown operator \"{spelling}\"")))?;
+            self.expect(b',')?;
+            self.key("opds")?;
+            self.expect(b'[')?;
+            let mut opds = Vec::new();
+            self.skip_ws();
+            if !self.eat(b']') {
+                loop {
+                    opds.push(self.operand()?);
+                    self.skip_ws();
+                    if self.eat(b']') {
+                        break;
+                    }
+                    self.expect(b',')?;
+                }
+            }
+            self.expect(b'}')?;
+            self.check_shape(opt, &opds)?;
+            Ok(Operation { opt, opds })
+        }
+
+        /// Validates operand shape without going through the panicking
+        /// [`Operation::new`] — bad input must be an `Err`, not a panic.
+        fn check_shape(&self, opt: Operator, opds: &[Operand]) -> Result<(), ParseError> {
+            let shape = opt.operand_shape();
+            if shape.len() != opds.len() || !shape.iter().zip(opds).all(|(k, o)| *k == o.kind()) {
+                return Err(self.err(format!("operand shape mismatch for {opt:?}")));
+            }
+            Ok(())
+        }
+
+        fn operand(&mut self) -> Result<Operand, ParseError> {
+            self.expect(b'{')?;
+            let tag = self.string()?;
+            self.expect(b':')?;
+            let opd = match tag.as_str() {
+                "file" => Operand::FileName(self.string()?),
+                "node" => Operand::NodeId(self.number()?),
+                "vol" => Operand::VolumeId(self.number()?),
+                "size" => Operand::Size(self.number()?),
+                other => return Err(self.err(format!("unknown operand tag \"{other}\""))),
+            };
+            self.expect(b'}')?;
+            Ok(opd)
+        }
+    }
+}
+
+impl TestCase {
+    /// Serializes to the canonical JSON wire format ([`json::to_json`]).
+    pub fn to_json(&self) -> String {
+        json::to_json(self)
+    }
+
+    /// Parses the canonical JSON wire format ([`json::from_json`]).
+    pub fn from_json(text: &str) -> Result<Self, json::ParseError> {
+        json::from_json(text)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -346,7 +660,10 @@ mod tests {
     fn display_matches_grammar_spelling() {
         let op = Operation::new(
             Operator::Rename,
-            vec![Operand::FileName("/a".into()), Operand::FileName("/b".into())],
+            vec![
+                Operand::FileName("/a".into()),
+                Operand::FileName("/b".into()),
+            ],
         );
         assert_eq!(op.to_string(), "rename /a /b");
         let op = Operation::new(Operator::AddMn, vec![]);
@@ -396,5 +713,77 @@ mod tests {
                 .collect();
             assert!(Operation::new(op, opds).well_formed());
         }
+    }
+}
+
+#[cfg(test)]
+mod json_tests {
+    use super::*;
+
+    fn sample() -> TestCase {
+        TestCase::new(vec![
+            Operation::new(
+                Operator::Create,
+                vec![
+                    Operand::FileName("/a b\"\\\n\u{1}".into()),
+                    Operand::Size(u64::MAX),
+                ],
+            ),
+            Operation::new(Operator::AddMn, vec![]),
+            Operation::new(
+                Operator::ExpandVolume,
+                vec![Operand::VolumeId(7), Operand::Size(1 << 40)],
+            ),
+            Operation::new(Operator::RemoveMn, vec![Operand::NodeId(3)]),
+        ])
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_case() {
+        let case = sample();
+        let text = case.to_json();
+        assert_eq!(TestCase::from_json(&text).unwrap(), case);
+    }
+
+    #[test]
+    fn json_roundtrip_every_operator() {
+        for opt in ALL_OPERATORS {
+            let opds: Vec<Operand> = opt
+                .operand_shape()
+                .iter()
+                .map(|k| match k {
+                    OperandKind::FileName => Operand::FileName("/x/π".into()),
+                    OperandKind::NodeId => Operand::NodeId(9),
+                    OperandKind::VolumeId => Operand::VolumeId(2),
+                    OperandKind::Size => Operand::Size(0),
+                })
+                .collect();
+            let case = TestCase::new(vec![Operation::new(opt, opds)]);
+            assert_eq!(TestCase::from_json(&case.to_json()).unwrap(), case);
+        }
+    }
+
+    #[test]
+    fn json_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "{\"ops\":}",
+            "{\"ops\":[}",
+            "{\"ops\":[{\"opt\":\"nope\",\"opds\":[]}]}",
+            // Shape mismatch: create needs (file, size).
+            "{\"ops\":[{\"opt\":\"create\",\"opds\":[{\"size\":1}]}]}",
+            "{\"ops\":[]} trailing",
+            "{\"ops\":[{\"opt\":\"add_MN\",\"opds\":[{\"weird\":1}]}]}",
+        ] {
+            assert!(TestCase::from_json(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn json_empty_case() {
+        let case = TestCase::default();
+        assert_eq!(case.to_json(), "{\"ops\":[]}");
+        assert_eq!(TestCase::from_json("{\"ops\":[]}").unwrap(), case);
     }
 }

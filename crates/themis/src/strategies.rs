@@ -70,7 +70,11 @@ pub struct ThemisStrategy {
 impl ThemisStrategy {
     /// Creates the strategy with the default pool capacity.
     pub fn new() -> Self {
-        ThemisStrategy { pool: SeedPool::new(64), frontier: 0.0, last_case_fresh: true }
+        ThemisStrategy {
+            pool: SeedPool::new(64),
+            frontier: 0.0,
+            last_case_fresh: true,
+        }
     }
 }
 
@@ -160,7 +164,10 @@ pub struct FixReq {
 impl FixReq {
     /// Creates the baseline.
     pub fn new() -> Self {
-        FixReq { pool: SeedPool::new(64), last_coverage: 0 }
+        FixReq {
+            pool: SeedPool::new(64),
+            last_coverage: 0,
+        }
     }
 
     /// The fixed request script: a generic SmallFile-style block whose
@@ -174,10 +181,22 @@ impl FixReq {
         let a = ctx.model.fresh_name(ctx.rng);
         let b = ctx.model.fresh_name(ctx.rng);
         vec![
-            Operation::new(Operator::Create, vec![Operand::FileName(a.clone()), Operand::Size(8 * MIB)]),
-            Operation::new(Operator::Create, vec![Operand::FileName(b.clone()), Operand::Size(8 * MIB)]),
-            Operation::new(Operator::Append, vec![Operand::FileName(a.clone()), Operand::Size(4 * MIB)]),
-            Operation::new(Operator::Overwrite, vec![Operand::FileName(b), Operand::Size(16 * MIB)]),
+            Operation::new(
+                Operator::Create,
+                vec![Operand::FileName(a.clone()), Operand::Size(8 * MIB)],
+            ),
+            Operation::new(
+                Operator::Create,
+                vec![Operand::FileName(b.clone()), Operand::Size(8 * MIB)],
+            ),
+            Operation::new(
+                Operator::Append,
+                vec![Operand::FileName(a.clone()), Operand::Size(4 * MIB)],
+            ),
+            Operation::new(
+                Operator::Overwrite,
+                vec![Operand::FileName(b), Operand::Size(16 * MIB)],
+            ),
             Operation::new(Operator::Open, vec![Operand::FileName(a.clone())]),
             Operation::new(Operator::Delete, vec![Operand::FileName(a)]),
         ]
@@ -210,11 +229,17 @@ impl Strategy for FixReq {
     fn feedback(&mut self, case: &TestCase, fb: &ExecFeedback) {
         if fb.coverage > self.last_coverage {
             // Pool only the fuzzed (configuration) part of the case.
-            let config_ops: Vec<Operation> =
-                case.ops.iter().filter(|o| o.opt.is_config_op()).cloned().collect();
+            let config_ops: Vec<Operation> = case
+                .ops
+                .iter()
+                .filter(|o| o.opt.is_config_op())
+                .cloned()
+                .collect();
             if !config_ops.is_empty() {
-                self.pool
-                    .push(TestCase::new(config_ops), (fb.coverage - self.last_coverage) as f64);
+                self.pool.push(
+                    TestCase::new(config_ops),
+                    (fb.coverage - self.last_coverage) as f64,
+                );
             }
         }
         self.last_coverage = fb.coverage;
@@ -236,7 +261,10 @@ pub struct FixConf {
 impl FixConf {
     /// Creates the baseline.
     pub fn new() -> Self {
-        FixConf { pool: SeedPool::new(64), last_coverage: 0 }
+        FixConf {
+            pool: SeedPool::new(64),
+            last_coverage: 0,
+        }
     }
 }
 
@@ -262,7 +290,8 @@ impl Strategy for FixConf {
 
     fn feedback(&mut self, case: &TestCase, fb: &ExecFeedback) {
         if fb.coverage > self.last_coverage && !case.is_empty() {
-            self.pool.push(case.clone(), (fb.coverage - self.last_coverage) as f64);
+            self.pool
+                .push(case.clone(), (fb.coverage - self.last_coverage) as f64);
         }
         self.last_coverage = fb.coverage;
     }
@@ -339,7 +368,8 @@ impl Strategy for Alternate {
         if fb.coverage > self.last_coverage {
             self.stalled = 0;
             if !case.is_empty() && case.ops.iter().all(|o| o.opt.is_file_op()) {
-                self.pool.push(case.clone(), (fb.coverage - self.last_coverage) as f64);
+                self.pool
+                    .push(case.clone(), (fb.coverage - self.last_coverage) as f64);
             }
         } else {
             self.stalled += 1;
@@ -437,7 +467,11 @@ mod tests {
         let mut out = Vec::new();
         for i in 0..n {
             let case = {
-                let mut ctx = GenCtx { model: &mut m, rng: &mut r, max_len: 8 };
+                let mut ctx = GenCtx {
+                    model: &mut m,
+                    rng: &mut r,
+                    max_len: 8,
+                };
                 strat.next_case(&mut ctx)
             };
             let fb = ExecFeedback {
@@ -493,7 +527,10 @@ mod tests {
                 ],
                 "Fix_req must replay its fixed request script"
             );
-            assert!(case.ops.iter().any(|o| o.opt.is_config_op()), "config part is fuzzed");
+            assert!(
+                case.ops.iter().any(|o| o.opt.is_config_op()),
+                "config part is fuzzed"
+            );
         }
     }
 
@@ -502,7 +539,10 @@ mod tests {
         let mut s = Concurrent;
         let cases = run_n(&mut s, 100);
         let mixed = cases.iter().filter(|c| c.mixes_input_spaces()).count();
-        assert!(mixed > 90, "concurrent cases should nearly always mix spaces: {mixed}");
+        assert!(
+            mixed > 90,
+            "concurrent cases should nearly always mix spaces: {mixed}"
+        );
     }
 
     #[test]
@@ -510,13 +550,21 @@ mod tests {
         let (mut m, mut r) = ctx_parts();
         let mut s = Alternate::new();
         let first = {
-            let mut ctx = GenCtx { model: &mut m, rng: &mut r, max_len: 8 };
+            let mut ctx = GenCtx {
+                model: &mut m,
+                rng: &mut r,
+                max_len: 8,
+            };
             s.next_case(&mut ctx)
         };
         assert!(first.ops.iter().all(|o| o.opt.is_config_op()));
         // Subsequent phases are request-only until coverage stalls.
         let second = {
-            let mut ctx = GenCtx { model: &mut m, rng: &mut r, max_len: 8 };
+            let mut ctx = GenCtx {
+                model: &mut m,
+                rng: &mut r,
+                max_len: 8,
+            };
             s.next_case(&mut ctx)
         };
         assert!(second.ops.iter().all(|o| o.opt.is_file_op()));
@@ -529,19 +577,39 @@ mod tests {
         s.stall_limit = 3;
         // Config phase.
         {
-            let mut ctx = GenCtx { model: &mut m, rng: &mut r, max_len: 8 };
+            let mut ctx = GenCtx {
+                model: &mut m,
+                rng: &mut r,
+                max_len: 8,
+            };
             let _ = s.next_case(&mut ctx);
         }
         // Stall coverage for stall_limit iterations.
         for _ in 0..3 {
             let case = {
-                let mut ctx = GenCtx { model: &mut m, rng: &mut r, max_len: 8 };
+                let mut ctx = GenCtx {
+                    model: &mut m,
+                    rng: &mut r,
+                    max_len: 8,
+                };
                 s.next_case(&mut ctx)
             };
-            s.feedback(&case, &ExecFeedback { variance: 0.0, variance_delta: 0.0, coverage: 0, found_failure: false });
+            s.feedback(
+                &case,
+                &ExecFeedback {
+                    variance: 0.0,
+                    variance_delta: 0.0,
+                    coverage: 0,
+                    found_failure: false,
+                },
+            );
         }
         let next = {
-            let mut ctx = GenCtx { model: &mut m, rng: &mut r, max_len: 8 };
+            let mut ctx = GenCtx {
+                model: &mut m,
+                rng: &mut r,
+                max_len: 8,
+            };
             s.next_case(&mut ctx)
         };
         assert!(
@@ -555,16 +623,44 @@ mod tests {
         let (mut m, mut r) = ctx_parts();
         let mut s = ThemisStrategy::new();
         let case = {
-            let mut ctx = GenCtx { model: &mut m, rng: &mut r, max_len: 8 };
+            let mut ctx = GenCtx {
+                model: &mut m,
+                rng: &mut r,
+                max_len: 8,
+            };
             s.next_case(&mut ctx)
         };
-        s.feedback(&case, &ExecFeedback { variance: 0.5, variance_delta: 0.5, coverage: 0, found_failure: false });
+        s.feedback(
+            &case,
+            &ExecFeedback {
+                variance: 0.5,
+                variance_delta: 0.5,
+                coverage: 0,
+                found_failure: false,
+            },
+        );
         assert_eq!(s.pool.len(), 1);
         // Lower variance is not admitted once the frontier is higher.
-        s.feedback(&case, &ExecFeedback { variance: 0.1, variance_delta: -0.4, coverage: 0, found_failure: false });
+        s.feedback(
+            &case,
+            &ExecFeedback {
+                variance: 0.1,
+                variance_delta: -0.4,
+                coverage: 0,
+                found_failure: false,
+            },
+        );
         assert_eq!(s.pool.len(), 1);
         // A failure-triggering case is always admitted.
-        s.feedback(&case, &ExecFeedback { variance: 0.0, variance_delta: 0.0, coverage: 0, found_failure: true });
+        s.feedback(
+            &case,
+            &ExecFeedback {
+                variance: 0.0,
+                variance_delta: 0.0,
+                coverage: 0,
+                found_failure: true,
+            },
+        );
         assert_eq!(s.pool.len(), 2);
     }
 
@@ -573,15 +669,35 @@ mod tests {
         let (mut m, mut r) = ctx_parts();
         let mut s = ThemisStrategy::new();
         let case = {
-            let mut ctx = GenCtx { model: &mut m, rng: &mut r, max_len: 8 };
+            let mut ctx = GenCtx {
+                model: &mut m,
+                rng: &mut r,
+                max_len: 8,
+            };
             s.next_case(&mut ctx)
         };
-        s.feedback(&case, &ExecFeedback { variance: 5.0, variance_delta: 5.0, coverage: 0, found_failure: false });
+        s.feedback(
+            &case,
+            &ExecFeedback {
+                variance: 5.0,
+                variance_delta: 5.0,
+                coverage: 0,
+                found_failure: false,
+            },
+        );
         s.on_reset();
         assert_eq!(s.frontier, 0.0);
         assert_eq!(s.pool.len(), 1);
         // Post-reset low variance is admissible again.
-        s.feedback(&case, &ExecFeedback { variance: 0.2, variance_delta: 0.2, coverage: 0, found_failure: false });
+        s.feedback(
+            &case,
+            &ExecFeedback {
+                variance: 0.2,
+                variance_delta: 0.2,
+                coverage: 0,
+                found_failure: false,
+            },
+        );
         assert_eq!(s.pool.len(), 2);
     }
 

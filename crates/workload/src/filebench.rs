@@ -52,7 +52,12 @@ pub struct Personality {
 impl Personality {
     /// Creates the personality with a deterministic seed.
     pub fn new(kind: PersonalityKind, seed: u64) -> Self {
-        Personality { kind, rng: StdRng::seed_from_u64(seed), counter: 0, live: Vec::new() }
+        Personality {
+            kind,
+            rng: StdRng::seed_from_u64(seed),
+            counter: 0,
+            live: Vec::new(),
+        }
     }
 
     fn fresh(&mut self) -> String {
@@ -113,7 +118,10 @@ impl Workload for Personality {
             }
             let idx = self.rng.random_range(0..self.live.len());
             let path = self.live.swap_remove(idx);
-            ops.push(Operation::new(Operator::Delete, vec![Operand::FileName(path)]));
+            ops.push(Operation::new(
+                Operator::Delete,
+                vec![Operand::FileName(path)],
+            ));
         }
         ops
     }
@@ -145,7 +153,10 @@ mod tests {
                 }
             }
         }
-        assert!(reads > writes * 2, "webserver must be read-heavy ({reads} vs {writes})");
+        assert!(
+            reads > writes * 2,
+            "webserver must be read-heavy ({reads} vs {writes})"
+        );
     }
 
     #[test]
@@ -163,7 +174,10 @@ mod tests {
             }
         }
         assert!(creates > 0 && deletes > 0);
-        assert!(deletes as f64 >= creates as f64 * 0.5, "varmail deletes aggressively");
+        assert!(
+            deletes as f64 >= creates as f64 * 0.5,
+            "varmail deletes aggressively"
+        );
     }
 
     #[test]
@@ -186,6 +200,9 @@ mod tests {
                 }
             }
         }
-        assert!(max_size > 8 * 1024 * 1024, "tail sizes expected, max {max_size}");
+        assert!(
+            max_size > 8 * 1024 * 1024,
+            "tail sizes expected, max {max_size}"
+        );
     }
 }

@@ -75,8 +75,7 @@ mod tests {
 
     #[test]
     fn smallfile_replays_cleanly_against_the_simulator() {
-        let mut adaptor =
-            adaptors::SimAdaptor::new(simdfs::Flavor::Hdfs, simdfs::BugSet::None);
+        let mut adaptor = adaptors::SimAdaptor::new(simdfs::Flavor::Hdfs, simdfs::BugSet::None);
         let mut w = SmallFileConfig::default().build();
         let stats = replay(&mut w, &mut adaptor, 20);
         assert!(stats.sent > 100);
@@ -90,19 +89,20 @@ mod tests {
     #[test]
     fn personalities_generate_real_load() {
         use themis::DfsAdaptor;
-        let mut adaptor =
-            adaptors::SimAdaptor::new(simdfs::Flavor::CephFs, simdfs::BugSet::None);
+        let mut adaptor = adaptors::SimAdaptor::new(simdfs::Flavor::CephFs, simdfs::BugSet::None);
         let before = adaptor.free_space();
         let mut w = Personality::new(PersonalityKind::FileServer, 3);
         let _ = replay(&mut w, &mut adaptor, 30);
-        assert!(adaptor.free_space() < before, "fileserver must consume space");
+        assert!(
+            adaptor.free_space() < before,
+            "fileserver must consume space"
+        );
     }
 
     #[test]
     fn replay_for_respects_time_budget() {
         use themis::DfsAdaptor;
-        let mut adaptor =
-            adaptors::SimAdaptor::new(simdfs::Flavor::LeoFs, simdfs::BugSet::None);
+        let mut adaptor = adaptors::SimAdaptor::new(simdfs::Flavor::LeoFs, simdfs::BugSet::None);
         let mut w = Personality::new(PersonalityKind::VarMail, 3);
         let stats = replay_for(&mut w, &mut adaptor, 300_000);
         assert!(adaptor.now_ms() >= 300_000);

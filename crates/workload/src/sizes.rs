@@ -72,8 +72,9 @@ mod tests {
     #[test]
     fn heavy_tail_is_mostly_small_sometimes_large() {
         let mut rng = StdRng::seed_from_u64(3);
-        let samples: Vec<u64> =
-            (0..2000).map(|_| SizeDistribution::HeavyTailed.sample(&mut rng)).collect();
+        let samples: Vec<u64> = (0..2000)
+            .map(|_| SizeDistribution::HeavyTailed.sample(&mut rng))
+            .collect();
         let small = samples.iter().filter(|&&s| s < 256 * KIB).count();
         let large = samples.iter().filter(|&&s| s >= 64 * MIB).count();
         assert!(small > 1000, "small fraction {small}");

@@ -37,7 +37,12 @@ impl Default for SmallFileConfig {
 impl SmallFileConfig {
     /// Builds the generator.
     pub fn build(self) -> SmallFile {
-        SmallFile { rng: StdRng::seed_from_u64(self.seed), cfg: self, counter: 0, live: Vec::new() }
+        SmallFile {
+            rng: StdRng::seed_from_u64(self.seed),
+            cfg: self,
+            counter: 0,
+            live: Vec::new(),
+        }
     }
 }
 
@@ -98,7 +103,10 @@ impl Workload for SmallFile {
                 }
                 _ => {
                     let path = self.live.swap_remove(idx);
-                    ops.push(Operation::new(Operator::Delete, vec![Operand::FileName(path)]));
+                    ops.push(Operation::new(
+                        Operator::Delete,
+                        vec![Operand::FileName(path)],
+                    ));
                 }
             }
         }

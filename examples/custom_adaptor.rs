@@ -68,19 +68,26 @@ impl DfsAdaptor for ToyDfs {
                 Ok(())
             }
             (Operator::Delete, [Operand::FileName(p)]) => {
-                let (node, s) =
-                    self.files.remove(p).ok_or(AdaptorError::Rejected("missing".into()))?;
+                let (node, s) = self
+                    .files
+                    .remove(p)
+                    .ok_or(AdaptorError::Rejected("missing".into()))?;
                 self.node_bytes[node] -= s;
                 self.requests[node] += 1.0;
                 Ok(())
             }
             (Operator::Open, [Operand::FileName(p)]) => {
-                let (node, _) =
-                    *self.files.get(p).ok_or(AdaptorError::Rejected("missing".into()))?;
+                let (node, _) = *self
+                    .files
+                    .get(p)
+                    .ok_or(AdaptorError::Rejected("missing".into()))?;
                 self.requests[node] += 1.0;
                 Ok(())
             }
-            _ => Err(AdaptorError::Rejected(format!("ToyDFS cannot {}", op.opt.spelling()))),
+            _ => Err(AdaptorError::Rejected(format!(
+                "ToyDFS cannot {}",
+                op.opt.spelling()
+            ))),
         }
     }
 
@@ -101,7 +108,10 @@ impl DfsAdaptor for ToyDfs {
                 uptime_ms: self.clock_ms,
             })
             .collect();
-        LoadReport { time_ms: self.clock_ms, nodes }
+        LoadReport {
+            time_ms: self.clock_ms,
+            nodes,
+        }
     }
 
     fn rebalance(&mut self) {

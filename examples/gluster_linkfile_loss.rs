@@ -48,7 +48,10 @@ fn main() {
         adaptor
             .send(&op(
                 Operator::Create,
-                vec![Operand::FileName(format!("/fd{i}")), Operand::Size(96 * MIB)],
+                vec![
+                    Operand::FileName(format!("/fd{i}")),
+                    Operand::Size(96 * MIB),
+                ],
             ))
             .unwrap();
         let _ = adaptor.send(&op(
@@ -93,7 +96,10 @@ fn main() {
         // Keep writing and renaming so migrated files regain linkfiles.
         let _ = adaptor.send(&op(
             Operator::Create,
-            vec![Operand::FileName(format!("/extra{round}")), Operand::Size(128 * MIB)],
+            vec![
+                Operand::FileName(format!("/extra{round}")),
+                Operand::Size(128 * MIB),
+            ],
         ));
         let _ = adaptor.send(&op(
             Operator::Rename,
@@ -107,7 +113,11 @@ fn main() {
             adaptor.wait(2_000);
         }
         let sim = oracle.borrow();
-        if sim.oracle_triggered().iter().any(|id| id.starts_with("Bug#S24387")) {
+        if sim
+            .oracle_triggered()
+            .iter()
+            .any(|id| id.starts_with("Bug#S24387"))
+        {
             println!(
                 "\n=> Bug#S24387 triggered after round {round}: a linkfile's datafile hash id \
                  was still cached when its linkfile migrated."
@@ -119,7 +129,10 @@ fn main() {
     let sim = oracle.borrow();
     let triggered = sim.oracle_triggered();
     println!("\nground-truth triggered bugs: {triggered:?}");
-    println!("bytes lost (erroneously unlinked data): {} MiB", sim.bytes_lost() >> 20);
+    println!(
+        "bytes lost (erroneously unlinked data): {} MiB",
+        sim.bytes_lost() >> 20
+    );
     if triggered.iter().any(|id| id.starts_with("Bug#S24387")) {
         println!(
             "From here every further migration deletes part of what it moves — the \

@@ -49,12 +49,10 @@ fn main() {
 
     println!("step 1-2: mount a new volume and receive data storage requests");
     let node = adaptor.inventory().storage[0];
-    let ops = vec![
-        Operation::new(
-            Operator::AddVolume,
-            vec![Operand::NodeId(node), Operand::Size(0)],
-        ),
-    ];
+    let ops = vec![Operation::new(
+        Operator::AddVolume,
+        vec![Operand::NodeId(node), Operand::Size(0)],
+    )];
     for op in &ops {
         adaptor.send(op).unwrap();
     }
@@ -62,7 +60,10 @@ fn main() {
         adaptor
             .send(&Operation::new(
                 Operator::Create,
-                vec![Operand::FileName(format!("/data{i}")), Operand::Size(256 * MIB)],
+                vec![
+                    Operand::FileName(format!("/data{i}")),
+                    Operand::Size(256 * MIB),
+                ],
             ))
             .unwrap();
     }
@@ -70,10 +71,16 @@ fn main() {
     println!("step 3-4: the load balancer calculates changes and starts migrating");
     // Two fresh (empty) DataNodes guarantee the balancer has real work.
     sim.borrow_mut()
-        .execute(&DfsRequest::AddStorageNode { volumes: 2, capacity: 0 })
+        .execute(&DfsRequest::AddStorageNode {
+            volumes: 2,
+            capacity: 0,
+        })
         .unwrap();
     sim.borrow_mut()
-        .execute(&DfsRequest::AddStorageNode { volumes: 2, capacity: 0 })
+        .execute(&DfsRequest::AddStorageNode {
+            volumes: 2,
+            capacity: 0,
+        })
         .unwrap();
     adaptor.rebalance();
     adaptor.wait(2_000);
@@ -83,14 +90,19 @@ fn main() {
     println!("step 5: a DataNode goes offline during the migration");
     let victim = *adaptor.inventory().storage.last().unwrap();
     sim.borrow_mut()
-        .execute(&DfsRequest::RemoveStorageNode { node: simdfs::NodeId(victim as u32) })
+        .execute(&DfsRequest::RemoveStorageNode {
+            node: simdfs::NodeId(victim as u32),
+        })
         .unwrap();
 
     println!("step 6: new data keeps arriving; the hotspot is never drained");
     for i in 0..220 {
         let _ = adaptor.send(&Operation::new(
             Operator::Create,
-            vec![Operand::FileName(format!("/more{i}")), Operand::Size(192 * MIB)],
+            vec![
+                Operand::FileName(format!("/more{i}")),
+                Operand::Size(192 * MIB),
+            ],
         ));
     }
     while !adaptor.rebalance_done() {

@@ -29,14 +29,20 @@ fn main() {
     println!("  operations sent        : {}", result.ops_sent);
     println!("  fuzzing iterations     : {}", result.iterations);
     println!("  imbalance candidates   : {}", result.candidates_raised);
-    println!("  filtered by double-check: {}", result.filtered_by_double_check);
+    println!(
+        "  filtered by double-check: {}",
+        result.filtered_by_double_check
+    );
     println!("  confirmed failures     : {}", result.confirmed.len());
     println!("  branch coverage        : {}", result.final_coverage);
 
     // Print the first confirmed failure's reproduction log, the artifact
     // the paper hands to maintainers.
     if let Some(failure) = result.confirmed.first() {
-        println!("\nfirst confirmed imbalance failure ({} imbalance):", failure.kind);
+        println!(
+            "\nfirst confirmed imbalance failure ({} imbalance):",
+            failure.kind
+        );
         let log = failure.render_repro_log();
         for line in log.lines().take(12) {
             println!("  {line}");
@@ -51,5 +57,8 @@ fn main() {
     let sim = oracle.borrow();
     let triggered = sim.oracle_triggered();
     println!("\nground-truth bugs triggered in the final (post-reset) segment: {triggered:?}");
-    println!("bytes lost to data-loss effects: {} MiB", sim.bytes_lost() >> 20);
+    println!(
+        "bytes lost to data-loss effects: {} MiB",
+        sim.bytes_lost() >> 20
+    );
 }

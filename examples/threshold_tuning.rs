@@ -45,7 +45,10 @@ fn main() {
         };
         let cfg = CampaignConfig {
             budget_ms: 4 * 3_600_000,
-            detector: DetectorConfig { threshold_t: t, ..Default::default() },
+            detector: DetectorConfig {
+                threshold_t: t,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let mut strategy = ThemisStrategy::new();

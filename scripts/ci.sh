@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, the full test suite, and a bench smoke run
+# that exercises the grid executor and dumps the perf JSON artifact.
+#
+# Usage: scripts/ci.sh [--no-bench]
+#   --no-bench   skip the bench smoke step (fast pre-push check)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all --check
+run cargo clippy --workspace --all-targets --offline -- -D warnings
+run cargo build --workspace --offline
+run cargo test --workspace --offline -q
+
+if [[ "${1:-}" != "--no-bench" ]]; then
+    # Bench smoke: the repro binary's perf mode times the cached-vs-baseline
+    # campaign hot path plus grid scaling and writes results/BENCH_1.json.
+    run cargo run --release --offline -p bench --bin repro -- perf
+    test -s results/BENCH_1.json
+    echo "==> results/BENCH_1.json:"
+    cat results/BENCH_1.json
+fi
+
+echo "CI OK"

@@ -1,1 +1,4 @@
-pub use adaptors; pub use simdfs; pub use themis; pub use workload;
+pub use adaptors;
+pub use simdfs;
+pub use themis;
+pub use workload;

@@ -42,11 +42,18 @@ fn adaptive_threshold_limits_false_positives() {
     // the threshold up as false positives arrive instead of drowning.
     let run_adaptive = |adaptive: Option<AdaptiveConfig>| {
         let mut adaptor = SimAdaptor::new(Flavor::GlusterFs, BugSet::None);
-        let mut obs = OracleClassifier { handle: adaptor.handle(), fp: 0, tp: 0 };
+        let mut obs = OracleClassifier {
+            handle: adaptor.handle(),
+            fp: 0,
+            tp: 0,
+        };
         let cfg = CampaignConfig {
             budget_ms: 6 * 3_600_000,
             seed: 17,
-            detector: DetectorConfig { threshold_t: 0.05, ..Default::default() },
+            detector: DetectorConfig {
+                threshold_t: 0.05,
+                ..Default::default()
+            },
             adaptive,
             ..Default::default()
         };
@@ -74,7 +81,11 @@ fn adaptive_threshold_limits_false_positives() {
 #[test]
 fn adaptive_threshold_keeps_finding_real_bugs() {
     let mut adaptor = SimAdaptor::new(Flavor::GlusterFs, BugSet::New);
-    let mut obs = OracleClassifier { handle: adaptor.handle(), fp: 0, tp: 0 };
+    let mut obs = OracleClassifier {
+        handle: adaptor.handle(),
+        fp: 0,
+        tp: 0,
+    };
     let cfg = CampaignConfig {
         budget_ms: 12 * 3_600_000,
         seed: 23,

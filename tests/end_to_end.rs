@@ -11,7 +11,11 @@ use themis::{
 };
 
 fn short_cfg(hours: u64, seed: u64) -> CampaignConfig {
-    CampaignConfig { budget_ms: hours * 3_600_000, seed, ..Default::default() }
+    CampaignConfig {
+        budget_ms: hours * 3_600_000,
+        seed,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -25,8 +29,16 @@ fn campaign_runs_on_every_flavor() {
             &short_cfg(1, 42),
             &mut themis::NullObserver,
         );
-        assert!(res.ops_sent > 50, "{flavor}: too few ops ({})", res.ops_sent);
-        assert!(res.final_coverage > 500, "{flavor}: coverage {}", res.final_coverage);
+        assert!(
+            res.ops_sent > 50,
+            "{flavor}: too few ops ({})",
+            res.ops_sent
+        );
+        assert!(
+            res.final_coverage > 500,
+            "{flavor}: coverage {}",
+            res.final_coverage
+        );
         assert!(res.iterations > 10, "{flavor}");
     }
 }
@@ -36,7 +48,12 @@ fn campaigns_are_deterministic_across_runs() {
     let run = || {
         let mut adaptor = SimAdaptor::new(Flavor::LeoFs, BugSet::New);
         let mut strategy = ThemisStrategy::new();
-        run_campaign(&mut strategy, &mut adaptor, &short_cfg(1, 7), &mut themis::NullObserver)
+        run_campaign(
+            &mut strategy,
+            &mut adaptor,
+            &short_cfg(1, 7),
+            &mut themis::NullObserver,
+        )
     };
     let a = run();
     let b = run();
@@ -52,7 +69,12 @@ fn different_seeds_explore_differently() {
     let run = |seed| {
         let mut adaptor = SimAdaptor::new(Flavor::Hdfs, BugSet::None);
         let mut strategy = ThemisStrategy::new();
-        run_campaign(&mut strategy, &mut adaptor, &short_cfg(1, seed), &mut themis::NullObserver)
+        run_campaign(
+            &mut strategy,
+            &mut adaptor,
+            &short_cfg(1, seed),
+            &mut themis::NullObserver,
+        )
     };
     let a = run(1);
     let b = run(2);
@@ -98,8 +120,14 @@ fn seeded_easy_bug_is_confirmed_with_repro_log() {
     };
     let mut strategy = ThemisStrategy::new();
     let res = run_campaign(&mut strategy, &mut adaptor, &short_cfg(4, 3), &mut obs);
-    assert!(obs.confirmed_with_bug, "easy hotspot bug must be confirmed within 4 virtual hours");
-    assert!(obs.log_len > 0, "confirmation must carry a reproduction log");
+    assert!(
+        obs.confirmed_with_bug,
+        "easy hotspot bug must be confirmed within 4 virtual hours"
+    );
+    assert!(
+        obs.log_len > 0,
+        "confirmation must carry a reproduction log"
+    );
     assert!(res.resets >= 1, "a confirmation resets the DFS");
     let rendered = res.confirmed[0].render_repro_log();
     assert!(rendered.contains("imbalance failure"));
@@ -130,7 +158,7 @@ fn bug_free_build_yields_no_confirmations_at_t25() {
 /// on the identical load report (monotonicity of the detector).
 #[test]
 fn detector_threshold_monotonicity() {
-    use themis::{DfsAdaptor, Detector};
+    use themis::{Detector, DfsAdaptor};
     let mut adaptor = SimAdaptor::new(Flavor::GlusterFs, BugSet::None);
     // Drive some load to make the report non-trivial.
     let mut strategy = ThemisStrategy::new();
@@ -153,7 +181,10 @@ fn detector_threshold_monotonicity() {
 /// the same target without panicking and with sane statistics.
 #[test]
 fn all_strategies_run_clean() {
-    for name in themis::COMPARISON_STRATEGIES.iter().chain(["Themis-"].iter()) {
+    for name in themis::COMPARISON_STRATEGIES
+        .iter()
+        .chain(["Themis-"].iter())
+    {
         let mut strategy = by_name(name).expect("strategy exists");
         let mut adaptor = SimAdaptor::new(Flavor::CephFs, BugSet::New);
         let res = run_campaign(
@@ -176,11 +207,13 @@ fn threshold_affects_candidate_volume() {
         let cfg = CampaignConfig {
             budget_ms: 2 * 3_600_000,
             seed: 21,
-            detector: DetectorConfig { threshold_t: t, ..Default::default() },
+            detector: DetectorConfig {
+                threshold_t: t,
+                ..Default::default()
+            },
             ..Default::default()
         };
-        run_campaign(&mut strategy, &mut adaptor, &cfg, &mut themis::NullObserver)
-            .candidates_raised
+        run_campaign(&mut strategy, &mut adaptor, &cfg, &mut themis::NullObserver).candidates_raised
     };
     let low = run(0.05);
     let high = run(0.35);

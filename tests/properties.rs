@@ -48,14 +48,14 @@ proptest! {
         prop_assert!(conf.ops.iter().all(|o| o.opt.is_config_op()));
     }
 
-    /// Serde round-trips preserve test cases exactly.
+    /// JSON round-trips preserve test cases exactly.
     #[test]
-    fn testcase_serde_roundtrip(seed in any::<u64>()) {
+    fn testcase_json_roundtrip(seed in any::<u64>()) {
         let mut m = model();
         let mut rng = StdRng::seed_from_u64(seed);
         let case = gen::random_case(&mut m, &mut rng, 8);
-        let json = serde_json::to_string(&case).unwrap();
-        let back: TestCase = serde_json::from_str(&json).unwrap();
+        let json = case.to_json();
+        let back = TestCase::from_json(&json).unwrap();
         prop_assert_eq!(case, back);
     }
 }
@@ -127,7 +127,7 @@ proptest! {
     /// crashed nodes and its reset restores the initial inventory.
     #[test]
     fn reset_restores_initial_state(seed in any::<u64>()) {
-        let mut sim = DfsSim::new(Flavor::LeoFs, BugSet::None);
+        let sim = DfsSim::new(Flavor::LeoFs, BugSet::None);
         let initial_nodes = sim.cluster().node_ids().len();
         let initial_used = sim.cluster().total_used();
         let mut m = model();
