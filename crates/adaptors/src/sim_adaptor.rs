@@ -17,9 +17,41 @@ use themis::spec::{Operand, Operation, Operator};
 /// A shared simulator handle.
 pub type SimHandle = Rc<RefCell<DfsSim>>;
 
+/// Client-side retry and timeout semantics for [`SimAdaptor::send`].
+///
+/// Real DFS clients do not give up on the first connection refusal: they
+/// retry with backoff (surviving brief control-plane outages such as a
+/// partition that later heals) and abandon requests that exceed a client
+/// timeout. The defaults are chosen so a fault-free simulator never hits
+/// either path: the costliest normal request is ~30.5 s, well under
+/// `timeout_ms`, and `ClusterDown` cannot occur without faults or
+/// node-removal operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first failed send.
+    pub max_retries: u32,
+    /// Initial backoff between attempts (doubles per retry, virtual time).
+    pub backoff_ms: u64,
+    /// Client-side timeout: completed requests slower than this surface as
+    /// rejected (the client hung up before the reply arrived).
+    pub timeout_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            backoff_ms: 5_000,
+            timeout_ms: 120_000,
+        }
+    }
+}
+
 /// Adaptor binding Themis to one simulated DFS instance.
 pub struct SimAdaptor {
     sim: SimHandle,
+    /// Retry/backoff/timeout behavior applied by [`DfsAdaptor::send`].
+    pub retry: RetryPolicy,
     /// Recently sent operations, oldest first (bounded ring). Commands are
     /// rendered on demand by [`SimAdaptor::command_log`] — rendering on
     /// every send would put string formatting on the campaign hot path.
@@ -41,6 +73,7 @@ impl SimAdaptor {
     pub fn from_handle(sim: SimHandle) -> Self {
         SimAdaptor {
             sim,
+            retry: RetryPolicy::default(),
             op_log: std::collections::VecDeque::new(),
             command_log_cap: 4096,
             snap_buf: ClusterSnapshot::default(),
@@ -156,10 +189,40 @@ impl DfsAdaptor for SimAdaptor {
         let req = self
             .translate(op)
             .ok_or_else(|| AdaptorError::Rejected(format!("untranslatable operation: {op}")))?;
-        match self.sim.borrow_mut().execute(&req) {
-            Ok(_) => Ok(()),
-            Err(SimError::ClusterDown) => Err(AdaptorError::Down("cluster down".into())),
-            Err(e) => Err(AdaptorError::Rejected(e.to_string())),
+        let mut backoff = self.retry.backoff_ms.max(1);
+        let mut attempts_left = self.retry.max_retries;
+        loop {
+            // Bind before matching: the scrutinee's RefCell guard would
+            // otherwise live through the arms and conflict with `tick`.
+            let outcome = self.sim.borrow_mut().execute(&req);
+            match outcome {
+                Ok(out) => {
+                    // The request completed server-side, but a client that
+                    // waited past its timeout already hung up: report it
+                    // as rejected. Only slow-node faults push latency this
+                    // high (normal worst case ~30.5 s < 120 s default).
+                    return if out.latency_ms > self.retry.timeout_ms {
+                        Err(AdaptorError::Rejected(format!(
+                            "client timeout after {} ms",
+                            out.latency_ms
+                        )))
+                    } else {
+                        Ok(())
+                    };
+                }
+                Err(SimError::ClusterDown) if attempts_left > 0 => {
+                    // Back off on the virtual clock before retrying — this
+                    // lets scheduled Heal/Restart fault events fire, so a
+                    // transient outage is survived rather than reported.
+                    attempts_left -= 1;
+                    self.sim.borrow_mut().tick(backoff);
+                    backoff = backoff.saturating_mul(2);
+                }
+                Err(SimError::ClusterDown) => {
+                    return Err(AdaptorError::Down("cluster down".into()));
+                }
+                Err(e) => return Err(AdaptorError::Rejected(e.to_string())),
+            }
         }
     }
 
@@ -407,6 +470,65 @@ mod tests {
             let _ = a.send(&create(&format!("/f{i}"), 1));
         }
         assert!(a.command_log().len() <= 10);
+    }
+
+    #[test]
+    fn client_timeout_rejects_slow_requests() {
+        let mut a = adaptor(Flavor::Hdfs);
+        // Absurdly tight client timeout: every request is now "too slow".
+        a.retry.timeout_ms = 0;
+        match a.send(&create("/x", 1 << 20)) {
+            Err(AdaptorError::Rejected(msg)) => assert!(msg.contains("client timeout")),
+            other => panic!("expected client timeout, got {other:?}"),
+        }
+        // The file was still created server-side (the client only hung
+        // up), so the default-policy adaptor behavior is unchanged.
+        a.retry = RetryPolicy::default();
+        a.send(&create("/y", 1 << 20)).unwrap();
+    }
+
+    #[test]
+    fn retry_with_backoff_survives_transient_outage() {
+        use simdfs::{FaultEvent, FaultKind, FaultPlan};
+        let mut a = adaptor(Flavor::Hdfs);
+        // Partition both management nodes away at t=1s, heal at t=10s: a
+        // transient control-plane outage. The retry backoff (5 s, then
+        // 10 s of virtual time) carries the client past the heal.
+        a.handle().borrow_mut().set_fault_plan(FaultPlan::new(vec![
+            FaultEvent {
+                at_ms: 1_000,
+                kind: FaultKind::PartitionMgmt { index: 0 },
+            },
+            FaultEvent {
+                at_ms: 1_000,
+                kind: FaultKind::PartitionMgmt { index: 0 },
+            },
+            FaultEvent {
+                at_ms: 10_000,
+                kind: FaultKind::Heal,
+            },
+        ]));
+        a.wait(2_000);
+        assert!(a.send(&create("/x", 1 << 20)).is_ok());
+
+        // With retries disabled the same outage surfaces as Down.
+        let mut b = adaptor(Flavor::Hdfs);
+        b.retry.max_retries = 0;
+        b.handle().borrow_mut().set_fault_plan(FaultPlan::new(vec![
+            FaultEvent {
+                at_ms: 1_000,
+                kind: FaultKind::PartitionMgmt { index: 0 },
+            },
+            FaultEvent {
+                at_ms: 1_000,
+                kind: FaultKind::PartitionMgmt { index: 0 },
+            },
+        ]));
+        b.wait(2_000);
+        assert!(matches!(
+            b.send(&create("/x", 1 << 20)),
+            Err(AdaptorError::Down(_))
+        ));
     }
 
     #[test]

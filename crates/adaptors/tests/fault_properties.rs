@@ -1,0 +1,69 @@
+//! Property-based tests of the fault-injection subsystem as seen through
+//! the adaptor: campaigns under faults stay deterministic, and a crash
+//! fault is always detected and survives the detector's double-check.
+
+use adaptors::SimAdaptor;
+use proptest::prelude::*;
+use simdfs::{BugSet, FaultPlan, Flavor};
+use themis::adaptor::DfsAdaptor;
+use themis::spec::TestCase;
+use themis::{by_name, run_campaign, CampaignConfig, Detector, ImbalanceKind, NullObserver};
+
+/// One full campaign against a faulted simulator, returning the complete
+/// result (PartialEq covers confirmations, traces and counters).
+fn campaign(profile: &str, seed: u64) -> themis::CampaignResult {
+    let mut strategy = by_name("Themis").expect("strategy");
+    let mut adaptor = SimAdaptor::new(Flavor::Hdfs, BugSet::None);
+    let plan = FaultPlan::named(profile, seed).expect("profile");
+    adaptor.handle().borrow_mut().set_fault_plan(plan);
+    let cfg = CampaignConfig {
+        budget_ms: 3_600_000,
+        seed,
+        ..Default::default()
+    };
+    run_campaign(strategy.as_mut(), &mut adaptor, &cfg, &mut NullObserver)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// A faulted campaign is a pure function of (seed, fault profile):
+    /// two runs with the same coordinates are bit-identical.
+    #[test]
+    fn faulted_campaigns_are_deterministic(
+        seed in any::<u64>(),
+        profile_idx in 0usize..FaultPlan::profiles().len(),
+    ) {
+        let profile = FaultPlan::profiles()[profile_idx];
+        prop_assert_eq!(campaign(profile, seed), campaign(profile, seed));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Whatever the seed places in the crash plan, once the crash fires
+    /// the detector raises a Crash candidate and the double-check cannot
+    /// explain it away (the host stays down through rebalances, settles
+    /// and probe traffic).
+    #[test]
+    fn crash_fault_always_survives_double_check(seed in any::<u64>()) {
+        let mut adaptor = SimAdaptor::new(Flavor::CephFs, BugSet::None);
+        let plan = FaultPlan::named("crash", seed).expect("profile");
+        adaptor.handle().borrow_mut().set_fault_plan(plan);
+        // The crash fires 20-40 virtual minutes in; wait well past it.
+        adaptor.wait(3_600_000);
+        let detector = Detector::with_threshold(0.25);
+        let report = adaptor.load_report();
+        let candidates = detector.check(&report);
+        prop_assert!(
+            candidates.iter().any(|c| c.kind == ImbalanceKind::Crash),
+            "crashed node must raise a Crash candidate, got {candidates:?}"
+        );
+        let survivors = detector.double_check(&mut adaptor, &TestCase::new(vec![]));
+        prop_assert!(
+            survivors.iter().any(|c| c.kind == ImbalanceKind::Crash),
+            "Crash candidate must survive the double-check, got {survivors:?}"
+        );
+    }
+}

@@ -1,10 +1,12 @@
 //! Regenerates every table and figure of the paper into `results/`.
 //!
 //! Usage: `repro [artifact...]` where artifact is one of
-//! `table1..table8`, `figure2`, `figure12`, `perf`, or `all` (default;
-//! excludes `perf`). The comparison tables share one matrix run (Table 3 /
-//! Table 5 / Figure 12). `perf` times the cached-vs-baseline campaign hot
-//! path and grid-executor scaling and dumps `results/BENCH_1.json`.
+//! `table1..table8`, `figure2`, `figure12`, `perf`, `faults`, or `all`
+//! (default; excludes `perf` and `faults`). The comparison tables share
+//! one matrix run (Table 3 / Table 5 / Figure 12). `perf` times the
+//! cached-vs-baseline campaign hot path and grid-executor scaling and
+//! dumps `results/BENCH_1.json`. `faults` sweeps the fault-injection
+//! matrix at a reduced budget and writes `results/faults.txt`.
 
 use bench::tables;
 use std::fs;
@@ -50,6 +52,11 @@ fn main() {
     }
     if want("table8") {
         write("table8.txt", &tables::table8(HOURS, SEED));
+    }
+    // Faults is opt-in like perf: a reduced-budget fault-injection sweep
+    // (CI smoke), not a paper table.
+    if args.iter().any(|a| a == "faults") {
+        write("faults.txt", &tables::fault_matrix(2, SEED));
     }
     // Perf is opt-in: it is a timing artifact, not a paper table.
     if args.iter().any(|a| a == "perf") {

@@ -9,7 +9,7 @@
 //! the output is bit-identical regardless of worker count or scheduling
 //! order, because each cell is a pure function of its coordinates.
 
-use crate::harness::{run_eval, EvalResult};
+use crate::harness::{run_eval_faulted, EvalResult};
 use parking_lot::Mutex;
 use simdfs::{BugSet, Flavor};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -23,8 +23,12 @@ pub struct GridSpec {
     pub flavors: Vec<Flavor>,
     /// Strategy names (middle axis), resolved via [`themis::by_name`].
     pub strategies: Vec<String>,
-    /// RNG seeds (innermost axis).
+    /// RNG seeds (third axis).
     pub seeds: Vec<u64>,
+    /// Fault profile names (innermost axis), resolved via
+    /// [`simdfs::FaultPlan::named`]. Defaults to `["none"]`, which leaves
+    /// the pre-existing three-axis matrix unchanged.
+    pub fault_profiles: Vec<String>,
     /// Bug set every cell's simulator is built with.
     pub bugs: BugSet,
     /// Virtual time budget per campaign, in hours.
@@ -51,6 +55,7 @@ impl GridSpec {
             flavors,
             strategies,
             seeds,
+            fault_profiles: vec!["none".to_string()],
             bugs,
             hours,
             threshold_t: 0.25,
@@ -61,17 +66,25 @@ impl GridSpec {
 
     /// Number of cells in the matrix.
     pub fn cells(&self) -> usize {
-        self.flavors.len() * self.strategies.len() * self.seeds.len()
+        self.flavors.len() * self.strategies.len() * self.seeds.len() * self.fault_profiles.len()
     }
 
-    /// The `(flavor, strategy, seed)` coordinates of cell `index`
-    /// (row-major: flavor outermost, seed innermost).
-    pub fn coords(&self, index: usize) -> (Flavor, &str, u64) {
-        let per_flavor = self.strategies.len() * self.seeds.len();
+    /// The `(flavor, strategy, seed, fault_profile)` coordinates of cell
+    /// `index` (row-major: flavor outermost, fault profile innermost).
+    pub fn coords(&self, index: usize) -> (Flavor, &str, u64, &str) {
+        let per_seed = self.fault_profiles.len();
+        let per_strategy = self.seeds.len() * per_seed;
+        let per_flavor = self.strategies.len() * per_strategy;
         let f = index / per_flavor;
-        let s = (index % per_flavor) / self.seeds.len();
-        let sd = index % self.seeds.len();
-        (self.flavors[f], &self.strategies[s], self.seeds[sd])
+        let s = (index % per_flavor) / per_strategy;
+        let sd = (index % per_strategy) / per_seed;
+        let fp = index % per_seed;
+        (
+            self.flavors[f],
+            &self.strategies[s],
+            self.seeds[sd],
+            &self.fault_profiles[fp],
+        )
     }
 
     fn resolved_workers(&self) -> usize {
@@ -98,6 +111,8 @@ pub struct GridCell {
     pub strategy: String,
     /// Campaign seed.
     pub seed: u64,
+    /// Fault profile injected into this cell's simulator.
+    pub fault_profile: String,
     /// The attributed campaign outcome.
     pub eval: EvalResult,
 }
@@ -115,8 +130,8 @@ pub struct GridOutcome {
 
 /// Runs one cell (also the serial reference path used by tests).
 pub fn run_cell(spec: &GridSpec, index: usize) -> GridCell {
-    let (flavor, strategy, seed) = spec.coords(index);
-    let eval = run_eval(
+    let (flavor, strategy, seed, fault_profile) = spec.coords(index);
+    let eval = run_eval_faulted(
         flavor,
         strategy,
         spec.bugs.clone(),
@@ -124,12 +139,14 @@ pub fn run_cell(spec: &GridSpec, index: usize) -> GridCell {
         seed,
         spec.threshold_t,
         spec.weights,
+        fault_profile,
     );
     GridCell {
         index,
         flavor,
         strategy: strategy.to_string(),
         seed,
+        fault_profile: fault_profile.to_string(),
         eval,
     }
 }
@@ -193,10 +210,24 @@ mod tests {
     fn coords_cover_the_matrix_row_major() {
         let spec = tiny_spec(1);
         assert_eq!(spec.cells(), 4);
-        assert_eq!(spec.coords(0), (Flavor::GlusterFs, "Themis-", 3));
-        assert_eq!(spec.coords(1), (Flavor::GlusterFs, "Themis-", 11));
-        assert_eq!(spec.coords(2), (Flavor::Hdfs, "Themis-", 3));
-        assert_eq!(spec.coords(3), (Flavor::Hdfs, "Themis-", 11));
+        assert_eq!(spec.coords(0), (Flavor::GlusterFs, "Themis-", 3, "none"));
+        assert_eq!(spec.coords(1), (Flavor::GlusterFs, "Themis-", 11, "none"));
+        assert_eq!(spec.coords(2), (Flavor::Hdfs, "Themis-", 3, "none"));
+        assert_eq!(spec.coords(3), (Flavor::Hdfs, "Themis-", 11, "none"));
+    }
+
+    #[test]
+    fn fault_axis_is_innermost() {
+        let spec = GridSpec {
+            fault_profiles: vec!["none".into(), "crash".into()],
+            ..tiny_spec(1)
+        };
+        assert_eq!(spec.cells(), 8);
+        assert_eq!(spec.coords(0), (Flavor::GlusterFs, "Themis-", 3, "none"));
+        assert_eq!(spec.coords(1), (Flavor::GlusterFs, "Themis-", 3, "crash"));
+        assert_eq!(spec.coords(2), (Flavor::GlusterFs, "Themis-", 11, "none"));
+        assert_eq!(spec.coords(3), (Flavor::GlusterFs, "Themis-", 11, "crash"));
+        assert_eq!(spec.coords(7), (Flavor::Hdfs, "Themis-", 11, "crash"));
     }
 
     #[test]
@@ -206,8 +237,16 @@ mod tests {
         assert_eq!(out.cells.len(), 4);
         for (i, cell) in out.cells.iter().enumerate() {
             assert_eq!(cell.index, i);
-            let (f, s, sd) = spec.coords(i);
-            assert_eq!((cell.flavor, cell.strategy.as_str(), cell.seed), (f, s, sd));
+            let (f, s, sd, fp) = spec.coords(i);
+            assert_eq!(
+                (
+                    cell.flavor,
+                    cell.strategy.as_str(),
+                    cell.seed,
+                    cell.fault_profile.as_str()
+                ),
+                (f, s, sd, fp)
+            );
             assert!(cell.eval.campaign.iterations > 0);
         }
         assert_eq!(out.per_worker_completed.len(), 2);

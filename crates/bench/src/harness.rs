@@ -17,6 +17,10 @@ pub struct EvalResult {
     pub flavor: Flavor,
     /// Strategy name.
     pub strategy: String,
+    /// Fault profile injected into the simulator ("none" when unfaulted).
+    pub fault_profile: String,
+    /// Bytes the simulator lost to faulty/lossy migrations.
+    pub bytes_lost: u64,
     /// Distinct ground-truth bug ids credited with confirmed failures.
     pub found: BTreeSet<String>,
     /// Virtual minute each found bug first triggered.
@@ -84,6 +88,36 @@ pub fn run_eval(
         threshold_t,
         weights,
         true,
+        "none",
+    )
+}
+
+/// Like [`run_eval`] but with a deterministic fault plan injected into the
+/// simulator. `fault_profile` must be one of
+/// [`simdfs::FaultPlan::profiles`]; the plan is derived from
+/// `(profile, seed)` so the whole cell stays a pure function of its grid
+/// coordinates.
+#[allow(clippy::too_many_arguments)]
+pub fn run_eval_faulted(
+    flavor: Flavor,
+    strategy_name: &str,
+    bugs: BugSet,
+    hours: u64,
+    seed: u64,
+    threshold_t: f64,
+    weights: VarianceWeights,
+    fault_profile: &str,
+) -> EvalResult {
+    eval_inner(
+        flavor,
+        strategy_name,
+        bugs,
+        hours,
+        seed,
+        threshold_t,
+        weights,
+        true,
+        fault_profile,
     )
 }
 
@@ -108,6 +142,7 @@ pub fn run_eval_baseline(
         threshold_t,
         weights,
         false,
+        "none",
     )
 }
 
@@ -121,12 +156,16 @@ fn eval_inner(
     threshold_t: f64,
     weights: VarianceWeights,
     placement_caching: bool,
+    fault_profile: &str,
 ) -> EvalResult {
     let mut strat =
         by_name(strategy_name).unwrap_or_else(|| panic!("unknown strategy {strategy_name}"));
     let mut adaptor = SimAdaptor::new(flavor, bugs);
     let handle = adaptor.handle();
     handle.borrow_mut().set_placement_caching(placement_caching);
+    let plan = simdfs::FaultPlan::named(fault_profile, seed)
+        .unwrap_or_else(|| panic!("unknown fault profile {fault_profile}"));
+    handle.borrow_mut().set_fault_plan(plan);
     let mut obs = Attribution {
         handle: handle.clone(),
         found: BTreeSet::new(),
@@ -145,9 +184,12 @@ fn eval_inner(
         ..Default::default()
     };
     let campaign = run_campaign(strat.as_mut(), &mut adaptor, &cfg, &mut obs);
+    let bytes_lost = handle.borrow().bytes_lost();
     EvalResult {
         flavor,
         strategy: strategy_name.to_string(),
+        fault_profile: fault_profile.to_string(),
+        bytes_lost,
         found: obs.found,
         first_trigger_min: obs.first_trigger_min,
         false_positive_confirms: obs.fp_confirms,

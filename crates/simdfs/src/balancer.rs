@@ -274,6 +274,17 @@ impl Balancer {
         moves
     }
 
+    /// [`Balancer::plan`] restricted to reachable nodes: moves touching an
+    /// excluded (partitioned) node are dropped, as a real balancer's RPCs
+    /// to an unreachable peer would fail.
+    pub fn plan_excluding(&self, cluster: &Cluster, excluded: &[NodeId]) -> Vec<MigrationMove> {
+        let mut plan = self.plan(cluster);
+        if !excluded.is_empty() {
+            plan.retain(|m| !excluded.contains(&m.from_node) && !excluded.contains(&m.to_node));
+        }
+        plan
+    }
+
     /// Starts a round with the given (possibly effect-filtered) plan.
     pub fn start_round(&mut self, plan: Vec<MigrationMove>) {
         self.rounds += 1;
@@ -298,6 +309,14 @@ impl Balancer {
             self.phase = RebalancePhase::Idle;
         }
         out
+    }
+
+    /// Puts a deferred move back at the queue tail (slow-storage faults
+    /// stall individual migrations without dropping them), reopening the
+    /// round if `next_moves` just drained the queue.
+    pub fn requeue(&mut self, m: MigrationMove) {
+        self.queue.push_back(m);
+        self.phase = RebalancePhase::Migrating;
     }
 
     /// Externally visible status.

@@ -528,6 +528,42 @@ impl Cluster {
             n.online = false;
         }
     }
+
+    /// Brings a previously offline node back (restart after a crash); its
+    /// data survived the outage.
+    pub fn set_online(&mut self, id: NodeId) {
+        if let Some(n) = self.storage.get_mut(&id) {
+            if !n.online {
+                n.online = true;
+                // The node's volumes re-enter `volume_views`.
+                self.generation += 1;
+            }
+        }
+        if let Some(n) = self.mgmt.get_mut(&id) {
+            n.online = true;
+        }
+    }
+
+    /// Collapses every volume's free space on a storage node to zero
+    /// (disk-full fault): existing data stays readable but nothing more
+    /// fits. Returns whether anything changed.
+    pub fn set_volumes_full(&mut self, id: NodeId) -> bool {
+        let Some(n) = self.storage.get_mut(&id) else {
+            return false;
+        };
+        let mut changed = false;
+        for v in &mut n.volumes {
+            if v.capacity != v.used {
+                v.capacity = v.used;
+                changed = true;
+            }
+        }
+        if changed {
+            // Free-space-driven placement must see the shrunk capacities.
+            self.generation += 1;
+        }
+        changed
+    }
 }
 
 #[cfg(test)]

@@ -38,6 +38,7 @@ pub mod clock;
 pub mod cluster;
 pub mod coverage;
 pub mod error;
+pub mod faults;
 pub mod flavor;
 pub mod hashing;
 pub mod metrics;
@@ -53,6 +54,7 @@ pub use bugs::{BugEngine, BugSpec, Effect, FailureKind, Gate, Metric, SimEvent, 
 pub use cluster::Cluster;
 pub use coverage::{CoverageModel, CoverageUniverse, Region};
 pub use error::{SimError, SimResult};
+pub use faults::{FaultEvent, FaultInjector, FaultKind, FaultPlan};
 pub use flavor::{BalancerStyle, Flavor, FlavorConfig, PlacementKind, RoutingKind};
 pub use metrics::{ClusterSnapshot, NodeLoadSample};
 pub use namespace::Namespace;

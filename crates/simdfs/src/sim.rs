@@ -14,6 +14,7 @@ use crate::clock::{PeriodicTimer, SimClock};
 use crate::cluster::Cluster;
 use crate::coverage::{CoverageModel, Region};
 use crate::error::{SimError, SimResult};
+use crate::faults::{FaultInjector, FaultKind, FaultPlan};
 use crate::flavor::{BalancerStyle, Flavor, FlavorConfig, RoutingKind};
 use crate::hashing::{hash_str, mix};
 use crate::metrics::{ClusterSnapshot, NodeLoadSample};
@@ -113,6 +114,9 @@ pub struct DfsSim {
     /// GlusterFS dht-rebalance hash cache: placement key -> expiry.
     hash_cache: HashMap<u64, SimTime>,
     crashed: Vec<NodeId>,
+    /// Scheduled environment faults plus their active runtime state (see
+    /// [`crate::faults`]); empty and inert unless a plan is installed.
+    faults: FaultInjector,
     stats: SimStats,
     last_variance: (f64, f64, f64),
     /// Snapshot of the freshly built namespace + cluster (topology and
@@ -159,6 +163,7 @@ impl DfsSim {
             prev2_kind: None,
             hash_cache: HashMap::new(),
             crashed: Vec::new(),
+            faults: FaultInjector::default(),
             stats: SimStats::default(),
             last_variance: (1.0, 1.0, 1.0),
             pristine: None,
@@ -277,9 +282,21 @@ impl DfsSim {
         self.bugs.bugs()
     }
 
-    /// Nodes that crashed due to a crash-effect bug.
+    /// Nodes that crashed due to a crash-effect bug or a crash fault.
     pub fn crashed_nodes(&self) -> &[NodeId] {
         &self.crashed
+    }
+
+    /// Installs a fault plan (see [`crate::faults`]), replacing any
+    /// previous plan and clearing its active state. Events fire when the
+    /// virtual clock passes their timestamp.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults.set_plan(plan);
+    }
+
+    /// Read access to the fault injector (diagnostics and tests).
+    pub fn fault_injector(&self) -> &FaultInjector {
+        &self.faults
     }
 
     /// Routes placement through the uncached reference path when disabled.
@@ -320,8 +337,15 @@ impl DfsSim {
             return Err(SimError::ClusterDown);
         }
         let class = req.class();
-        let cost = self.request_cost(req);
         let mgmt = self.route_request(req);
+        // A slow-node fault on the serving gateway multiplies the request
+        // latency (the client observes the degradation end to end).
+        let cost = match mgmt {
+            Some(id) => self
+                .request_cost(req)
+                .saturating_mul(self.faults.slow_mgmt_factor(id) as u64),
+            None => self.request_cost(req),
+        };
         self.charge_mgmt(mgmt, req);
 
         let result = self.apply_request(req);
@@ -363,7 +387,22 @@ impl DfsSim {
     }
 
     fn cluster_down(&self) -> bool {
-        !self.cluster.has_online_mgmt() || !self.cluster.has_online_storage()
+        if !self.faults.has_partitions() {
+            return !self.cluster.has_online_mgmt() || !self.cluster.has_online_storage();
+        }
+        // Partitioned nodes are up but unreachable: if every gateway (or
+        // every storage node) is cut off, clients see a dead cluster.
+        let mgmt_ok = self
+            .cluster
+            .mgmt
+            .values()
+            .any(|m| m.online && !self.faults.is_partitioned(m.id));
+        let storage_ok = self
+            .cluster
+            .storage
+            .values()
+            .any(|s| s.online && !self.faults.is_partitioned(s.id));
+        !mgmt_ok || !storage_ok
     }
 
     fn request_cost(&self, req: &DfsRequest) -> u64 {
@@ -388,8 +427,34 @@ impl DfsSim {
         self.cfg.default_new_volume_capacity()
     }
 
+    /// Online management nodes reachable from clients (partitioned
+    /// gateways are up but take no traffic).
+    fn reachable_mgmt_count(&self) -> usize {
+        if !self.faults.has_partitions() {
+            return self.cluster.online_mgmt_count();
+        }
+        self.cluster
+            .mgmt
+            .values()
+            .filter(|m| m.online && !self.faults.is_partitioned(m.id))
+            .count()
+    }
+
+    /// The `i`-th reachable management node in id order.
+    fn nth_reachable_mgmt(&self, i: usize) -> Option<NodeId> {
+        if !self.faults.has_partitions() {
+            return self.cluster.nth_online_mgmt(i);
+        }
+        self.cluster
+            .mgmt
+            .values()
+            .filter(|m| m.online && !self.faults.is_partitioned(m.id))
+            .nth(i)
+            .map(|m| m.id)
+    }
+
     fn route_request(&mut self, req: &DfsRequest) -> Option<NodeId> {
-        let online_len = self.cluster.online_mgmt_count();
+        let online_len = self.reachable_mgmt_count();
         if online_len == 0 {
             return None;
         }
@@ -404,10 +469,13 @@ impl DfsSim {
                 .active_effects()
                 .find(|(s, _)| matches!(s.effect, Effect::NetFunnel))
                 .and_then(|(_, v)| v)
-                .filter(|v| self.cluster.mgmt.get(v).is_some_and(|m| m.online))
+                .filter(|v| {
+                    self.cluster.mgmt.get(v).is_some_and(|m| m.online)
+                        && !self.faults.is_partitioned(*v)
+                })
                 // The original victim is gone: the faulty measuring code
                 // now funnels everything to the first surviving gateway.
-                .or_else(|| self.cluster.nth_online_mgmt(0));
+                .or_else(|| self.nth_reachable_mgmt(0));
             if let Some(v) = victim {
                 return Some(v);
             }
@@ -435,7 +503,7 @@ impl DfsSim {
                 }
             }
         };
-        self.cluster.nth_online_mgmt(pick)
+        self.nth_reachable_mgmt(pick)
     }
 
     fn charge_mgmt(&mut self, mgmt: Option<NodeId>, req: &DfsRequest) {
@@ -446,8 +514,11 @@ impl DfsSim {
         };
         node.load.rps.add(now, 1.0);
         // Uniform per-request metadata cost: data transfer is handled by
-        // the storage pipeline, not the management node's CPU.
-        node.load.cpu.add(now, 1.0);
+        // the storage pipeline, not the management node's CPU. A slow-node
+        // fault burns proportionally more CPU per request served.
+        node.load
+            .cpu
+            .add(now, self.faults.slow_mgmt_factor(id) as f64);
         match req.class() {
             OpClass::Read => node.load.read_io.add(now, 1.0),
             c if c.is_request() => node.load.write_io.add(now, 1.0),
@@ -493,6 +564,7 @@ impl DfsSim {
                 if let Some(n) = self.cluster.mgmt.get_mut(&id) {
                     n.joined = now;
                 }
+                self.faults.mgmt_added(id);
                 Ok(ReqOutcome {
                     new_node: Some(id),
                     ..Default::default()
@@ -500,6 +572,7 @@ impl DfsSim {
             }
             DfsRequest::RemoveMgmtNode { node } => {
                 self.cluster.remove_mgmt(*node)?;
+                self.faults.mgmt_removed(*node);
                 Ok(ReqOutcome::default())
             }
             DfsRequest::AddStorageNode { volumes, capacity } => {
@@ -512,6 +585,7 @@ impl DfsSim {
                 if let Some(n) = self.cluster.storage.get_mut(&id) {
                     n.joined = now;
                 }
+                self.faults.storage_added(id);
                 Ok(ReqOutcome {
                     new_node: Some(id),
                     new_volumes: vols,
@@ -520,6 +594,7 @@ impl DfsSim {
             }
             DfsRequest::RemoveStorageNode { node } => {
                 let displaced = self.cluster.remove_storage(*node)?;
+                self.faults.storage_removed(*node);
                 self.replace_displaced(displaced);
                 Ok(ReqOutcome::default())
             }
@@ -607,9 +682,18 @@ impl DfsSim {
         self.cluster.volume_views_into(&mut views);
         // Whether `views` is still the canonical list for the current
         // generation: the cached placement path requires it (rings index
-        // into the canonical slice), hotspot-filtered views must go through
-        // the uncached reference path.
+        // into the canonical slice), hotspot- or partition-filtered views
+        // must go through the uncached reference path.
         let mut canonical = true;
+        if self.faults.has_partitions() {
+            // Partitioned storage nodes are unreachable for new placements.
+            let faults = &self.faults;
+            let before = views.len();
+            views.retain(|v| !faults.is_partitioned(v.node));
+            if views.len() != before {
+                canonical = false;
+            }
+        }
         let hotspot = self
             .bugs
             .active_effects()
@@ -767,7 +851,14 @@ impl DfsSim {
     /// linkfile maintenance), through the placement cache when enabled.
     fn hash_location(&mut self, key: u64) -> Option<VolumeId> {
         self.cluster.volume_views_into(&mut self.views_buf);
-        if self.placement_caching {
+        let mut canonical = true;
+        if self.faults.has_partitions() {
+            let faults = &self.faults;
+            let before = self.views_buf.len();
+            self.views_buf.retain(|v| !faults.is_partitioned(v.node));
+            canonical = self.views_buf.len() == before;
+        }
+        if canonical && self.placement_caching {
             let mut placed = std::mem::take(&mut self.placed_buf);
             self.placement.place_cached_into(
                 &mut self.placement_cache,
@@ -897,6 +988,11 @@ impl DfsSim {
 
     fn advance(&mut self, ms: u64) {
         let now = self.clock.advance(ms);
+        // Fire scheduled environment faults before migration steps: the
+        // steps must observe crashes/partitions that became due.
+        if self.faults.any() {
+            self.apply_due_faults(now.as_millis());
+        }
         // Execute due migration steps.
         let steps = self.migrate_timer.due(now);
         for _ in 0..steps {
@@ -917,6 +1013,78 @@ impl DfsSim {
         }
     }
 
+    fn apply_due_faults(&mut self, now_ms: u64) {
+        while let Some(kind) = self.faults.next_due(now_ms) {
+            self.apply_fault(kind);
+        }
+    }
+
+    /// Applies one fault event, resolving rank-based targets against the
+    /// current online sets (id-ordered, hence deterministic).
+    fn apply_fault(&mut self, kind: FaultKind) {
+        fn pick(ids: &[NodeId], index: u32) -> Option<NodeId> {
+            if ids.is_empty() {
+                None
+            } else {
+                Some(ids[index as usize % ids.len()])
+            }
+        }
+        match kind {
+            FaultKind::CrashStorage { index } => {
+                let online = self.cluster.online_storage();
+                // Never crash the last survivor (mirrors the bug engine).
+                if online.len() <= 1 {
+                    return;
+                }
+                let id = online[index as usize % online.len()];
+                self.cluster.set_offline(id);
+                self.crashed.push(id);
+                self.faults.note_crashed(id);
+                self.balancer.abort();
+            }
+            FaultKind::RestartStorage { index } => {
+                if let Some(id) = self.faults.take_crashed(index) {
+                    self.cluster.set_online(id);
+                    self.crashed.retain(|n| *n != id);
+                }
+            }
+            FaultKind::SlowMgmt { index, factor } => {
+                if let Some(id) = pick(&self.cluster.online_mgmt(), index) {
+                    self.faults.set_slow_mgmt(id, factor);
+                }
+            }
+            FaultKind::SlowStorage { index, factor } => {
+                if let Some(id) = pick(&self.cluster.online_storage(), index) {
+                    self.faults.set_slow_storage(id, factor);
+                }
+            }
+            FaultKind::DiskFull { index } => {
+                if let Some(id) = pick(&self.cluster.online_storage(), index) {
+                    self.cluster.set_volumes_full(id);
+                    self.faults.note_disk_full(id);
+                }
+            }
+            FaultKind::LossyMigration { pct } => self.faults.set_loss(pct),
+            // Partition targets rank over the still-reachable set, so
+            // successive events cut off distinct nodes.
+            FaultKind::PartitionMgmt { index } => {
+                let mut reachable = self.cluster.online_mgmt();
+                reachable.retain(|id| !self.faults.is_partitioned(*id));
+                if let Some(id) = pick(&reachable, index) {
+                    self.faults.partition(id);
+                }
+            }
+            FaultKind::PartitionStorage { index } => {
+                let mut reachable = self.cluster.online_storage();
+                reachable.retain(|id| !self.faults.is_partitioned(*id));
+                if let Some(id) = pick(&reachable, index) {
+                    self.faults.partition(id);
+                }
+            }
+            FaultKind::Heal => self.faults.heal(),
+        }
+    }
+
     fn execute_move(&mut self, m: &MigrationMove) {
         // The plan may be stale: the file may be gone or moved meanwhile.
         let Some(meta) = self.cluster.files.get(&m.file) else {
@@ -933,8 +1101,31 @@ impl DfsSim {
             .get(&key)
             .is_some_and(|expiry| now.as_millis() < expiry.as_millis());
 
-        // Data-loss effects corrupt the move.
-        let loss_pct = self
+        if self.faults.any() {
+            // Faulted endpoints: a migration cannot reach an offline or
+            // partitioned node (the move is dropped like a failed balancer
+            // iteration), and slow storage nodes stall their moves to
+            // every `factor`-th step.
+            let reachable = |id: NodeId| {
+                self.cluster.storage.get(&id).is_some_and(|n| n.online)
+                    && !self.faults.is_partitioned(id)
+            };
+            if !reachable(m.from_node) || !reachable(m.to_node) {
+                return;
+            }
+            let stall = self
+                .faults
+                .slow_storage_factor(m.from_node)
+                .max(self.faults.slow_storage_factor(m.to_node));
+            if stall > 1 && !self.faults.defer_tick(stall) {
+                self.balancer.requeue(m.clone());
+                return;
+            }
+        }
+
+        // Data-loss effects and lossy-migration faults corrupt the move;
+        // the worse of the two loss rates applies.
+        let bug_loss = self
             .bugs
             .active_effects()
             .find_map(|(s, _)| match s.effect {
@@ -942,7 +1133,7 @@ impl DfsSim {
                 _ => None,
             })
             .unwrap_or(0);
-        let kept = m.bytes * (100 - loss_pct as u64) / 100;
+        let kept = lossy_kept(m.bytes, bug_loss.max(self.faults.loss_pct()));
 
         match self.cluster.migrate(m.file, m.from, m.to, kept) {
             Ok(moved) => {
@@ -1052,6 +1243,12 @@ impl DfsSim {
                 Effect::SkipMigrationFromHot | Effect::HotspotPlacement { .. }
             )
         });
+        // Partitioned nodes are unreachable for the balancer's move RPCs.
+        let excluded = if self.faults.has_partitions() {
+            self.faults.partitioned_nodes()
+        } else {
+            Vec::new()
+        };
         let plan = if misreport {
             Vec::new()
         } else if hot_filtered {
@@ -1061,15 +1258,15 @@ impl DfsSim {
                     if !donors.is_empty() && donors.iter().all(|d| *d == hot) {
                         Vec::new()
                     } else {
-                        let mut plan = self.balancer.plan(&self.cluster);
+                        let mut plan = self.balancer.plan_excluding(&self.cluster, &excluded);
                         plan.retain(|m| m.from_node != hot);
                         plan
                     }
                 }
-                None => self.balancer.plan(&self.cluster),
+                None => self.balancer.plan_excluding(&self.cluster, &excluded),
             }
         } else {
-            self.balancer.plan(&self.cluster)
+            self.balancer.plan_excluding(&self.cluster, &excluded)
         };
         let planned = plan.len() as u64;
         self.balancer.start_round(plan);
@@ -1264,6 +1461,12 @@ impl DfsSim {
         let nodes = &mut out.nodes;
         nodes.clear();
         for m in self.cluster.mgmt.values_mut() {
+            // A partitioned node is unreachable for the monitor and drops
+            // out of the report entirely (unlike a crash, which the
+            // monitor still observes as a dead peer).
+            if self.faults.is_partitioned(m.id) {
+                continue;
+            }
             nodes.push(NodeLoadSample {
                 node: m.id,
                 role: NodeRole::Management,
@@ -1279,8 +1482,9 @@ impl DfsSim {
         }
         for s in self.cluster.storage.values_mut() {
             // A df-based monitor sees nothing on a node whose disks were
-            // all detached; such nodes drop out of the report.
-            if s.volumes.is_empty() {
+            // all detached; such nodes drop out of the report, as do
+            // partitioned (unreachable) nodes.
+            if s.volumes.is_empty() || self.faults.is_partitioned(s.id) {
                 continue;
             }
             let storage = s.volumes.iter().map(|v| v.used).sum();
@@ -1329,6 +1533,24 @@ impl DfsSim {
         self.bugs.rearm();
         self.hash_cache.clear();
         self.crashed.clear();
+        // Environment faults outlive a redeploy: the fault plan models the
+        // hosting environment, not DFS process state. Fault-crashed hosts
+        // stay down and forced-full disks stay full; slow-node, partition
+        // and loss state lives in the injector and persists on its own.
+        // Faults attached to nodes that only existed post-deploy are
+        // re-targeted onto the restored pool (same machines, fresh ids).
+        if self.faults.any() {
+            let mgmt: Vec<NodeId> = self.cluster.mgmt.keys().copied().collect();
+            let storage: Vec<NodeId> = self.cluster.storage.keys().copied().collect();
+            self.faults.remap_nodes(&mgmt, &storage);
+        }
+        for id in self.faults.crashed().to_vec() {
+            self.cluster.set_offline(id);
+            self.crashed.push(id);
+        }
+        for id in self.faults.disk_full().to_vec() {
+            self.cluster.set_volumes_full(id);
+        }
         self.prev_kind = None;
         self.prev2_kind = None;
         self.rr_counter = 0;
@@ -1348,6 +1570,14 @@ impl DfsSim {
     pub fn bug_set(&self) -> &BugSet {
         &self.bug_set
     }
+}
+
+/// Bytes surviving a lossy migration: `bytes * (100 - pct) / 100`,
+/// widened to `u128` because the straight `u64` product overflows for
+/// fragments larger than `u64::MAX / 100`.
+fn lossy_kept(bytes: Bytes, loss_pct: u8) -> Bytes {
+    let keep = 100 - loss_pct.min(100) as u128;
+    (bytes as u128 * keep / 100) as Bytes
 }
 
 /// The primary path operand of a request ("" when not applicable).
@@ -1724,5 +1954,241 @@ mod tests {
         assert!(s.execute(&big).is_err());
         assert_eq!(s.namespace().file_count(), 0);
         assert_eq!(s.cluster.total_used(), 0);
+    }
+
+    fn fault_at(at_ms: u64, kind: FaultKind) -> FaultEvent {
+        FaultEvent { at_ms, kind }
+    }
+
+    use crate::faults::FaultEvent;
+
+    #[test]
+    fn lossy_kept_survives_huge_fragments() {
+        // Regression: the old `bytes * (100 - pct) / 100` overflowed u64
+        // for any fragment above u64::MAX / 100.
+        let boundary = u64::MAX / 100 + 1;
+        assert_eq!(lossy_kept(boundary, 0), boundary);
+        assert_eq!(lossy_kept(u64::MAX, 0), u64::MAX);
+        assert_eq!(lossy_kept(u64::MAX, 100), 0);
+        assert_eq!(
+            lossy_kept(u64::MAX, 30),
+            (u64::MAX as u128 * 70 / 100) as u64
+        );
+        assert_eq!(lossy_kept(200, 25), 150);
+    }
+
+    #[test]
+    fn crash_fault_fires_on_schedule_and_persists_across_reset() {
+        let mut s = sim(Flavor::Hdfs);
+        s.set_fault_plan(FaultPlan::new(vec![fault_at(
+            120_000,
+            FaultKind::CrashStorage { index: 2 },
+        )]));
+        let before = s.cluster().online_storage().len();
+        s.tick(60_000);
+        assert_eq!(s.cluster().online_storage().len(), before, "not due yet");
+        s.tick(120_000);
+        assert_eq!(s.cluster().online_storage().len(), before - 1);
+        assert_eq!(s.crashed_nodes().len(), 1);
+        // A redeploy does not fix crashed hardware.
+        s.reset();
+        assert_eq!(s.cluster().online_storage().len(), before - 1);
+        assert_eq!(s.crashed_nodes().len(), 1);
+    }
+
+    #[test]
+    fn restart_fault_brings_crashed_node_back() {
+        let mut s = sim(Flavor::Hdfs);
+        s.set_fault_plan(FaultPlan::new(vec![
+            fault_at(60_000, FaultKind::CrashStorage { index: 0 }),
+            fault_at(120_000, FaultKind::RestartStorage { index: 0 }),
+        ]));
+        let before = s.cluster().online_storage().len();
+        s.tick(70_000);
+        assert_eq!(s.cluster().online_storage().len(), before - 1);
+        s.tick(60_000);
+        assert_eq!(s.cluster().online_storage().len(), before);
+        assert!(s.crashed_nodes().is_empty());
+        s.reset();
+        assert_eq!(
+            s.cluster().online_storage().len(),
+            before,
+            "a restarted node must not be re-crashed on reset"
+        );
+    }
+
+    #[test]
+    fn slow_mgmt_fault_multiplies_latency_and_cpu() {
+        let mut s = sim(Flavor::Hdfs); // round robin over 2 mgmt nodes
+        s.set_fault_plan(FaultPlan::new(vec![fault_at(
+            0,
+            FaultKind::SlowMgmt {
+                index: 0,
+                factor: 6,
+            },
+        )]));
+        s.tick(1_000);
+        s.execute(&DfsRequest::Create {
+            path: "/a".into(),
+            size: 0,
+        })
+        .unwrap();
+        let mut latencies: Vec<u64> = (0..2)
+            .map(|_| {
+                s.execute(&DfsRequest::Open { path: "/a".into() })
+                    .unwrap()
+                    .latency_ms
+            })
+            .collect();
+        latencies.sort_unstable();
+        assert_eq!(
+            latencies,
+            vec![300, 1_800],
+            "alternate requests hit the 6x-slow gateway"
+        );
+        let snap = s.load_snapshot();
+        let cpu: Vec<f64> = snap
+            .nodes
+            .iter()
+            .filter(|n| n.role == NodeRole::Management)
+            .map(|n| n.cpu)
+            .collect();
+        let max = cpu.iter().cloned().fold(f64::MIN, f64::max);
+        let min = cpu.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            max > min * 2.5,
+            "slow node must burn visibly more CPU: {cpu:?}"
+        );
+    }
+
+    #[test]
+    fn lossy_migration_fault_sheds_bytes() {
+        let mut s = sim(Flavor::CephFs);
+        s.set_fault_plan(FaultPlan::new(vec![fault_at(
+            0,
+            FaultKind::LossyMigration { pct: 40 },
+        )]));
+        for i in 0..40 {
+            s.execute(&DfsRequest::Create {
+                path: format!("/f{i}"),
+                size: 16 * MIB,
+            })
+            .unwrap();
+        }
+        s.execute(&DfsRequest::AddStorageNode {
+            volumes: 2,
+            capacity: 4 << 30,
+        })
+        .unwrap();
+        for _ in 0..200 {
+            s.tick(2_000);
+        }
+        assert!(s.stats().migrations > 0);
+        assert!(
+            s.bytes_lost() > 0,
+            "lossy migrations must lose bytes once the balancer moves data"
+        );
+    }
+
+    #[test]
+    fn disk_full_fault_collapses_free_space() {
+        let mut s = DfsSim::new(Flavor::Hdfs, BugSet::None); // preloaded
+        s.set_fault_plan(FaultPlan::new(vec![fault_at(
+            0,
+            FaultKind::DiskFull { index: 0 },
+        )]));
+        let victim = s.cluster().online_storage()[0];
+        s.tick(1_000);
+        let free: Bytes = s.cluster().storage[&victim]
+            .volumes
+            .iter()
+            .map(|v| v.free())
+            .sum();
+        assert_eq!(free, 0, "every volume on the victim must report full");
+        // The forced-full disk persists across a redeploy.
+        s.reset();
+        let free: Bytes = s.cluster().storage[&victim]
+            .volumes
+            .iter()
+            .map(|v| v.free())
+            .sum();
+        assert_eq!(free, 0);
+    }
+
+    #[test]
+    fn partitioned_mgmt_node_takes_no_traffic_and_leaves_report() {
+        let mut s = sim(Flavor::Hdfs);
+        s.set_fault_plan(FaultPlan::new(vec![
+            fault_at(1_000, FaultKind::PartitionMgmt { index: 0 }),
+            fault_at(600_000, FaultKind::Heal),
+        ]));
+        s.tick(2_000);
+        let snap = s.load_snapshot();
+        let mgmt = snap
+            .nodes
+            .iter()
+            .filter(|n| n.role == NodeRole::Management)
+            .count();
+        assert_eq!(mgmt, 1, "the partitioned gateway drops out of the report");
+        // The cluster still serves requests through the surviving gateway.
+        s.execute(&DfsRequest::Mkdir { path: "/d".into() }).unwrap();
+        s.tick(700_000);
+        let snap = s.load_snapshot();
+        let mgmt = snap
+            .nodes
+            .iter()
+            .filter(|n| n.role == NodeRole::Management)
+            .count();
+        assert_eq!(mgmt, 2, "healing restores the partitioned gateway");
+    }
+
+    #[test]
+    fn all_mgmt_partitioned_means_cluster_down() {
+        let mut s = sim(Flavor::Hdfs);
+        s.set_fault_plan(FaultPlan::new(vec![
+            fault_at(1_000, FaultKind::PartitionMgmt { index: 0 }),
+            fault_at(1_000, FaultKind::PartitionMgmt { index: 0 }),
+        ]));
+        s.tick(2_000);
+        let err = s.execute(&DfsRequest::Open { path: "/x".into() });
+        assert!(matches!(err, Err(SimError::ClusterDown)));
+    }
+
+    #[test]
+    fn slow_storage_fault_stalls_migrations_without_dropping_them() {
+        let mut s = sim(Flavor::GlusterFs);
+        for i in 0..30 {
+            s.execute(&DfsRequest::Create {
+                path: format!("/f{i}"),
+                size: 16 * MIB,
+            })
+            .unwrap();
+        }
+        s.execute(&DfsRequest::AddStorageNode {
+            volumes: 2,
+            capacity: 4 << 30,
+        })
+        .unwrap();
+        // Every storage node is slow: all moves stall but still complete.
+        let plan: Vec<FaultEvent> = (0..s.cluster().online_storage().len() as u32)
+            .map(|i| {
+                fault_at(
+                    0,
+                    FaultKind::SlowStorage {
+                        index: i,
+                        factor: 4,
+                    },
+                )
+            })
+            .collect();
+        s.set_fault_plan(FaultPlan::new(plan));
+        s.rebalance();
+        let mut guard = 0;
+        while s.rebalance_status() == RebalanceStatus::Running && guard < 10_000 {
+            s.tick(1_000);
+            guard += 1;
+        }
+        assert_eq!(s.rebalance_status(), RebalanceStatus::Done);
+        assert!(s.stats().migrations > 0);
     }
 }

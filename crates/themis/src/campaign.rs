@@ -175,6 +175,11 @@ pub fn run_campaign(
     // double-check runs — transient imbalance during an in-flight
     // migration is normal and acceptable (Section 2.1).
     let mut prior_kinds: Vec<crate::detector::ImbalanceKind> = Vec::new();
+    // Online nodes seen in the previous report — used to detect partial
+    // reports (crashed/partitioned/removed nodes) and restart the
+    // persistence window instead of comparing incomparable reports.
+    let mut prior_report_nodes: Vec<(u64, crate::adaptor::Role)> = Vec::new();
+    let mut report_nodes: Vec<(u64, crate::adaptor::Role)> = Vec::new();
     let mut prior_variance = 0.0f64;
 
     while adaptor.now_ms().saturating_sub(start) < cfg.budget_ms {
@@ -206,6 +211,45 @@ pub fn run_campaign(
         // Monitor, model, detect (Figure 6 steps 6-8). The report buffer
         // is reused across iterations.
         adaptor.load_report_into(&mut report);
+        // Partial-report tolerance: when a node that reported last
+        // iteration is missing now (crashed, partitioned away from the
+        // monitor, or removed), comparisons against the previous iteration
+        // are meaningless for the metrics that node contributed to —
+        // restart the persistence window for those kinds rather than
+        // letting a visibility flap masquerade as a persistent imbalance.
+        // The invalidation is role-aware (a vanished management node
+        // invalidates the CPU/network window, a vanished storage node the
+        // storage window) and newly added nodes do NOT invalidate
+        // anything: the LVM already excludes them until they pass warmup.
+        // Crash candidates bypass persistence, so crash detection is
+        // unaffected.
+        report_nodes.clear();
+        report_nodes.extend(
+            report
+                .nodes
+                .iter()
+                .filter(|n| n.online)
+                .map(|n| (n.node, n.role)),
+        );
+        for role in [
+            crate::adaptor::Role::Management,
+            crate::adaptor::Role::Storage,
+        ] {
+            let vanished = prior_report_nodes
+                .iter()
+                .any(|e| e.1 == role && !report_nodes.contains(e));
+            if vanished {
+                prior_kinds.retain(|k| match role {
+                    crate::adaptor::Role::Management => !matches!(
+                        k,
+                        crate::detector::ImbalanceKind::Cpu
+                            | crate::detector::ImbalanceKind::Network
+                    ),
+                    crate::adaptor::Role::Storage => *k != crate::detector::ImbalanceKind::Storage,
+                });
+            }
+        }
+        std::mem::swap(&mut report_nodes, &mut prior_report_nodes);
         let vscore = lvm::score_warmed(&report, cfg.detector.warmup_ms);
         let candidates = detector.check(&report);
 

@@ -186,6 +186,13 @@ impl Detector {
                 waited += self.cfg.rebalance_poll_ms;
             }
         }
+        // Settle and probe again before the final verdict: the replay just
+        // concentrated rate load by design, and reading the report straight
+        // after the last rebalance would score those decayed-but-stale
+        // counters — confirming a transient CPU/network candidate the
+        // system had actually recovered from.
+        adaptor.wait(self.cfg.settle_ms);
+        self.send_probes(adaptor);
         let report = adaptor.load_report();
         self.check(&report)
     }
@@ -331,5 +338,92 @@ mod tests {
     #[test]
     fn default_threshold_matches_paper_optimum() {
         assert!((DetectorConfig::default().threshold_t - 0.25).abs() < 1e-12);
+    }
+
+    /// Scripted target for the settle-before-final-check regression: the
+    /// replayed case concentrates CPU on gateway 1 (a transient rate
+    /// skew), probe opens spread evenly over both gateways, waiting
+    /// decays the rate counters like the real monitor's decaying windows,
+    /// and rebalance is an instant no-op.
+    struct TransientRateTarget {
+        now: u64,
+        /// Extra CPU on gateway 1 from replayed (non-Open) case ops.
+        hot: f64,
+        /// CPU both gateways accrue from probe opens.
+        even: f64,
+    }
+
+    impl crate::adaptor::DfsAdaptor for TransientRateTarget {
+        fn name(&self) -> String {
+            "scripted-transient-rate".into()
+        }
+        fn send(&mut self, op: &Operation) -> Result<(), crate::adaptor::AdaptorError> {
+            match op.opt {
+                Operator::Open => self.even += 1.0,
+                _ => self.hot += 10.0,
+            }
+            Ok(())
+        }
+        fn load_report(&mut self) -> crate::adaptor::LoadReport {
+            LoadReport {
+                time_ms: self.now,
+                nodes: vec![mgmt(1, self.even + self.hot, 0.0), mgmt(2, self.even, 0.0)],
+            }
+        }
+        fn rebalance(&mut self) {}
+        fn rebalance_done(&mut self) -> bool {
+            true
+        }
+        fn wait(&mut self, ms: u64) {
+            self.now += ms;
+            let decay = (-(ms as f64) / 300_000.0).exp();
+            self.hot *= decay;
+            self.even *= decay;
+        }
+        fn reset(&mut self) {}
+        fn coverage(&mut self) -> u64 {
+            0
+        }
+        fn now_ms(&mut self) -> u64 {
+            self.now
+        }
+        fn inventory(&mut self) -> crate::adaptor::NodeInventory {
+            crate::adaptor::NodeInventory {
+                mgmt: vec![1, 2],
+                ..Default::default()
+            }
+        }
+    }
+
+    #[test]
+    fn double_check_filters_transient_rate_imbalance() {
+        // Regression: `double_check` used to read the load report straight
+        // after its final rebalance loop, with no settle or fresh probes —
+        // the replay's concentrated (but transient) CPU skew then survived
+        // as a spurious confirmation.
+        let mut d = Detector::with_threshold(0.25);
+        d.cfg.probe_requests = 5;
+        let mut target = TransientRateTarget {
+            now: 0,
+            hot: 0.0,
+            even: 0.0,
+        };
+        let case = TestCase::new(vec![
+            Operation::new(
+                Operator::Create,
+                vec![Operand::FileName("/t0".into()), Operand::Size(0)],
+            ),
+            Operation::new(
+                Operator::Create,
+                vec![Operand::FileName("/t1".into()), Operand::Size(0)],
+            ),
+        ]);
+        // Sanity: without the settle, the stale replay skew would read
+        // hot=20 vs even=10 → ratio 1.5 > 1.25, i.e. a Cpu candidate.
+        let survivors = d.double_check(&mut target, &case);
+        assert!(
+            survivors.is_empty(),
+            "transient rate skew must not survive a settled double-check: {survivors:?}"
+        );
     }
 }

@@ -36,9 +36,13 @@ impl Default for VarianceWeights {
 
 impl VarianceWeights {
     /// Weights with the storage factor set to `storage` and the remainder
-    /// split evenly (the Table 8 sweep).
+    /// split evenly (the Table 8 sweep). `storage` is clamped into
+    /// `[0, 1]` so the weights always sum to 1 (the sweep invariant);
+    /// without the clamp, out-of-range inputs would silently skew the
+    /// guidance score.
     pub fn storage_weighted(storage: f64) -> Self {
-        let rest = ((1.0 - storage) / 2.0).max(0.0);
+        let storage = storage.clamp(0.0, 1.0);
+        let rest = (1.0 - storage) / 2.0;
         VarianceWeights {
             storage,
             cpu: rest,
@@ -277,9 +281,28 @@ mod tests {
 
     #[test]
     fn storage_weighted_sums_to_one() {
-        for w in [1.0 / 6.0, 1.0 / 3.0, 0.5, 2.0 / 3.0, 1.0] {
+        // In-range sweep values plus out-of-range inputs, which must be
+        // clamped into [0, 1] rather than producing weights that sum to
+        // something other than 1 (regression: `storage_weighted(1.5)` used
+        // to return {1.5, 0, 0} and `storage_weighted(-1.0)` {-1, 1, 1}).
+        for w in [
+            1.0 / 6.0,
+            1.0 / 3.0,
+            0.5,
+            2.0 / 3.0,
+            1.0,
+            -1.0,
+            -0.25,
+            1.5,
+            42.0,
+        ] {
             let v = VarianceWeights::storage_weighted(w);
-            assert!((v.storage + v.cpu + v.network - 1.0).abs() < 1e-12);
+            assert!(
+                (v.storage + v.cpu + v.network - 1.0).abs() < 1e-12,
+                "weights for input {w} must sum to 1: {v:?}"
+            );
+            assert!((0.0..=1.0).contains(&v.storage));
+            assert!(v.cpu >= 0.0 && v.network >= 0.0);
         }
     }
 

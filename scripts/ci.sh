@@ -24,6 +24,13 @@ if [[ "${1:-}" != "--no-bench" ]]; then
     test -s results/BENCH_1.json
     echo "==> results/BENCH_1.json:"
     cat results/BENCH_1.json
+
+    # Fault-matrix smoke: every fault profile through the detector on all
+    # four flavors, written to results/faults.txt.
+    run cargo run --release --offline -p bench --bin repro -- faults
+    test -s results/faults.txt
+    echo "==> results/faults.txt:"
+    cat results/faults.txt
 fi
 
 echo "CI OK"
