@@ -11,7 +11,9 @@ use simdfs::{
 };
 use std::cell::RefCell;
 use std::rc::Rc;
-use themis::adaptor::{AdaptorError, DfsAdaptor, LoadReport, NodeInventory, NodeLoad, Role};
+use themis::adaptor::{
+    AdaptorError, DfsAdaptor, LoadReport, NodeInventory, NodeLoad, Role, SnapshotCapable,
+};
 use themis::spec::{Operand, Operation, Operator};
 
 /// A shared simulator handle.
@@ -56,10 +58,16 @@ pub struct SimAdaptor {
     /// rendered on demand by [`SimAdaptor::command_log`] — rendering on
     /// every send would put string formatting on the campaign hot path.
     op_log: std::collections::VecDeque<Operation>,
-    /// Cap on the retained command log (old entries are dropped).
+    /// Cap on the retained command log (old entries are dropped). 0
+    /// disables capture entirely, keeping the per-send operation clone off
+    /// the hot path; campaign harnesses that never read the log use that.
     pub command_log_cap: usize,
     /// Reusable snapshot buffer for incremental load reporting.
     snap_buf: ClusterSnapshot,
+    /// Whether [`DfsAdaptor::snapshots`] advertises the fork/restore
+    /// capability (on by default). Benchmarks switch it off to time the
+    /// redeploy-per-iteration fallback against the same target.
+    advertise_snapshots: bool,
 }
 
 impl SimAdaptor {
@@ -77,7 +85,15 @@ impl SimAdaptor {
             op_log: std::collections::VecDeque::new(),
             command_log_cap: 4096,
             snap_buf: ClusterSnapshot::default(),
+            advertise_snapshots: true,
         }
+    }
+
+    /// Enables or disables the [`SnapshotCapable`] advertisement. With it
+    /// off, clean-slate campaigns take the full-redeploy fallback path —
+    /// the pre-fork-engine baseline the benchmarks compare against.
+    pub fn set_snapshot_capability(&mut self, enabled: bool) {
+        self.advertise_snapshots = enabled;
     }
 
     /// The rendered command log (what a real deployment would have
@@ -182,10 +198,12 @@ impl DfsAdaptor for SimAdaptor {
     }
 
     fn send(&mut self, op: &Operation) -> Result<(), AdaptorError> {
-        while self.op_log.len() >= self.command_log_cap {
-            self.op_log.pop_front();
+        if self.command_log_cap > 0 {
+            while self.op_log.len() >= self.command_log_cap {
+                self.op_log.pop_front();
+            }
+            self.op_log.push_back(op.clone());
         }
-        self.op_log.push_back(op.clone());
         let req = self
             .translate(op)
             .ok_or_else(|| AdaptorError::Rejected(format!("untranslatable operation: {op}")))?;
@@ -349,6 +367,32 @@ impl DfsAdaptor for SimAdaptor {
             files: Vec::new(),
             dirs: Vec::new(),
         }
+    }
+
+    fn snapshots(&mut self) -> Option<&mut dyn SnapshotCapable> {
+        if self.advertise_snapshots {
+            Some(self)
+        } else {
+            None
+        }
+    }
+}
+
+/// Fork/restore over the simulator's delta-journal snapshots. The sim
+/// rewinds its own virtual clock, so restored replays see identical
+/// timestamps; the diagnostic command log is intentionally not rewound
+/// (it mirrors what a human operator's terminal history would show).
+impl SnapshotCapable for SimAdaptor {
+    fn snapshot(&mut self) -> u64 {
+        self.sim.borrow_mut().fork()
+    }
+
+    fn restore(&mut self, id: u64) -> bool {
+        self.sim.borrow_mut().restore(id)
+    }
+
+    fn release(&mut self, id: u64) {
+        self.sim.borrow_mut().release(id)
     }
 }
 
@@ -529,6 +573,35 @@ mod tests {
             b.send(&create("/x", 1 << 20)),
             Err(AdaptorError::Down(_))
         ));
+    }
+
+    #[test]
+    fn snapshot_capability_forwards_to_the_sim() {
+        let mut a = adaptor(Flavor::GlusterFs);
+        a.send(&create("/x", 1 << 20)).unwrap();
+        let t0 = a.now_ms();
+        let files0 = a.inventory().files;
+        let mark = a.snapshots().expect("sim adaptor forks").snapshot();
+        a.send(&create("/y", 1 << 20)).unwrap();
+        assert!(a.now_ms() > t0);
+        assert!(a.snapshots().unwrap().restore(mark));
+        assert_eq!(a.now_ms(), t0, "restore rewinds the virtual clock");
+        assert_eq!(a.inventory().files, files0);
+        a.reset();
+        assert!(
+            !a.snapshots().unwrap().restore(mark),
+            "reset invalidates marks"
+        );
+    }
+
+    #[test]
+    fn snapshot_capability_can_be_switched_off() {
+        let mut a = adaptor(Flavor::Hdfs);
+        assert!(a.snapshots().is_some());
+        a.set_snapshot_capability(false);
+        assert!(a.snapshots().is_none());
+        a.set_snapshot_capability(true);
+        assert!(a.snapshots().is_some());
     }
 
     #[test]

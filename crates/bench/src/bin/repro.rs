@@ -1,12 +1,19 @@
 //! Regenerates every table and figure of the paper into `results/`.
 //!
-//! Usage: `repro [artifact...]` where artifact is one of
+//! Usage: `repro [--workers N] [artifact...]` where artifact is one of
 //! `table1..table8`, `figure2`, `figure12`, `perf`, `faults`, or `all`
 //! (default; excludes `perf` and `faults`). The comparison tables share
 //! one matrix run (Table 3 / Table 5 / Figure 12). `perf` times the
-//! cached-vs-baseline campaign hot path and grid-executor scaling and
-//! dumps `results/BENCH_1.json`. `faults` sweeps the fault-injection
-//! matrix at a reduced budget and writes `results/faults.txt`.
+//! cached-vs-baseline campaign hot path, the snapshot-fork engine against
+//! full replay and the redeploy fallback, and grid-executor scaling, and
+//! dumps `results/BENCH_1.json` plus `results/BENCH_2.json`. `faults`
+//! sweeps the fault-injection matrix at a reduced budget and writes
+//! `results/faults.txt`.
+//!
+//! `--workers N` pins the grid executor's worker count for every matrix
+//! run whose spec does not set one explicitly (0 restores the default of
+//! one worker per core), so scaling behavior is reproducible from the CLI
+//! without editing code.
 
 use bench::tables;
 use std::fs;
@@ -23,7 +30,16 @@ fn write(name: &str, content: &str) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Strip `--workers N` before artifact matching.
+    if let Some(i) = args.iter().position(|a| a == "--workers") {
+        let n: usize = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("--workers needs a number, got {:?}", args.get(i + 1)));
+        bench::grid::set_default_workers(n);
+        args.drain(i..=i + 1);
+    }
     let want = |n: &str| args.is_empty() || args.iter().any(|a| a == n || a == "all");
 
     if want("table1") {
@@ -62,10 +78,31 @@ fn main() {
     if args.iter().any(|a| a == "perf") {
         let campaign = bench::perf::measure_campaign(simdfs::Flavor::GlusterFs, 1, 0xbe, 3);
         let spec = bench::perf::scaling_spec(1);
-        let grid = bench::perf::measure_grid_scaling(&spec, &[2, 4]);
+        let grid = bench::perf::measure_grid_scaling(&spec, &[2, 4, 8]);
         write(
             "BENCH_1.json",
             &bench::perf::bench_json(&[], &campaign, &grid),
+        );
+
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let micro = bench::perf::measure_fork_restore();
+        // One fork-vs-replay triple per flavor, clean and under an active
+        // crash fault profile (the bit-identity claim must survive faults,
+        // and a faulted redeploy is what a real clean-slate campaign on
+        // flaky hardware pays).
+        let mut modes = Vec::new();
+        for profile in ["none", "crash"] {
+            for flavor in simdfs::Flavor::all() {
+                modes.push(bench::perf::measure_campaign_modes(
+                    flavor, 1, 0xbe, 3, profile,
+                ));
+            }
+        }
+        write(
+            "BENCH_2.json",
+            &bench::perf::bench2_json(cores, &micro, &modes, &grid),
         );
     }
 }

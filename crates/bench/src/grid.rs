@@ -3,16 +3,22 @@
 //! Evaluation workloads are embarrassingly parallel across campaign cells:
 //! every `(flavor, strategy, seed)` combination is an independent,
 //! deterministic computation. [`run_grid`] executes such a matrix on a
-//! self-scheduling worker pool (crossbeam scoped threads pulling cell
-//! indices from a shared atomic counter, so fast cells never leave a slow
-//! worker's queue stranded) and returns the results keyed by grid index —
-//! the output is bit-identical regardless of worker count or scheduling
-//! order, because each cell is a pure function of its coordinates.
+//! self-scheduling worker pool (crossbeam scoped threads claiming cell
+//! index batches from a shared atomic cursor, so fast cells never leave a
+//! slow worker's queue stranded) and returns the results keyed by grid
+//! index — the output is bit-identical regardless of worker count or
+//! scheduling order, because each cell is a pure function of its
+//! coordinates.
+//!
+//! The pool is deliberately share-nothing on the hot path: each worker
+//! appends finished cells into a buffer it owns and counts its own
+//! progress, so the only cross-core traffic while cells run is the claim
+//! cursor (one fetch-add per batch). Buffers are merged and index-sorted
+//! once, at join.
 
 use crate::harness::{run_eval_faulted, EvalResult};
-use parking_lot::Mutex;
 use simdfs::{BugSet, Flavor};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use themis::VarianceWeights;
 
 /// A campaign matrix: the cross product of flavors, strategies and seeds,
@@ -88,16 +94,30 @@ impl GridSpec {
     }
 
     fn resolved_workers(&self) -> usize {
-        let cores = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
         let w = if self.workers == 0 {
-            cores
+            match DEFAULT_WORKERS.load(Ordering::Relaxed) {
+                0 => std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1),
+                n => n,
+            }
         } else {
             self.workers
         };
         w.clamp(1, self.cells().max(1))
     }
+}
+
+/// Process-wide override applied when a spec leaves `workers` at 0 (its
+/// "one per core" default). 0 means no override. Set from the `repro`
+/// CLI's `--workers N` flag so scaling runs are reproducible without
+/// editing code.
+static DEFAULT_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the default worker count for every subsequent grid run whose
+/// spec does not set one explicitly. Pass 0 to restore one-per-core.
+pub fn set_default_workers(n: usize) {
+    DEFAULT_WORKERS.store(n, Ordering::Relaxed);
 }
 
 /// One completed cell of the grid.
@@ -151,41 +171,74 @@ pub fn run_cell(spec: &GridSpec, index: usize) -> GridCell {
     }
 }
 
+/// Keeps the shared claim cursor on its own cache line so the only
+/// genuinely shared hot word never false-shares with worker state.
+#[repr(align(64))]
+struct CacheAligned<T>(T);
+
 /// Executes the full matrix on the worker pool.
 ///
-/// Cells are handed out through a shared atomic cursor: a worker finishing
-/// its cell immediately claims the next unstarted one, so the pool stays
-/// busy even when cell runtimes vary wildly (different flavors reach very
-/// different iteration counts in the same virtual budget). Each worker
-/// bumps its own progress counter as it completes cells.
+/// Cell indices are handed out through a shared atomic cursor in small
+/// batches: a worker finishing its batch immediately claims the next
+/// unstarted one, so the pool stays busy even when cell runtimes vary
+/// wildly (different flavors reach very different iteration counts in the
+/// same virtual budget). Batches are sized so every worker makes at least
+/// ~8 claims — coarse enough to keep cursor traffic negligible on big
+/// matrices, fine enough that uneven cells still balance. Workers own
+/// their output buffers and progress counts outright; results are merged
+/// and sorted by grid index after the join, which keeps the hot path free
+/// of locks and false sharing.
 pub fn run_grid(spec: &GridSpec) -> GridOutcome {
     let n = spec.cells();
     let workers = spec.resolved_workers();
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<GridCell>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let per_worker: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
-    {
-        let (next, slots, per_worker) = (&next, &slots, &per_worker);
-        crossbeam::thread::scope(|s| {
-            for completed in per_worker {
-                s.spawn(move |_| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    *slots[i].lock() = Some(run_cell(spec, i));
-                    completed.fetch_add(1, Ordering::Relaxed);
-                });
-            }
-        })
-        .expect("grid worker panicked");
+    if workers <= 1 || n <= 1 {
+        // Serial fast path: no thread machinery at all.
+        let cells: Vec<GridCell> = (0..n).map(|i| run_cell(spec, i)).collect();
+        return GridOutcome {
+            cells,
+            per_worker_completed: vec![n as u64],
+        };
     }
-    GridOutcome {
-        cells: slots
+    let batch = (n / (workers * 8)).max(1);
+    let next = CacheAligned(AtomicUsize::new(0));
+    let next = &next;
+    let outputs: Vec<(Vec<GridCell>, u64)> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(move |_| {
+                    let mut mine: Vec<GridCell> = Vec::new();
+                    loop {
+                        let lo = next.0.fetch_add(batch, Ordering::Relaxed);
+                        if lo >= n {
+                            break;
+                        }
+                        let hi = (lo + batch).min(n);
+                        for i in lo..hi {
+                            mine.push(run_cell(spec, i));
+                        }
+                    }
+                    let done = mine.len() as u64;
+                    (mine, done)
+                })
+            })
+            .collect();
+        handles
             .into_iter()
-            .map(|m| m.into_inner().expect("every cell index was claimed"))
-            .collect(),
-        per_worker_completed: per_worker.into_iter().map(|c| c.into_inner()).collect(),
+            .map(|h| h.join().expect("grid worker panicked"))
+            .collect()
+    })
+    .expect("grid scope failed");
+    let per_worker_completed: Vec<u64> = outputs.iter().map(|(_, done)| *done).collect();
+    let mut cells: Vec<GridCell> = outputs.into_iter().flat_map(|(cells, _)| cells).collect();
+    cells.sort_unstable_by_key(|c| c.index);
+    assert_eq!(
+        cells.len(),
+        n,
+        "every cell index must be claimed exactly once"
+    );
+    GridOutcome {
+        cells,
+        per_worker_completed,
     }
 }
 
@@ -258,5 +311,36 @@ mod tests {
         let spec = tiny_spec(64);
         let out = run_grid(&spec);
         assert_eq!(out.per_worker_completed.len(), 4);
+    }
+
+    #[test]
+    fn serial_path_reports_one_worker() {
+        let spec = tiny_spec(1);
+        let out = run_grid(&spec);
+        assert_eq!(out.per_worker_completed, vec![4]);
+        assert_eq!(out.cells.len(), 4);
+    }
+
+    #[test]
+    fn batched_pickup_still_covers_every_cell_in_order() {
+        // 32 cells on 2 workers → batch size 2: exercises the multi-cell
+        // claim path and the merge-sort at join.
+        let spec = GridSpec {
+            workers: 2,
+            ..GridSpec::new(
+                vec![Flavor::GlusterFs, Flavor::Hdfs],
+                vec!["Themis-".into()],
+                (0..16u64).collect(),
+                BugSet::None,
+                1,
+            )
+        };
+        assert_eq!(spec.cells(), 32);
+        let out = run_grid(&spec);
+        assert_eq!(out.cells.len(), 32);
+        for (i, cell) in out.cells.iter().enumerate() {
+            assert_eq!(cell.index, i);
+        }
+        assert_eq!(out.per_worker_completed.iter().sum::<u64>(), 32);
     }
 }

@@ -1,16 +1,18 @@
-//! One-shot performance measurements behind the `BENCH_1.json` artifact:
-//! campaign throughput with the cached placement hot path versus the
-//! uncached baseline, and grid-executor scaling across worker counts.
+//! One-shot performance measurements behind the `BENCH_1.json` and
+//! `BENCH_2.json` artifacts: campaign throughput with the cached placement
+//! hot path versus the uncached baseline, the snapshot-fork engine versus
+//! full replay and versus a redeploy-per-iteration baseline, fork/restore
+//! micro-costs, and grid-executor scaling across worker counts.
 //!
 //! The Criterion bench target (`benches/paper_artifacts.rs`) and the
 //! `repro perf` subcommand both funnel through this module so the artifact
 //! has one schema regardless of which entry point produced it.
 
 use crate::grid::{run_cell, run_grid, GridSpec};
-use crate::harness::{run_eval, run_eval_baseline};
-use simdfs::{BugSet, Flavor};
+use crate::harness::{run_eval, run_eval_baseline, run_eval_mode, run_eval_redeploy};
+use simdfs::{BugSet, DfsRequest, DfsSim, Flavor, MIB};
 use std::time::Instant;
-use themis::VarianceWeights;
+use themis::{ExecutionMode, VarianceWeights};
 
 /// Mirror of the criterion shim's measurement record, so the JSON writer
 /// does not need a criterion dependency in the library.
@@ -73,6 +75,208 @@ impl CampaignPerf {
     /// Cached-over-baseline throughput ratio.
     pub fn speedup(&self) -> f64 {
         self.baseline_s / self.cached_s
+    }
+}
+
+/// Fork-engine vs. full-replay vs. redeploy-baseline timing of one
+/// clean-slate campaign.
+///
+/// The fork and full-replay runs are the *same* campaign (bit-identical
+/// results, checked into `results_match`); the redeploy run re-establishes
+/// initial state through `reset()` each iteration — the only option before
+/// the snapshot engine existed — and lives on a different virtual-time
+/// axis (a redeploy charges one virtual minute), so it is compared by
+/// wall-clock throughput rather than per-campaign results.
+#[derive(Debug, Clone)]
+pub struct ForkCampaignPerf {
+    /// Target flavor.
+    pub flavor: Flavor,
+    /// Fault profile injected into every variant ("none" when unfaulted).
+    pub fault_profile: String,
+    /// Virtual budget in hours.
+    pub hours: u64,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Timed repetitions per variant (best run is reported).
+    pub repeats: u32,
+    /// Iterations of the snapshot-engine campaign (fork == full replay).
+    pub iterations: u64,
+    /// Operations sent by the snapshot-engine campaign.
+    pub ops_sent: u64,
+    /// Iterations of the redeploy-baseline campaign.
+    pub redeploy_iterations: u64,
+    /// Best wall seconds with the fork engine (O(suffix) resume).
+    pub fork_s: f64,
+    /// Best wall seconds with full replay over the snapshot base.
+    pub replay_s: f64,
+    /// Best wall seconds with the redeploy-per-iteration fallback.
+    pub redeploy_s: f64,
+    /// Whether the fork and full-replay campaigns produced identical
+    /// results (iterations, ops, detections, confirmed failures, logs).
+    pub results_match: bool,
+}
+
+impl ForkCampaignPerf {
+    /// Fuzzing iterations per wall second with the fork engine.
+    pub fn fork_iters_per_sec(&self) -> f64 {
+        self.iterations as f64 / self.fork_s
+    }
+
+    /// Fuzzing iterations per wall second with full replay.
+    pub fn replay_iters_per_sec(&self) -> f64 {
+        self.iterations as f64 / self.replay_s
+    }
+
+    /// Fuzzing iterations per wall second with the redeploy fallback.
+    pub fn redeploy_iters_per_sec(&self) -> f64 {
+        self.redeploy_iterations as f64 / self.redeploy_s
+    }
+
+    /// Fork-over-full-replay wall ratio (same campaign, same iterations).
+    pub fn speedup_vs_replay(&self) -> f64 {
+        self.replay_s / self.fork_s
+    }
+
+    /// Fork-over-redeploy throughput ratio (iterations per wall second;
+    /// the acceptance criterion's "vs the PR-1 baseline" number).
+    pub fn speedup_vs_redeploy(&self) -> f64 {
+        self.fork_iters_per_sec() / self.redeploy_iters_per_sec()
+    }
+}
+
+/// Times the three clean-slate variants `repeats` times each and keeps the
+/// best run of each, double-checking fork-vs-replay bit-identity.
+pub fn measure_campaign_modes(
+    flavor: Flavor,
+    hours: u64,
+    seed: u64,
+    repeats: u32,
+    fault_profile: &str,
+) -> ForkCampaignPerf {
+    let repeats = repeats.max(1);
+    let mut fork_s = f64::INFINITY;
+    let mut replay_s = f64::INFINITY;
+    let mut redeploy_s = f64::INFINITY;
+    let mut fork = None;
+    let mut replay = None;
+    let mut redeploy = None;
+    let weights = VarianceWeights::default();
+    for _ in 0..repeats {
+        let start = Instant::now();
+        let r = run_eval_mode(
+            flavor,
+            "Themis",
+            BugSet::New,
+            hours,
+            seed,
+            0.25,
+            weights,
+            fault_profile,
+            ExecutionMode::Fork,
+        );
+        fork_s = fork_s.min(start.elapsed().as_secs_f64());
+        fork = Some(r);
+
+        let start = Instant::now();
+        let r = run_eval_mode(
+            flavor,
+            "Themis",
+            BugSet::New,
+            hours,
+            seed,
+            0.25,
+            weights,
+            fault_profile,
+            ExecutionMode::FullReplay,
+        );
+        replay_s = replay_s.min(start.elapsed().as_secs_f64());
+        replay = Some(r);
+
+        let start = Instant::now();
+        let r = run_eval_redeploy(
+            flavor,
+            "Themis",
+            BugSet::New,
+            hours,
+            seed,
+            0.25,
+            weights,
+            fault_profile,
+        );
+        redeploy_s = redeploy_s.min(start.elapsed().as_secs_f64());
+        redeploy = Some(r);
+    }
+    let fork = fork.expect("repeats >= 1");
+    let replay = replay.expect("repeats >= 1");
+    let redeploy = redeploy.expect("repeats >= 1");
+    ForkCampaignPerf {
+        flavor,
+        fault_profile: fault_profile.to_string(),
+        hours,
+        seed,
+        repeats,
+        iterations: fork.campaign.iterations,
+        ops_sent: fork.campaign.ops_sent,
+        redeploy_iterations: redeploy.campaign.iterations,
+        fork_s,
+        replay_s,
+        redeploy_s,
+        results_match: fork.campaign == replay.campaign,
+    }
+}
+
+/// Micro-costs behind the fork engine, as raw measurement records: one
+/// full pristine `reset()` (what the redeploy fallback pays per
+/// iteration), one fork mark on a journaling sim, and one
+/// execute-8-ops-then-restore round trip (what the fork engine pays to
+/// abandon a divergent suffix).
+pub fn measure_fork_restore() -> Vec<RawMeasurement> {
+    let mut out = Vec::new();
+
+    let mut sim = DfsSim::new(Flavor::GlusterFs, BugSet::New);
+    out.push(sample("perf/full_reset", 10, 20, || sim.reset()));
+
+    let mut sim = DfsSim::new(Flavor::GlusterFs, BugSet::New);
+    let base = sim.fork();
+    out.push(sample("perf/fork_mark", 10, 100, || {
+        let id = sim.fork();
+        sim.release(id);
+    }));
+    out.push(sample("perf/fork_restore_suffix8", 10, 50, || {
+        for k in 0..8 {
+            let _ = sim.execute(&DfsRequest::Create {
+                path: format!("/suffix{k}"),
+                size: 4 * MIB,
+            });
+        }
+        assert!(sim.restore(base), "base mark must stay valid");
+    }));
+    out
+}
+
+/// Times `f` and reports seconds-per-iteration statistics over
+/// `samples` batches of `iters` calls each.
+fn sample(id: &str, samples: u64, iters: u64, mut f: impl FnMut()) -> RawMeasurement {
+    let mut mean_acc = 0.0;
+    let mut min_s = f64::INFINITY;
+    let mut max_s = 0.0f64;
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let per = start.elapsed().as_secs_f64() / iters as f64;
+        mean_acc += per;
+        min_s = min_s.min(per);
+        max_s = max_s.max(per);
+    }
+    RawMeasurement {
+        id: id.into(),
+        samples,
+        iters_per_sample: iters,
+        mean_s: mean_acc / samples as f64,
+        min_s,
+        max_s,
     }
 }
 
@@ -152,12 +356,13 @@ pub fn measure_campaign(flavor: Flavor, hours: u64, seed: u64, repeats: u32) -> 
     }
 }
 
-/// The acceptance matrix: every flavor x {Themis, Themis-} x four seeds.
+/// The acceptance matrix: every flavor x {Themis, Themis-} x eight seeds
+/// = 64 cells.
 pub fn scaling_spec(hours: u64) -> GridSpec {
     GridSpec::new(
         Flavor::all().to_vec(),
         vec!["Themis".into(), "Themis-".into()],
-        vec![0xbe, 7, 21, 42],
+        vec![0xbe, 7, 21, 42, 5, 11, 17, 99],
         BugSet::New,
         hours,
     )
@@ -282,19 +487,7 @@ pub fn bench_json(raw: &[RawMeasurement], campaign: &CampaignPerf, grid: &GridSc
     out.push_str("]\n  },\n");
 
     out.push_str("  \"measurements\": [\n");
-    for (i, m) in raw.iter().enumerate() {
-        out.push_str("    {\"id\": ");
-        push_json_str(&mut out, &m.id);
-        out.push_str(&format!(
-            ", \"samples\": {}, \"iters_per_sample\": {}, \"mean_s\": {}, \"min_s\": {}, \"max_s\": {}}}{}\n",
-            m.samples,
-            m.iters_per_sample,
-            json_f64(m.mean_s),
-            json_f64(m.min_s),
-            json_f64(m.max_s),
-            if i + 1 < raw.len() { "," } else { "" },
-        ));
-    }
+    push_measurements(&mut out, raw, "    ");
     out.push_str("  ]\n}\n");
     out
 }
@@ -307,6 +500,120 @@ pub fn write_bench_json(
     grid: &GridScaling,
 ) -> std::io::Result<()> {
     std::fs::write(path, bench_json(raw, campaign, grid))
+}
+
+fn push_measurements(out: &mut String, raw: &[RawMeasurement], indent: &str) {
+    for (i, m) in raw.iter().enumerate() {
+        out.push_str(indent);
+        out.push_str("{\"id\": ");
+        push_json_str(out, &m.id);
+        out.push_str(&format!(
+            ", \"samples\": {}, \"iters_per_sample\": {}, \"mean_s\": {}, \"min_s\": {}, \"max_s\": {}}}{}\n",
+            m.samples,
+            m.iters_per_sample,
+            json_f64(m.mean_s),
+            json_f64(m.min_s),
+            json_f64(m.max_s),
+            if i + 1 < raw.len() { "," } else { "" },
+        ));
+    }
+}
+
+/// Renders the snapshot-fork engine artifact (`BENCH_2.json`).
+pub fn bench2_json(
+    cores: usize,
+    fork_restore: &[RawMeasurement],
+    campaigns: &[ForkCampaignPerf],
+    grid: &GridScaling,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"themis-bench-v2\",\n");
+    out.push_str(&format!("  \"host\": {{\"cores\": {cores}}},\n"));
+
+    out.push_str("  \"fork_restore\": [\n");
+    push_measurements(&mut out, fork_restore, "    ");
+    out.push_str("  ],\n");
+
+    out.push_str("  \"campaign_fork_vs_replay\": [\n");
+    for (i, c) in campaigns.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"flavor\": \"{}\",\n", c.flavor.name()));
+        out.push_str("      \"fault_profile\": ");
+        push_json_str(&mut out, &c.fault_profile);
+        out.push_str(",\n");
+        out.push_str(&format!("      \"hours\": {},\n", c.hours));
+        out.push_str(&format!("      \"seed\": {},\n", c.seed));
+        out.push_str(&format!("      \"repeats\": {},\n", c.repeats));
+        out.push_str(&format!("      \"iterations\": {},\n", c.iterations));
+        out.push_str(&format!("      \"ops_sent\": {},\n", c.ops_sent));
+        out.push_str(&format!(
+            "      \"redeploy_iterations\": {},\n",
+            c.redeploy_iterations
+        ));
+        out.push_str(&format!("      \"fork_s\": {},\n", json_f64(c.fork_s)));
+        out.push_str(&format!("      \"replay_s\": {},\n", json_f64(c.replay_s)));
+        out.push_str(&format!(
+            "      \"redeploy_s\": {},\n",
+            json_f64(c.redeploy_s)
+        ));
+        out.push_str(&format!(
+            "      \"fork_iters_per_sec\": {},\n",
+            json_f64(c.fork_iters_per_sec())
+        ));
+        out.push_str(&format!(
+            "      \"replay_iters_per_sec\": {},\n",
+            json_f64(c.replay_iters_per_sec())
+        ));
+        out.push_str(&format!(
+            "      \"redeploy_iters_per_sec\": {},\n",
+            json_f64(c.redeploy_iters_per_sec())
+        ));
+        out.push_str(&format!(
+            "      \"speedup_vs_replay\": {},\n",
+            json_f64(c.speedup_vs_replay())
+        ));
+        out.push_str(&format!(
+            "      \"speedup_vs_redeploy\": {},\n",
+            json_f64(c.speedup_vs_redeploy())
+        ));
+        out.push_str(&format!("      \"results_match\": {}\n", c.results_match));
+        out.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < campaigns.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+
+    out.push_str("  \"grid\": {\n");
+    out.push_str(&format!("    \"cells\": {},\n", grid.cells));
+    out.push_str(&format!(
+        "    \"identical_to_serial\": {},\n",
+        grid.identical_to_serial
+    ));
+    out.push_str("    \"runs\": [");
+    for (i, (workers, secs)) in grid.runs.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{{\"workers\": {workers}, \"wall_s\": {}, \"speedup\": {}}}",
+            json_f64(*secs),
+            json_f64(grid.speedup_at(*workers).unwrap_or(f64::NAN)),
+        ));
+    }
+    out.push_str("]\n  }\n}\n");
+    out
+}
+
+/// Writes the snapshot-fork artifact to `path`.
+pub fn write_bench2_json(
+    path: &std::path::Path,
+    cores: usize,
+    fork_restore: &[RawMeasurement],
+    campaigns: &[ForkCampaignPerf],
+    grid: &GridScaling,
+) -> std::io::Result<()> {
+    std::fs::write(path, bench2_json(cores, fork_restore, campaigns, grid))
 }
 
 #[cfg(test)]
@@ -354,5 +661,75 @@ mod tests {
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert!((campaign.speedup() - 3.0).abs() < 1e-9);
         assert_eq!(grid.speedup_at(4), Some(4.0 / 1.1));
+    }
+
+    #[test]
+    fn fork_vs_replay_modes_agree_bit_for_bit() {
+        let p = measure_campaign_modes(Flavor::GlusterFs, 1, 0xbe, 1, "none");
+        assert!(p.results_match, "fork and full-replay campaigns diverged");
+        assert!(p.iterations > 0 && p.ops_sent > 0);
+        assert!(p.redeploy_iterations > 0);
+        assert!(p.fork_s > 0.0 && p.replay_s > 0.0 && p.redeploy_s > 0.0);
+    }
+
+    #[test]
+    fn fork_restore_micro_measurements_cover_the_primitive() {
+        let ms = measure_fork_restore();
+        let ids: Vec<&str> = ms.iter().map(|m| m.id.as_str()).collect();
+        assert_eq!(
+            ids,
+            vec![
+                "perf/full_reset",
+                "perf/fork_mark",
+                "perf/fork_restore_suffix8"
+            ]
+        );
+        for m in &ms {
+            assert!(m.mean_s > 0.0 && m.min_s <= m.mean_s && m.mean_s <= m.max_s);
+        }
+    }
+
+    #[test]
+    fn scaling_spec_is_at_least_64_cells() {
+        assert!(scaling_spec(1).cells() >= 64);
+    }
+
+    #[test]
+    fn bench2_json_is_well_formed_enough() {
+        let c = ForkCampaignPerf {
+            flavor: Flavor::CephFs,
+            fault_profile: "crash".into(),
+            hours: 1,
+            seed: 7,
+            repeats: 2,
+            iterations: 100,
+            ops_sent: 1000,
+            redeploy_iterations: 40,
+            fork_s: 0.1,
+            replay_s: 0.5,
+            redeploy_s: 0.8,
+            results_match: true,
+        };
+        let grid = GridScaling {
+            cells: 64,
+            runs: vec![(1, 4.0), (4, 2.0)],
+            identical_to_serial: true,
+        };
+        let raw = vec![RawMeasurement {
+            id: "perf/fork_restore_suffix8".into(),
+            samples: 3,
+            iters_per_sample: 10,
+            mean_s: 1e-6,
+            min_s: 9e-7,
+            max_s: 2e-6,
+        }];
+        let j = bench2_json(4, &raw, std::slice::from_ref(&c), &grid);
+        assert!(j.contains("\"schema\": \"themis-bench-v2\""));
+        assert!(j.contains("\"host\": {\"cores\": 4}"));
+        assert!(j.contains("\"fault_profile\": \"crash\""));
+        assert!(j.contains("\"speedup_vs_replay\": 5.0"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!((c.speedup_vs_replay() - 5.0).abs() < 1e-9);
+        assert!((c.speedup_vs_redeploy() - 20.0).abs() < 1e-9);
     }
 }

@@ -181,7 +181,7 @@ impl Balancer {
                     }
                 }
             }
-            for (fid, meta) in &cluster.files {
+            for (fid, meta) in cluster.files() {
                 for r in &meta.replicas {
                     if r.bytes > 0 {
                         if let Some(&i) = vol_bucket.get(&r.volume) {

@@ -35,6 +35,37 @@ pub struct FileMeta {
     pub linkfile_at: Option<VolumeId>,
 }
 
+/// Undo journal over the file map: one `(id, prior value)` record per
+/// mutated file, newest last. `None` means the file did not exist. The
+/// node/volume maps are small enough to checkpoint wholesale, so only
+/// `files` (the one collection that grows with workload size) is
+/// journaled. Disabled by default; the snapshot-fork engine enables it.
+#[derive(Debug, Clone, Default)]
+struct FilesJournal {
+    enabled: bool,
+    records: Vec<(crate::types::FileId, Option<FileMeta>)>,
+}
+
+/// A rewind point for the cluster: full clones of the small node/volume
+/// maps plus a mark into the file-map undo journal.
+#[derive(Debug, Clone)]
+pub(crate) struct ClusterCheckpoint {
+    mgmt: BTreeMap<NodeId, MgmtNode>,
+    storage: BTreeMap<NodeId, StorageNode>,
+    volume_owner: BTreeMap<VolumeId, NodeId>,
+    next_node: u32,
+    next_volume: u32,
+    generation: u64,
+    files_mark: usize,
+}
+
+impl ClusterCheckpoint {
+    /// The placement topology generation at checkpoint time.
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation
+    }
+}
+
 /// The full cluster state.
 #[derive(Debug, Clone, Default)]
 pub struct Cluster {
@@ -43,8 +74,10 @@ pub struct Cluster {
     /// Storage nodes by id.
     pub storage: BTreeMap<NodeId, StorageNode>,
     /// Physical file metadata by file id (ordered for deterministic
-    /// balancer planning).
-    pub files: BTreeMap<crate::types::FileId, FileMeta>,
+    /// balancer planning). Private so every mutation is forced through a
+    /// journaling accessor — direct writes would silently corrupt
+    /// snapshot restores.
+    files: BTreeMap<crate::types::FileId, FileMeta>,
     /// Owner node of each live volume.
     pub volume_owner: BTreeMap<VolumeId, NodeId>,
     next_node: u32,
@@ -54,6 +87,7 @@ pub struct Cluster {
     /// volume membership, capacities, online status). Fill-level changes do
     /// *not* bump it. Placement caches key off this counter.
     generation: u64,
+    journal: FilesJournal,
 }
 
 impl Cluster {
@@ -65,6 +99,70 @@ impl Cluster {
     /// The current placement topology generation (see the field docs).
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// Read access to the physical file map.
+    pub fn files(&self) -> &BTreeMap<crate::types::FileId, FileMeta> {
+        &self.files
+    }
+
+    /// Mutable access to one file's metadata, journaled.
+    pub(crate) fn file_mut(&mut self, fid: crate::types::FileId) -> Option<&mut FileMeta> {
+        self.note_file(fid);
+        self.files.get_mut(&fid)
+    }
+
+    /// Records a file's pre-mutation state in the undo journal.
+    fn note_file(&mut self, fid: crate::types::FileId) {
+        if self.journal.enabled {
+            self.journal
+                .records
+                .push((fid, self.files.get(&fid).cloned()));
+        }
+    }
+
+    /// Turns undo journaling on or off, dropping any recorded history.
+    pub(crate) fn set_journaling(&mut self, on: bool) {
+        self.journal.enabled = on;
+        self.journal.records.clear();
+    }
+
+    /// Captures the state needed to rewind back to this point. Only valid
+    /// while journaling is enabled.
+    pub(crate) fn checkpoint(&self) -> ClusterCheckpoint {
+        ClusterCheckpoint {
+            mgmt: self.mgmt.clone(),
+            storage: self.storage.clone(),
+            volume_owner: self.volume_owner.clone(),
+            next_node: self.next_node,
+            next_volume: self.next_volume,
+            generation: self.generation,
+            files_mark: self.journal.records.len(),
+        }
+    }
+
+    /// Rewinds to the state captured by `cp`: undoes journaled file-map
+    /// records newest-first and restores the wholesale-cloned node maps.
+    /// Checkpoints deeper than `cp` become invalid.
+    pub(crate) fn restore_to(&mut self, cp: &ClusterCheckpoint) {
+        debug_assert!(self.journal.enabled, "restore without journaling");
+        while self.journal.records.len() > cp.files_mark {
+            let (fid, old) = self.journal.records.pop().expect("mark <= len");
+            match old {
+                Some(meta) => {
+                    self.files.insert(fid, meta);
+                }
+                None => {
+                    self.files.remove(&fid);
+                }
+            }
+        }
+        self.mgmt.clone_from(&cp.mgmt);
+        self.storage.clone_from(&cp.storage);
+        self.volume_owner.clone_from(&cp.volume_owner);
+        self.next_node = cp.next_node;
+        self.next_volume = cp.next_volume;
+        self.generation = cp.generation;
     }
 
     /// Adds a management node with the given core count.
@@ -153,7 +251,18 @@ impl Cluster {
     /// and returns them.
     fn strip_replicas(&mut self, vols: &[VolumeId]) -> Vec<(crate::types::FileId, Replica)> {
         let mut displaced = Vec::new();
-        for (fid, meta) in self.files.iter_mut() {
+        // Disjoint field borrows: the journal is filled while the file map
+        // is iterated mutably.
+        let (files, journal) = (&mut self.files, &mut self.journal);
+        for (fid, meta) in files.iter_mut() {
+            let affected = meta.replicas.iter().any(|r| vols.contains(&r.volume))
+                || meta.linkfile_at.is_some_and(|v| vols.contains(&v));
+            if !affected {
+                continue;
+            }
+            if journal.enabled {
+                journal.records.push((*fid, Some(meta.clone())));
+            }
             let mut i = 0;
             while i < meta.replicas.len() {
                 if vols.contains(&meta.replicas[i].volume) {
@@ -290,6 +399,7 @@ impl Cluster {
             });
         }
         v.used += bytes;
+        self.note_file(fid);
         self.files
             .entry(fid)
             .or_default()
@@ -300,6 +410,7 @@ impl Cluster {
 
     /// Frees every replica of a file and removes its metadata.
     pub fn free_file(&mut self, fid: crate::types::FileId) -> Bytes {
+        self.note_file(fid);
         let Some(meta) = self.files.remove(&fid) else {
             return 0;
         };
@@ -362,6 +473,7 @@ impl Cluster {
             let v = self.volume_mut(r.volume)?;
             v.used = v.used - old + target;
         }
+        self.note_file(fid);
         if let Some(m) = self.files.get_mut(&fid) {
             for r in &mut m.replicas {
                 r.bytes = scale(r.bytes);
@@ -407,6 +519,7 @@ impl Cluster {
             let src = self.volume_mut(from)?;
             src.used = src.used.saturating_sub(moved);
         }
+        self.note_file(fid);
         let meta = self.files.get_mut(&fid).expect("checked above");
         meta.replicas[idx] = Replica {
             volume: to,
@@ -794,5 +907,72 @@ mod tests {
                 .count(),
             1
         );
+    }
+
+    #[test]
+    fn checkpoint_rewinds_file_and_topology_mutations() {
+        let mut c = cluster_with(2, 1, 10_000);
+        let views = c.volume_views();
+        let (a, b) = (views[0].volume, views[1].volume);
+        c.store(FileId(1), a, 300).unwrap();
+        c.set_journaling(true);
+        let cp = c.checkpoint();
+        let gen0 = c.generation();
+
+        c.migrate(FileId(1), a, b, 300).unwrap();
+        c.store(FileId(2), b, 50).unwrap();
+        c.free_file(FileId(1));
+        c.rescale_file(FileId(2), 50, 200).unwrap();
+        let (node, _) = c.add_storage(1, 10_000);
+        c.set_offline(node);
+        assert_ne!(c.generation(), gen0);
+
+        c.restore_to(&cp);
+        assert_eq!(c.generation(), gen0);
+        assert_eq!(c.storage.len(), 2);
+        assert_eq!(c.files[&FileId(1)].replicas[0].volume, a);
+        assert_eq!(c.files[&FileId(1)].replicas[0].bytes, 300);
+        assert!(!c.files.contains_key(&FileId(2)));
+        assert_eq!(c.total_used(), 300);
+        assert_eq!(c.volume(a).unwrap().used, 300);
+        assert_eq!(c.volume(b).unwrap().used, 0);
+    }
+
+    #[test]
+    fn checkpoint_rewinds_node_removal_with_displaced_replicas() {
+        let mut c = cluster_with(3, 2, 1000);
+        let views = c.volume_views();
+        c.store(FileId(1), views[0].volume, 100).unwrap();
+        c.store(FileId(2), views[1].volume, 200).unwrap();
+        c.file_mut(FileId(2)).unwrap().linkfile_at = Some(views[0].volume);
+        c.set_journaling(true);
+        let cp = c.checkpoint();
+
+        c.remove_storage(views[0].node).unwrap();
+        assert!(c.files[&FileId(1)].replicas.is_empty());
+        assert_eq!(c.files[&FileId(2)].linkfile_at, None);
+
+        c.restore_to(&cp);
+        assert_eq!(c.storage.len(), 3);
+        assert_eq!(c.files[&FileId(1)].replicas.len(), 1);
+        assert_eq!(c.files[&FileId(2)].linkfile_at, Some(views[0].volume));
+        assert_eq!(c.total_used(), 300);
+    }
+
+    #[test]
+    fn checkpoints_nest_along_one_lineage() {
+        let mut c = cluster_with(1, 1, 10_000);
+        let v = c.volume_views()[0].volume;
+        c.set_journaling(true);
+        let base = c.checkpoint();
+        c.store(FileId(1), v, 10).unwrap();
+        let mid = c.checkpoint();
+        c.store(FileId(2), v, 20).unwrap();
+        c.restore_to(&mid);
+        assert!(c.files.contains_key(&FileId(1)));
+        assert!(!c.files.contains_key(&FileId(2)));
+        c.restore_to(&base);
+        assert!(c.files.is_empty());
+        assert_eq!(c.total_used(), 0);
     }
 }

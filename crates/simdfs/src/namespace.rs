@@ -33,6 +33,56 @@ struct Entry {
     name: String,
 }
 
+/// One reversible namespace mutation, recorded while journaling is on.
+///
+/// Records are *semantic* undo entries: each one captures exactly the
+/// state a single field-level mutation destroyed, so rewinding is a
+/// reverse-order replay with no tree diffing. Deleted entries are moved
+/// (not cloned) into their `Slot` record, which makes journaling O(1) per
+/// operation regardless of directory fan-out.
+#[derive(Debug, Clone)]
+enum NsRecord {
+    /// `arena[idx]` held `old` before the mutation.
+    Slot { idx: usize, old: Option<Entry> },
+    /// `name` was inserted into `arena[parent].children`.
+    ChildAdd { parent: usize, name: String },
+    /// `name -> child` was removed from `arena[parent].children`.
+    ChildDel {
+        parent: usize,
+        name: String,
+        child: usize,
+    },
+    /// The file at `idx` had size `old`.
+    Size { idx: usize, old: Bytes },
+    /// The entry at `idx` hung under `parent` as `name`.
+    Reparent {
+        idx: usize,
+        parent: usize,
+        name: String,
+    },
+}
+
+/// The undo journal. Disabled (and empty) by default so the accumulate
+/// execution path pays nothing; the snapshot-fork engine enables it.
+#[derive(Debug, Clone, Default)]
+struct NsJournal {
+    enabled: bool,
+    records: Vec<NsRecord>,
+}
+
+/// A rewind point into the namespace undo journal: the journal mark plus
+/// the small scalar state (`free` list, counters) that is cheaper to
+/// checkpoint wholesale than to journal per-mutation.
+#[derive(Debug, Clone)]
+pub(crate) struct NsCheckpoint {
+    mark: usize,
+    arena_len: usize,
+    free: Vec<usize>,
+    next_file: u64,
+    file_count: usize,
+    total_bytes: Bytes,
+}
+
 /// A tree-structured namespace with POSIX-flavoured operations.
 ///
 /// All mutating operations validate their preconditions and return
@@ -45,6 +95,7 @@ pub struct Namespace {
     next_file: u64,
     file_count: usize,
     total_bytes: Bytes,
+    journal: NsJournal,
 }
 
 impl Default for Namespace {
@@ -70,7 +121,61 @@ impl Namespace {
             next_file: 1,
             file_count: 0,
             total_bytes: 0,
+            journal: NsJournal::default(),
         }
+    }
+
+    /// Turns undo journaling on or off, dropping any recorded history.
+    pub(crate) fn set_journaling(&mut self, on: bool) {
+        self.journal.enabled = on;
+        self.journal.records.clear();
+    }
+
+    /// Captures the state needed to rewind back to this point. Only valid
+    /// while journaling is enabled.
+    pub(crate) fn checkpoint(&self) -> NsCheckpoint {
+        NsCheckpoint {
+            mark: self.journal.records.len(),
+            arena_len: self.arena.len(),
+            free: self.free.clone(),
+            next_file: self.next_file,
+            file_count: self.file_count,
+            total_bytes: self.total_bytes,
+        }
+    }
+
+    /// Rewinds the namespace to the state captured by `cp`, undoing
+    /// journaled mutations newest-first. Checkpoints deeper than `cp`
+    /// become invalid (their journal marks no longer exist).
+    pub(crate) fn revert_to(&mut self, cp: &NsCheckpoint) {
+        debug_assert!(self.journal.enabled, "revert without journaling");
+        while self.journal.records.len() > cp.mark {
+            let rec = self.journal.records.pop().expect("mark <= len");
+            match rec {
+                NsRecord::Slot { idx, old } => self.arena[idx] = old,
+                NsRecord::ChildAdd { parent, name } => {
+                    self.entry_mut(parent).children.remove(&name);
+                }
+                NsRecord::ChildDel {
+                    parent,
+                    name,
+                    child,
+                } => {
+                    self.entry_mut(parent).children.insert(name, child);
+                }
+                NsRecord::Size { idx, old } => self.entry_mut(idx).size = old,
+                NsRecord::Reparent { idx, parent, name } => {
+                    let e = self.entry_mut(idx);
+                    e.parent = parent;
+                    e.name = name;
+                }
+            }
+        }
+        self.arena.truncate(cp.arena_len);
+        self.free.clone_from(&cp.free);
+        self.next_file = cp.next_file;
+        self.file_count = cp.file_count;
+        self.total_bytes = cp.total_bytes;
     }
 
     /// Splits a normalized absolute path into components.
@@ -96,13 +201,19 @@ impl Namespace {
     }
 
     fn alloc(&mut self, e: Entry) -> usize {
-        if let Some(idx) = self.free.pop() {
+        let idx = if let Some(idx) = self.free.pop() {
             self.arena[idx] = Some(e);
             idx
         } else {
             self.arena.push(Some(e));
             self.arena.len() - 1
+        };
+        if self.journal.enabled {
+            // The slot was empty before (freshly pushed or off the free
+            // list), so the undo value is always `None`.
+            self.journal.records.push(NsRecord::Slot { idx, old: None });
         }
+        idx
     }
 
     /// Resolves a path's parent directory index and final component.
@@ -145,6 +256,12 @@ impl Namespace {
             name: name.to_string(),
         };
         let idx = self.alloc(e);
+        if self.journal.enabled {
+            self.journal.records.push(NsRecord::ChildAdd {
+                parent,
+                name: name.to_string(),
+            });
+        }
         self.entry_mut(parent)
             .children
             .insert(name.to_string(), idx);
@@ -169,7 +286,17 @@ impl Namespace {
         let parent = entry.parent;
         let name = entry.name.clone();
         self.entry_mut(parent).children.remove(&name);
-        self.arena[idx] = None;
+        if self.journal.enabled {
+            self.journal.records.push(NsRecord::ChildDel {
+                parent,
+                name,
+                child: idx,
+            });
+            let old = self.arena[idx].take();
+            self.journal.records.push(NsRecord::Slot { idx, old });
+        } else {
+            self.arena[idx] = None;
+        }
         self.free.push(idx);
         Ok(())
     }
@@ -191,6 +318,12 @@ impl Namespace {
             name: name.to_string(),
         };
         let idx = self.alloc(e);
+        if self.journal.enabled {
+            self.journal.records.push(NsRecord::ChildAdd {
+                parent,
+                name: name.to_string(),
+            });
+        }
         self.entry_mut(parent)
             .children
             .insert(name.to_string(), idx);
@@ -213,7 +346,17 @@ impl Namespace {
         let parent = entry.parent;
         let name = entry.name.clone();
         self.entry_mut(parent).children.remove(&name);
-        self.arena[idx] = None;
+        if self.journal.enabled {
+            self.journal.records.push(NsRecord::ChildDel {
+                parent,
+                name,
+                child: idx,
+            });
+            let old = self.arena[idx].take();
+            self.journal.records.push(NsRecord::Slot { idx, old });
+        } else {
+            self.arena[idx] = None;
+        }
         self.free.push(idx);
         self.file_count -= 1;
         self.total_bytes -= size;
@@ -228,13 +371,16 @@ impl Namespace {
         let idx = self
             .lookup(path)
             .ok_or_else(|| SimError::NoSuchPath(path.into()))?;
-        let entry = self.entry_mut(idx);
+        let entry = self.entry(idx);
         if entry.kind != EntryKind::File {
             return Err(SimError::IsADirectory(path.into()));
         }
         let old = entry.size;
-        entry.size = new_size;
         let id = entry.file.expect("file entry without id");
+        if self.journal.enabled {
+            self.journal.records.push(NsRecord::Size { idx, old });
+        }
+        self.entry_mut(idx).size = new_size;
         self.total_bytes = self.total_bytes - old + new_size;
         Ok((id, old))
     }
@@ -282,6 +428,22 @@ impl Namespace {
         let old_parent = self.entry(idx).parent;
         let old_name = self.entry(idx).name.clone();
         self.entry_mut(old_parent).children.remove(&old_name);
+        if self.journal.enabled {
+            self.journal.records.push(NsRecord::ChildDel {
+                parent: old_parent,
+                name: old_name.clone(),
+                child: idx,
+            });
+            self.journal.records.push(NsRecord::ChildAdd {
+                parent: new_parent,
+                name: new_name.to_string(),
+            });
+            self.journal.records.push(NsRecord::Reparent {
+                idx,
+                parent: old_parent,
+                name: old_name,
+            });
+        }
         self.entry_mut(new_parent)
             .children
             .insert(new_name.to_string(), idx);
@@ -504,5 +666,71 @@ mod tests {
         ns.delete("/a").unwrap();
         let b = ns.create("/a", 1).unwrap();
         assert_ne!(a, b);
+    }
+
+    type NsSnapshot = (Vec<(String, FileId, Bytes)>, Vec<String>, u64, Bytes);
+
+    fn snapshot_of(ns: &Namespace) -> NsSnapshot {
+        (ns.files(), ns.directories(), ns.next_file, ns.total_bytes())
+    }
+
+    #[test]
+    fn journal_rewinds_mixed_mutations() {
+        let mut ns = Namespace::new();
+        ns.mkdir("/d").unwrap();
+        ns.create("/d/a", 10).unwrap();
+        ns.set_journaling(true);
+        let cp = ns.checkpoint();
+        let before = snapshot_of(&ns);
+
+        ns.create("/d/b", 5).unwrap();
+        ns.resize("/d/a", 99).unwrap();
+        ns.rename("/d/a", "/moved").unwrap();
+        ns.mkdir("/e").unwrap();
+        ns.create("/e/deep", 3).unwrap();
+        ns.delete("/d/b").unwrap();
+        ns.delete("/e/deep").unwrap();
+        ns.rmdir("/e").unwrap();
+
+        ns.revert_to(&cp);
+        assert_eq!(snapshot_of(&ns), before);
+        assert_eq!(ns.open("/d/a").unwrap().1, 10);
+        assert!(!ns.exists("/moved"));
+        assert_eq!(ns.file_count(), 1);
+    }
+
+    #[test]
+    fn journal_checkpoints_nest_and_replay_identically() {
+        let mut ns = Namespace::new();
+        ns.set_journaling(true);
+        let base = ns.checkpoint();
+        ns.create("/a", 1).unwrap();
+        let mid = ns.checkpoint();
+        let mid_state = snapshot_of(&ns);
+        ns.create("/b", 2).unwrap();
+        ns.rename("/a", "/c").unwrap();
+
+        // Rewind to the middle mark, diverge, rewind to base, and check
+        // that re-running the original prefix reproduces the exact state
+        // (including reused file ids — determinism over uniqueness).
+        ns.revert_to(&mid);
+        assert_eq!(snapshot_of(&ns), mid_state);
+        ns.create("/other", 9).unwrap();
+        ns.revert_to(&base);
+        assert_eq!(ns.file_count(), 0);
+        ns.create("/a", 1).unwrap();
+        assert_eq!(snapshot_of(&ns), mid_state);
+    }
+
+    #[test]
+    fn disabling_journal_clears_history() {
+        let mut ns = Namespace::new();
+        ns.set_journaling(true);
+        ns.create("/a", 1).unwrap();
+        assert!(!ns.journal.records.is_empty());
+        ns.set_journaling(false);
+        assert!(ns.journal.records.is_empty());
+        ns.create("/b", 1).unwrap();
+        assert!(ns.journal.records.is_empty());
     }
 }

@@ -85,6 +85,20 @@ impl PlacementCache {
     pub fn is_fresh(&self, generation: u64, policy: &'static str) -> bool {
         self.built == Some((generation, policy))
     }
+
+    /// Drops the cached structures only if they were built for a topology
+    /// generation *newer* than `generation`.
+    ///
+    /// Used by snapshot restore: rewinding to an earlier point of the same
+    /// execution lineage cannot change what any generation `<= generation`
+    /// looked like, so such structures remain valid. A cache built for a
+    /// later generation must go — the re-executed suffix may reuse the
+    /// same generation numbers for a different topology.
+    pub fn invalidate_if_newer_than(&mut self, generation: u64) {
+        if matches!(self.built, Some((g, _)) if g > generation) {
+            self.built = None;
+        }
+    }
 }
 
 /// A deterministic replica placement policy.

@@ -9,16 +9,16 @@
 
 use crate::balancer::{Balancer, MigrationMove, RebalanceStatus};
 use crate::bugs::catalog;
-use crate::bugs::{BugEngine, BugRuntime, BugSpec, Effect, SimEvent};
+use crate::bugs::{BugEngine, BugEngineCheckpoint, BugRuntime, BugSpec, Effect, SimEvent};
 use crate::clock::{PeriodicTimer, SimClock};
-use crate::cluster::Cluster;
+use crate::cluster::{Cluster, ClusterCheckpoint};
 use crate::coverage::{CoverageModel, Region};
 use crate::error::{SimError, SimResult};
 use crate::faults::{FaultInjector, FaultKind, FaultPlan};
 use crate::flavor::{BalancerStyle, Flavor, FlavorConfig, RoutingKind};
 use crate::hashing::{hash_str, mix};
 use crate::metrics::{ClusterSnapshot, NodeLoadSample};
-use crate::namespace::Namespace;
+use crate::namespace::{Namespace, NsCheckpoint};
 use crate::placement::{Placement, PlacementCache, PlacementPolicy, VolumeView};
 use crate::request::{DfsRequest, OpClass, ReqOutcome};
 use crate::types::{Bytes, FileId, NodeId, NodeRole, SimTime, VolumeId, MIB};
@@ -123,6 +123,43 @@ pub struct DfsSim {
     /// `/sys` preload), cloned back on [`DfsSim::reset`] instead of
     /// replaying the whole deploy-time ingest.
     pristine: Option<Box<(Namespace, Cluster)>>,
+    /// Live fork marks, oldest first (see [`DfsSim::fork`]). Marks form a
+    /// stack along one execution lineage: restoring one invalidates every
+    /// deeper mark.
+    snapshots: Vec<SimSnapshot>,
+    /// Monotonic id source for fork marks (never reused, so a stale id
+    /// from before a reset can never alias a live mark).
+    next_snapshot_id: u64,
+}
+
+/// One saved execution point of the snapshot-fork engine.
+///
+/// The two big collections (namespace arena, physical file map) are
+/// captured as *journal checkpoints* — undo records accumulate in their
+/// owners and rewinding replays them backwards — while everything small
+/// (clock, balancer, bug runtimes, fault state, timers) is cloned
+/// outright. Coverage is deliberately absent: it is a monotone set of
+/// idempotent insertions over deterministic re-execution, so rewinding
+/// state and replaying a prefix can only re-insert branches already
+/// present.
+#[derive(Debug)]
+struct SimSnapshot {
+    id: u64,
+    clock: SimClock,
+    ns: NsCheckpoint,
+    cluster: ClusterCheckpoint,
+    balancer: Balancer,
+    bugs: BugEngineCheckpoint,
+    faults: FaultInjector,
+    hash_cache: HashMap<u64, SimTime>,
+    crashed: Vec<NodeId>,
+    stats: SimStats,
+    last_variance: (f64, f64, f64),
+    prev_kind: Option<u64>,
+    prev2_kind: Option<u64>,
+    rr_counter: u64,
+    check_timer: Option<PeriodicTimer>,
+    migrate_timer: PeriodicTimer,
 }
 
 impl DfsSim {
@@ -167,6 +204,8 @@ impl DfsSim {
             stats: SimStats::default(),
             last_variance: (1.0, 1.0, 1.0),
             pristine: None,
+            snapshots: Vec::new(),
+            next_snapshot_id: 0,
             cfg,
             bug_set,
         };
@@ -226,7 +265,7 @@ impl DfsSim {
                     }
                 }
             }
-            if let Some(meta) = self.cluster.files.get_mut(&fid) {
+            if let Some(meta) = self.cluster.file_mut(fid) {
                 meta.key = hash_str(&path);
             }
         }
@@ -662,7 +701,7 @@ impl DfsSim {
             self.charge_storage_write(*vol);
         }
         self.frags_buf = fragments;
-        if let Some(meta) = self.cluster.files.get_mut(&fid) {
+        if let Some(meta) = self.cluster.file_mut(fid) {
             meta.key = key;
         }
         Ok(ReqOutcome::default())
@@ -805,7 +844,12 @@ impl DfsSim {
         let (fid, old) = self.ns.open(path)?;
         if old == 0 && new_size > 0 {
             // Growth from empty requires fresh placement.
-            let key = self.cluster.files.get(&fid).map(|m| m.key).unwrap_or(fid.0);
+            let key = self
+                .cluster
+                .files()
+                .get(&fid)
+                .map(|m| m.key)
+                .unwrap_or(fid.0);
             let fragments = self.plan_fragments(key, new_size)?;
             for (vol, bytes) in &fragments {
                 self.cluster.store(fid, *vol, *bytes)?;
@@ -820,7 +864,12 @@ impl DfsSim {
         if new_size > old && !whole_file {
             // Striped growth appends new blocks; existing fragments are
             // immutable once written (HDFS/Ceph/LeoFS semantics).
-            let key = self.cluster.files.get(&fid).map(|m| m.key).unwrap_or(fid.0);
+            let key = self
+                .cluster
+                .files()
+                .get(&fid)
+                .map(|m| m.key)
+                .unwrap_or(fid.0);
             let delta = new_size - old;
             let fragments = self.plan_fragments(mix(key, old), delta)?;
             for (vol, bytes) in &fragments {
@@ -837,7 +886,7 @@ impl DfsSim {
         // Charge write IO on every node holding a fragment.
         let vols: Vec<VolumeId> = self
             .cluster
-            .files
+            .files()
             .get(&fid)
             .map(|m| m.replicas.iter().map(|r| r.volume).collect())
             .unwrap_or_default();
@@ -889,7 +938,7 @@ impl DfsSim {
                 // differs from where the data lives, a linkfile appears at
                 // the hash location.
                 let hash_loc = self.hash_location(new_key);
-                if let Some(meta) = self.cluster.files.get_mut(&fid) {
+                if let Some(meta) = self.cluster.file_mut(fid) {
                     meta.key = new_key;
                     let data_at: Vec<VolumeId> = meta.replicas.iter().map(|r| r.volume).collect();
                     meta.linkfile_at = match hash_loc {
@@ -897,7 +946,7 @@ impl DfsSim {
                         _ => None,
                     };
                 }
-            } else if let Some(meta) = self.cluster.files.get_mut(&fid) {
+            } else if let Some(meta) = self.cluster.file_mut(fid) {
                 meta.key = new_key;
             }
         }
@@ -908,7 +957,7 @@ impl DfsSim {
         let now = self.clock.now();
         let vols: Vec<VolumeId> = self
             .cluster
-            .files
+            .files()
             .get(&fid)
             .map(|m| m.replicas.iter().map(|r| r.volume).collect())
             .unwrap_or_default();
@@ -1087,7 +1136,7 @@ impl DfsSim {
 
     fn execute_move(&mut self, m: &MigrationMove) {
         // The plan may be stale: the file may be gone or moved meanwhile.
-        let Some(meta) = self.cluster.files.get(&m.file) else {
+        let Some(meta) = self.cluster.files().get(&m.file) else {
             return;
         };
         if !meta.replicas.iter().any(|r| r.volume == m.from) {
@@ -1149,7 +1198,7 @@ impl DfsSim {
                     self.hash_cache
                         .insert(key, now.advanced(self.cfg.hash_cache_ttl_ms));
                     let hash_loc = self.hash_location(key);
-                    if let Some(meta) = self.cluster.files.get_mut(&m.file) {
+                    if let Some(meta) = self.cluster.file_mut(m.file) {
                         let data_at: Vec<VolumeId> =
                             meta.replicas.iter().map(|r| r.volume).collect();
                         meta.linkfile_at = match hash_loc {
@@ -1510,6 +1559,12 @@ impl DfsSim {
     /// survive (as they do across DFS restarts in the paper's campaigns),
     /// and the virtual clock keeps running.
     pub fn reset(&mut self) {
+        // A reset abandons the current execution lineage, so every fork
+        // mark taken on it dies with it. (The pristine clone below also
+        // overwrites the journals with empty, disabled ones.)
+        self.snapshots.clear();
+        self.ns.set_journaling(false);
+        self.cluster.set_journaling(false);
         // Rebuilding the topology replays the deploy-time ingest
         // (thousands of `/sys` files); cloning the pristine snapshot
         // restores the identical state in one pass.
@@ -1564,6 +1619,100 @@ impl DfsSim {
         // Resetting costs real wall time on a cluster (container restarts);
         // charge one minute of virtual time.
         self.clock.advance(60_000);
+    }
+
+    /// Marks the current execution point so it can be returned to with
+    /// [`DfsSim::restore`]. Returns an id that stays valid until the mark
+    /// is restored past, [`DfsSim::release`]d, or the sim is reset.
+    ///
+    /// The first fork switches the namespace and cluster into journaling
+    /// mode; from then on every mutation appends an undo record, which is
+    /// what makes restores O(ops since the mark) instead of O(state).
+    /// Marks form a stack along one lineage: restoring mark `a` kills
+    /// every mark taken after `a`.
+    pub fn fork(&mut self) -> u64 {
+        if self.snapshots.is_empty() {
+            self.ns.set_journaling(true);
+            self.cluster.set_journaling(true);
+        }
+        let id = self.next_snapshot_id;
+        self.next_snapshot_id += 1;
+        self.snapshots.push(SimSnapshot {
+            id,
+            clock: self.clock.clone(),
+            ns: self.ns.checkpoint(),
+            cluster: self.cluster.checkpoint(),
+            balancer: self.balancer.clone(),
+            bugs: self.bugs.checkpoint(),
+            faults: self.faults.clone(),
+            hash_cache: self.hash_cache.clone(),
+            crashed: self.crashed.clone(),
+            stats: self.stats,
+            last_variance: self.last_variance,
+            prev_kind: self.prev_kind,
+            prev2_kind: self.prev2_kind,
+            rr_counter: self.rr_counter,
+            check_timer: self.check_timer.clone(),
+            migrate_timer: self.migrate_timer.clone(),
+        });
+        id
+    }
+
+    /// Rewinds the simulator to a mark taken by [`DfsSim::fork`]. Returns
+    /// `false` (leaving the sim untouched) if the mark no longer exists —
+    /// restored past, released, or invalidated by a reset.
+    ///
+    /// Everything flows backwards: the namespace and file-map journals are
+    /// unwound to the mark, the small cloned state (clock, balancer, bug
+    /// runtimes, fault state, timers) is copied back, and placement rings
+    /// built for generations newer than the mark are dropped — a divergent
+    /// suffix re-uses those generation numbers for different topologies,
+    /// so only strictly-older entries are provably shared lineage.
+    /// Coverage intentionally survives: it is monotone over deterministic
+    /// replay, so the combined fork/restore walk observes exactly the
+    /// branch set a straight-line run of the same cases would.
+    pub fn restore(&mut self, id: u64) -> bool {
+        let Some(pos) = self.snapshots.iter().position(|s| s.id == id) else {
+            return false;
+        };
+        // Marks deeper than the restored one point past the journal
+        // rewind target; they are unreachable now.
+        self.snapshots.truncate(pos + 1);
+        let snap = &self.snapshots[pos];
+        self.ns.revert_to(&snap.ns);
+        self.cluster.restore_to(&snap.cluster);
+        self.clock = snap.clock.clone();
+        self.balancer.clone_from(&snap.balancer);
+        self.bugs.restore(&snap.bugs);
+        self.faults.clone_from(&snap.faults);
+        self.hash_cache.clone_from(&snap.hash_cache);
+        self.crashed.clone_from(&snap.crashed);
+        self.stats = snap.stats;
+        self.last_variance = snap.last_variance;
+        self.prev_kind = snap.prev_kind;
+        self.prev2_kind = snap.prev2_kind;
+        self.rr_counter = snap.rr_counter;
+        self.check_timer.clone_from(&snap.check_timer);
+        self.migrate_timer.clone_from(&snap.migrate_timer);
+        self.placement_cache
+            .invalidate_if_newer_than(snap.cluster.generation());
+        true
+    }
+
+    /// Drops a fork mark without restoring it. Releasing the last live
+    /// mark turns journaling back off, so a sim that stops forking stops
+    /// paying for undo records.
+    pub fn release(&mut self, id: u64) {
+        self.snapshots.retain(|s| s.id != id);
+        if self.snapshots.is_empty() {
+            self.ns.set_journaling(false);
+            self.cluster.set_journaling(false);
+        }
+    }
+
+    /// Number of live fork marks (diagnostics / tests).
+    pub fn fork_count(&self) -> usize {
+        self.snapshots.len()
     }
 
     /// The bug set this simulator was built with.
@@ -1684,7 +1833,7 @@ mod tests {
             size: 10 * MIB,
         })
         .unwrap();
-        let meta: Vec<_> = s.cluster.files.values().collect();
+        let meta: Vec<_> = s.cluster.files().values().collect();
         assert_eq!(meta.len(), 1);
         assert_eq!(meta[0].replicas.len(), 3, "HDFS uses 3 replicas");
         assert_eq!(s.cluster.total_used(), 30 * MIB);
@@ -1908,7 +2057,7 @@ mod tests {
             })
             .unwrap();
         }
-        for meta in s.cluster.files.values() {
+        for meta in s.cluster.files().values() {
             if meta.linkfile_at.is_some() {
                 saw_linkfile = true;
             }
@@ -2190,5 +2339,129 @@ mod tests {
         }
         assert_eq!(s.rebalance_status(), RebalanceStatus::Done);
         assert!(s.stats().migrations > 0);
+    }
+
+    /// A broad fingerprint of observable simulator state; two sims with
+    /// equal fingerprints are indistinguishable to the fuzzing harness.
+    fn fingerprint(s: &DfsSim) -> String {
+        format!(
+            "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+            s.now(),
+            s.namespace().files(),
+            s.cluster().mgmt,
+            s.cluster().storage,
+            s.cluster().files(),
+            s.crashed_nodes(),
+            s.stats(),
+        )
+    }
+
+    /// A workload mixing data ops, topology churn, a rebalance and clock
+    /// ticks — the full surface the journal has to cover.
+    fn churn(s: &mut DfsSim, tag: u32) {
+        for i in 0..8 {
+            let _ = s.execute(&DfsRequest::Create {
+                path: format!("/c{tag}_{i}"),
+                size: (4 + i) * MIB,
+            });
+        }
+        let _ = s.execute(&DfsRequest::AddStorageNode {
+            volumes: 2,
+            capacity: 2 << 30,
+        });
+        let _ = s.execute(&DfsRequest::Rename {
+            from: format!("/c{tag}_0"),
+            to: format!("/r{tag}"),
+        });
+        let _ = s.execute(&DfsRequest::Delete {
+            path: format!("/c{tag}_1"),
+        });
+        s.rebalance();
+        let mut guard = 0;
+        while s.rebalance_status() == RebalanceStatus::Running && guard < 5_000 {
+            s.tick(1_000);
+            guard += 1;
+        }
+    }
+
+    #[test]
+    fn fork_restore_roundtrip_under_faults() {
+        let mut s = DfsSim::new(Flavor::GlusterFs, BugSet::None);
+        s.set_fault_plan(FaultPlan::new(vec![
+            fault_at(2_000, FaultKind::CrashStorage { index: 1 }),
+            fault_at(
+                4_000,
+                FaultKind::SlowStorage {
+                    index: 0,
+                    factor: 3,
+                },
+            ),
+        ]));
+        churn(&mut s, 0);
+        let before = fingerprint(&s);
+        let mark = s.fork();
+        churn(&mut s, 1);
+        assert_ne!(fingerprint(&s), before, "churn must change state");
+        assert!(s.restore(mark));
+        assert_eq!(fingerprint(&s), before, "restore must rewind exactly");
+        // The mark survives its own restore and can be rewound to again.
+        churn(&mut s, 2);
+        assert!(s.restore(mark));
+        assert_eq!(fingerprint(&s), before);
+    }
+
+    /// Restoring and replaying the same suffix reproduces the state a
+    /// straight-line run reaches, including with placement caching on —
+    /// the generation-tag invalidation must drop rings built by the
+    /// abandoned branch.
+    #[test]
+    fn forked_suffix_replay_is_bit_identical() {
+        let straight = {
+            let mut s = DfsSim::new(Flavor::CephFs, BugSet::New);
+            churn(&mut s, 0);
+            churn(&mut s, 2);
+            (fingerprint(&s), s.coverage_count())
+        };
+        let mut s = DfsSim::new(Flavor::CephFs, BugSet::New);
+        churn(&mut s, 0);
+        let mark = s.fork();
+        churn(&mut s, 1); // abandoned branch (different topology/rings)
+        assert!(s.restore(mark));
+        churn(&mut s, 2);
+        assert_eq!(fingerprint(&s), straight.0);
+        // Coverage is monotone: the abandoned branch may only have added
+        // branches on top of the straight-line set.
+        assert!(s.coverage_count() >= straight.1);
+    }
+
+    #[test]
+    fn restore_kills_deeper_marks_and_release_stops_journaling() {
+        let mut s = sim(Flavor::Hdfs);
+        let a = s.fork();
+        let _ = s.execute(&DfsRequest::Create {
+            path: "/x".into(),
+            size: MIB,
+        });
+        let b = s.fork();
+        assert_eq!(s.fork_count(), 2);
+        assert!(s.restore(a));
+        assert!(!s.restore(b), "restore(a) must invalidate deeper mark b");
+        assert_eq!(s.fork_count(), 1);
+        s.release(a);
+        assert_eq!(s.fork_count(), 0);
+        assert!(!s.restore(a), "released marks are gone");
+    }
+
+    #[test]
+    fn reset_discards_fork_marks() {
+        let mut s = DfsSim::new(Flavor::LeoFs, BugSet::None);
+        let mark = s.fork();
+        let _ = s.execute(&DfsRequest::Create {
+            path: "/x".into(),
+            size: MIB,
+        });
+        s.reset();
+        assert!(!s.restore(mark), "reset abandons the forked lineage");
+        assert_eq!(s.fork_count(), 0);
     }
 }

@@ -70,7 +70,7 @@ proptest! {
         // bytes never exceed size times the replication factor.
         let rep = sim.config().replicas as u64;
         for (_, fid, size) in sim.namespace().files() {
-            if let Some(meta) = sim.cluster().files.get(&fid) {
+            if let Some(meta) = sim.cluster().files().get(&fid) {
                 let stored: u64 = meta.replicas.iter().map(|r| r.bytes).sum();
                 prop_assert!(
                     stored <= size * rep,

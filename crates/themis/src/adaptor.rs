@@ -181,6 +181,41 @@ pub trait DfsAdaptor {
         inv.dirs.clear();
         inv
     }
+
+    /// Optional fork/restore capability. Adaptors whose target can cheaply
+    /// save and rewind execution state (the simulator; a real deployment
+    /// on a filesystem with snapshots) return `Some`, which lets the
+    /// campaign's fork engine replay only the divergent suffix of each
+    /// test case instead of the whole case from a reset. The default is
+    /// `None`: the campaign then falls back to full replay and produces
+    /// bit-identical results, just slower.
+    fn snapshots(&mut self) -> Option<&mut dyn SnapshotCapable> {
+        None
+    }
+}
+
+/// Cheap deterministic fork/restore over target state, exposed by
+/// adaptors through [`DfsAdaptor::snapshots`].
+///
+/// Semantics contract (the fork engine depends on each of these):
+/// - Marks form a **stack along one execution lineage**: restoring a mark
+///   invalidates every mark taken after it.
+/// - [`SnapshotCapable::restore`] rewinds *everything* the target's
+///   behaviour depends on — including its clock — so replaying the same
+///   operations after a restore reproduces bit-identical outcomes.
+/// - A target reset (via [`DfsAdaptor::reset`]) abandons the lineage:
+///   all marks die and `restore` returns `false` for them.
+pub trait SnapshotCapable {
+    /// Marks the current execution point; the id stays valid until
+    /// restored past, released, or the target is reset.
+    fn snapshot(&mut self) -> u64;
+
+    /// Rewinds to a mark. Returns `false` (state untouched) if the mark
+    /// no longer exists; the caller must then rebuild from a reset.
+    fn restore(&mut self, id: u64) -> bool;
+
+    /// Drops a mark without restoring it.
+    fn release(&mut self, id: u64);
 }
 
 #[cfg(test)]

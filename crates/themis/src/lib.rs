@@ -47,16 +47,19 @@ pub mod spec;
 pub mod strategies;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveThreshold};
-pub use adaptor::{AdaptorError, DfsAdaptor, LoadReport, NodeInventory, NodeLoad, Role};
+pub use adaptor::{
+    AdaptorError, DfsAdaptor, LoadReport, NodeInventory, NodeLoad, Role, SnapshotCapable,
+};
 pub use campaign::{
-    run_campaign, CampaignConfig, CampaignObserver, CampaignResult, CoveragePoint, NullObserver,
+    run_campaign, run_campaign_with_mode, CampaignConfig, CampaignObserver, CampaignResult,
+    CoveragePoint, ExecutionMode, NullObserver,
 };
 pub use detector::{Candidate, Detector, DetectorConfig, ImbalanceKind};
 pub use gen::{OpDraw, MAX_SEQ_LEN};
 pub use lvm::{VarianceScore, VarianceWeights};
 pub use model::InputModel;
 pub use report::{ConfirmedFailure, LoggedOp};
-pub use seedpool::SeedPool;
+pub use seedpool::{PrefixChain, SeedPool};
 pub use spec::{Operand, OperandKind, Operation, Operator, TestCase};
 pub use strategies::{
     by_name, Alternate, Concurrent, ExecFeedback, FixConf, FixReq, GenCtx, Strategy, ThemisMinus,

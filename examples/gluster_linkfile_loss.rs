@@ -65,7 +65,7 @@ fn main() {
     let linkfiles = oracle
         .borrow()
         .cluster()
-        .files
+        .files()
         .values()
         .filter(|m| m.linkfile_at.is_some())
         .count();

@@ -151,6 +151,6 @@ proptest! {
         prop_assert!(sim.crashed_nodes().is_empty());
         prop_assert_eq!(sim.namespace().file_count(),
             // Only the preloaded /sys files remain.
-            sim.cluster().files.len());
+            sim.cluster().files().len());
     }
 }
