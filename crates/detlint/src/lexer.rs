@@ -1,0 +1,448 @@
+//! A minimal Rust lexer for lint purposes.
+//!
+//! [`strip`] blanks comments, string literals and character literals out of
+//! a source file while preserving byte offsets (every masked byte becomes a
+//! space; newlines survive), so that the pattern rules in [`crate::rules`]
+//! can match on *code* without tripping over pattern names that merely
+//! appear in doc comments, log messages or test fixtures. While scanning,
+//! the lexer also extracts `detlint:allow(...)` suppression pragmas from
+//! comments, because those live exactly in the region the mask erases.
+//!
+//! The lexer understands: line comments, nested block comments, plain and
+//! byte strings with escapes, raw strings (`r"…"`, `r#"…"#`, `br##"…"##`),
+//! character and byte-character literals (including escapes and multi-byte
+//! characters), and it distinguishes lifetimes (`'a`) from char literals.
+//! Raw identifiers (`r#match`) pass through untouched. That is the whole
+//! grammar a line-oriented determinism lint needs; anything fancier would
+//! be re-implementing rustc.
+
+/// One suppression pragma found in a comment.
+///
+/// Grammar (inside any `//` or `/* */` comment):
+///
+/// ```text
+/// detlint:allow(<rule>): <reason>        — suppress on this / the next line
+/// detlint:allow-file(<rule>): <reason>   — suppress for the whole file
+/// ```
+///
+/// The reason is mandatory; pragma hygiene is enforced by the driver, not
+/// here — the lexer reports what it saw, including malformed pragmas (empty
+/// rule or reason), so the driver can flag them.
+///
+/// Pragmas are only recognized in *plain* comments (`//`, `/* */`), never
+/// in doc comments: documentation legitimately quotes the pragma syntax
+/// (this very paragraph does), while directives belong in code comments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pragma {
+    /// 1-based source line the pragma comment starts on.
+    pub line: usize,
+    /// Rule identifier between the parentheses (may be empty if malformed).
+    pub rule: String,
+    /// Justification text after the closing `):` (may be empty if missing).
+    pub reason: String,
+    /// `allow-file` form: applies to the entire file.
+    pub file_level: bool,
+    /// Whether code precedes the comment on the same line. A trailing
+    /// pragma suppresses its own line; a standalone one suppresses the
+    /// next line.
+    pub code_before: bool,
+}
+
+impl Pragma {
+    /// The 1-based line this pragma suppresses (line-level pragmas only).
+    pub fn target_line(&self) -> usize {
+        if self.code_before {
+            self.line
+        } else {
+            self.line + 1
+        }
+    }
+}
+
+/// Result of masking one source file.
+#[derive(Debug)]
+pub struct Stripped {
+    /// Same byte length as the input; comments, strings and char literals
+    /// replaced by spaces, newlines preserved, code copied verbatim.
+    pub masked: String,
+    /// Every `detlint:` pragma found in a comment, in source order.
+    pub pragmas: Vec<Pragma>,
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Whether the current (partially built) output line already contains code.
+fn line_has_code(out: &[u8]) -> bool {
+    out.iter()
+        .rev()
+        .take_while(|&&b| b != b'\n')
+        .any(|&b| !b.is_ascii_whitespace())
+}
+
+/// Parses a `detlint:` pragma out of raw comment text, if present.
+/// Whether raw comment text is a doc comment (`///`, `//!`, `/**`, `/*!`).
+/// Rustdoc quirk: `////…` and `/***…` are *plain* comments again, but for
+/// pragma purposes treating them as docs too is harmless — directives
+/// belong after exactly two sigil characters.
+fn is_doc_comment(comment: &str) -> bool {
+    comment.starts_with("///")
+        || comment.starts_with("//!")
+        || comment.starts_with("/**") && comment != "/**/"
+        || comment.starts_with("/*!")
+}
+
+fn parse_pragma(comment: &str, line: usize, code_before: bool) -> Option<Pragma> {
+    if is_doc_comment(comment) {
+        return None;
+    }
+    // Strip comment sigils: `//`, `/*` and any decorative `*`.
+    let t = comment
+        .trim_start_matches('/')
+        .trim_start_matches('*')
+        .trim_start_matches('!')
+        .trim();
+    let t = t.strip_suffix("*/").unwrap_or(t).trim_end();
+    let (file_level, rest) = if let Some(r) = t.strip_prefix("detlint:allow-file(") {
+        (true, r)
+    } else if let Some(r) = t.strip_prefix("detlint:allow(") {
+        (false, r)
+    } else if t.starts_with("detlint:") {
+        // Misspelled directive (e.g. `detlint:allow missing parens`): report
+        // it with an empty rule so the driver can flag the hygiene error.
+        return Some(Pragma {
+            line,
+            rule: String::new(),
+            reason: String::new(),
+            file_level: false,
+            code_before,
+        });
+    } else {
+        return None;
+    };
+    let (rule, after) = match rest.find(')') {
+        Some(close) => (rest[..close].trim().to_string(), &rest[close + 1..]),
+        None => (String::new(), ""),
+    };
+    let reason = after
+        .trim_start()
+        .strip_prefix(':')
+        .map(str::trim)
+        .unwrap_or("")
+        .to_string();
+    Some(Pragma {
+        line,
+        rule,
+        reason,
+        file_level,
+        code_before,
+    })
+}
+
+/// Masks comments/strings/chars out of `src`; collects pragmas.
+pub fn strip(src: &str) -> Stripped {
+    let b = src.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(b.len());
+    let mut pragmas = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Pushes `n` blanks, preserving any newlines in the consumed region.
+    macro_rules! blank {
+        ($from:expr, $to:expr) => {
+            for k in $from..$to {
+                if b[k] == b'\n' {
+                    out.push(b'\n');
+                    line += 1;
+                } else {
+                    out.push(b' ');
+                }
+            }
+        };
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        // Line comment.
+        if c == b'/' && b.get(i + 1) == Some(&b'/') {
+            let code_before = line_has_code(&out);
+            let start = i;
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            if let Some(p) = parse_pragma(&src[start..i], line, code_before) {
+                pragmas.push(p);
+            }
+            blank!(start, i);
+            continue;
+        }
+        // Block comment (nested).
+        if c == b'/' && b.get(i + 1) == Some(&b'*') {
+            let code_before = line_has_code(&out);
+            let start = i;
+            let pragma_line = line;
+            let mut depth = 1usize;
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            if let Some(p) = parse_pragma(&src[start..i], pragma_line, code_before) {
+                pragmas.push(p);
+            }
+            blank!(start, i);
+            continue;
+        }
+        // Raw / byte strings: r"…", r#"…"#, b"…", br#"…"#, b'…'.
+        if (c == b'r' || c == b'b') && !out.last().copied().is_some_and(is_ident_byte) {
+            let mut j = i + 1;
+            let byte_prefix = c == b'b';
+            if byte_prefix && b.get(j) == Some(&b'r') {
+                j += 1;
+            }
+            let raw = b.get(j.wrapping_sub(1)) == Some(&b'r') && (j > i + 1 || c == b'r');
+            if raw {
+                let mut hashes = 0usize;
+                while b.get(j) == Some(&b'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if b.get(j) == Some(&b'"') {
+                    // Raw string: scan for `"` followed by `hashes` hashes.
+                    j += 1;
+                    loop {
+                        match b.get(j) {
+                            None => break,
+                            Some(&b'"') => {
+                                let end = j + 1 + hashes;
+                                if b[j + 1..(end).min(b.len())].iter().all(|&h| h == b'#')
+                                    && end <= b.len()
+                                    && (j + 1..end).len() == hashes
+                                {
+                                    j = end;
+                                    break;
+                                }
+                                j += 1;
+                            }
+                            Some(_) => j += 1,
+                        }
+                    }
+                    blank!(i, j);
+                    i = j;
+                    continue;
+                }
+                // `r#ident` (raw identifier) or bare `r`: fall through.
+            } else if byte_prefix && b.get(j) == Some(&b'"') {
+                // b"…" — handled by the plain-string arm below after the
+                // prefix byte is masked.
+                out.push(b' ');
+                i = j;
+                continue;
+            } else if byte_prefix && b.get(j) == Some(&b'\'') {
+                out.push(b' ');
+                i = j;
+                continue;
+            }
+            out.push(c);
+            i += 1;
+            continue;
+        }
+        // Plain string with escapes.
+        if c == b'"' {
+            out.push(b' ');
+            i += 1;
+            while i < b.len() {
+                match b[i] {
+                    b'\\' => {
+                        out.push(b' ');
+                        i += 1;
+                        if i < b.len() {
+                            if b[i] == b'\n' {
+                                out.push(b'\n');
+                                line += 1;
+                            } else {
+                                out.push(b' ');
+                            }
+                            i += 1;
+                        }
+                    }
+                    b'"' => {
+                        out.push(b' ');
+                        i += 1;
+                        break;
+                    }
+                    b'\n' => {
+                        out.push(b'\n');
+                        line += 1;
+                        i += 1;
+                    }
+                    _ => {
+                        out.push(b' ');
+                        i += 1;
+                    }
+                }
+            }
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == b'\'' {
+            let is_char_lit = match b.get(i + 1) {
+                Some(&b'\\') => true,
+                Some(&n) if n >= 0x80 => true, // multi-byte char literal
+                Some(_) => b.get(i + 2) == Some(&b'\''),
+                None => false,
+            };
+            if is_char_lit {
+                let start = i;
+                i += 1; // opening quote
+                if b.get(i) == Some(&b'\\') {
+                    i += 2; // escape introducer + escaped byte
+                            // \u{…} and friends: scan to the closing quote.
+                    while i < b.len() && b[i] != b'\'' {
+                        i += 1;
+                    }
+                } else {
+                    while i < b.len() && b[i] != b'\'' {
+                        i += 1;
+                    }
+                }
+                i += 1; // closing quote (or EOF)
+                let end = i.min(b.len());
+                blank!(start, end);
+                i = end;
+                continue;
+            }
+            // Lifetime: copy the quote, the identifier follows as code.
+            out.push(c);
+            i += 1;
+            continue;
+        }
+        if c == b'\n' {
+            out.push(b'\n');
+            line += 1;
+        } else {
+            out.push(c);
+        }
+        i += 1;
+    }
+
+    Stripped {
+        masked: String::from_utf8(out).unwrap_or_default(),
+        pragmas,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_comments() {
+        let s = strip("let x = 1; // HashMap here\nlet y = 2;\n");
+        assert!(!s.masked.contains("HashMap"));
+        assert!(s.masked.contains("let x = 1;"));
+        assert!(s.masked.contains("let y = 2;"));
+        assert_eq!(
+            s.masked.len(),
+            "let x = 1; // HashMap here\nlet y = 2;\n".len()
+        );
+    }
+
+    #[test]
+    fn masks_nested_block_comments() {
+        let s = strip("a /* outer /* Instant::now */ still */ b\n");
+        assert!(!s.masked.contains("Instant"));
+        assert!(s.masked.starts_with('a'));
+        assert!(s.masked.trim_end().ends_with('b'));
+    }
+
+    #[test]
+    fn masks_strings_and_preserves_lines() {
+        let src = "let s = \"Instant::now in a string\";\nlet t = 3;\n";
+        let s = strip(src);
+        assert!(!s.masked.contains("Instant"));
+        assert_eq!(s.masked.matches('\n').count(), 2);
+        assert_eq!(s.masked.len(), src.len());
+    }
+
+    #[test]
+    fn masks_raw_strings_with_hashes() {
+        let src = "let s = r#\"thread_rng \"quoted\" inside\"#; let x = 1;\n";
+        let s = strip(src);
+        assert!(!s.masked.contains("thread_rng"));
+        assert!(s.masked.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn masks_byte_and_char_literals_but_not_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'h'; let b = b'\\n'; }\n";
+        let s = strip(src);
+        assert!(s.masked.contains("fn f<'a>(x: &'a str)"));
+        assert!(!s.masked.contains("'h'"));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let src = "let s = \"a\\\"HashSet\\\"b\"; let x = 0;\n";
+        let s = strip(src);
+        assert!(!s.masked.contains("HashSet"));
+        assert!(s.masked.contains("let x = 0;"));
+    }
+
+    #[test]
+    fn raw_identifiers_pass_through() {
+        let s = strip("let r#match = 1;\n");
+        assert!(s.masked.contains("r#match"));
+    }
+
+    #[test]
+    fn extracts_trailing_and_standalone_pragmas() {
+        let src = "\
+// detlint:allow(wall-clock): startup banner only\n\
+let a = 1;\n\
+let b = 2; // detlint:allow(env-read): test helper\n";
+        let s = strip(src);
+        assert_eq!(s.pragmas.len(), 2);
+        assert_eq!(s.pragmas[0].rule, "wall-clock");
+        assert_eq!(s.pragmas[0].reason, "startup banner only");
+        assert!(!s.pragmas[0].code_before);
+        assert_eq!(s.pragmas[0].target_line(), 2);
+        assert_eq!(s.pragmas[1].rule, "env-read");
+        assert!(s.pragmas[1].code_before);
+        assert_eq!(s.pragmas[1].target_line(), 3);
+    }
+
+    #[test]
+    fn extracts_file_level_pragma() {
+        let s = strip("// detlint:allow-file(float-accum): ordered Vec iteration\n");
+        assert_eq!(s.pragmas.len(), 1);
+        assert!(s.pragmas[0].file_level);
+        assert_eq!(s.pragmas[0].rule, "float-accum");
+    }
+
+    #[test]
+    fn doc_comments_never_carry_pragmas() {
+        let s = strip(
+            "/// detlint:allow(wall-clock): quoted in docs\n\
+             //! detlint:allow-file(float-accum): quoted in docs\n\
+             /** detlint:allow(env-read): quoted in docs */\n",
+        );
+        assert!(s.pragmas.is_empty());
+    }
+
+    #[test]
+    fn malformed_pragma_is_still_reported() {
+        let s = strip("// detlint:allow(wall-clock)\nlet x = 1;\n");
+        assert_eq!(s.pragmas.len(), 1);
+        assert_eq!(s.pragmas[0].rule, "wall-clock");
+        assert!(s.pragmas[0].reason.is_empty());
+    }
+}

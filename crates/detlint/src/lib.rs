@@ -1,0 +1,589 @@
+//! detlint — a workspace determinism-and-safety linter.
+//!
+//! The Themis reproduction's headline guarantees (grid == serial identity,
+//! `Fork == FullReplay` bit-identity, same-seed replayability) are dynamic
+//! properties enforced by differential tests. `detlint` is the static side
+//! of that contract: it scans every `.rs` file in the workspace and fails
+//! on constructs that are known to break replay — unordered hash-container
+//! iteration in state paths, wall-clock reads outside the virtual clock,
+//! ambient randomness, environment reads, unpinned float reductions, and
+//! `unsafe` blocks outside the allowlist.
+//!
+//! The tool is deliberately self-contained (no parser crates — the build
+//! environment is offline, see `crates/compat/`): a comment/string
+//! stripping lexer ([`lexer`]) feeds path-scoped pattern rules ([`rules`]).
+//! Violations can be suppressed inline with
+//! `// detlint:allow(<rule>): <reason>` (the reason is mandatory) or for a
+//! whole file with `// detlint:allow-file(<rule>): <reason>`.
+//!
+//! Diagnostics are rustc-style `file:line:col`; a machine-readable JSON
+//! report is written under `results/` by the CLI.
+
+pub mod lexer;
+pub mod rules;
+
+use rules::{Rule, Severity, PRAGMA_RULE, RULES};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Rule identifier (one of [`RULES`] or [`PRAGMA_RULE`]).
+    pub rule: String,
+    pub severity: Severity,
+    /// Repo-relative `/`-separated path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based byte column of the match.
+    pub col: usize,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+    /// Human explanation (the rule message, or the hygiene error).
+    pub message: String,
+}
+
+/// One pragma-suppressed match (kept for the report: suppressions are part
+/// of the audit trail, not silence).
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    pub rule: String,
+    pub file: String,
+    /// Line of the suppressed match.
+    pub line: usize,
+    pub reason: String,
+}
+
+/// Aggregated result of linting a file set.
+#[derive(Debug, Default)]
+pub struct LintOutcome {
+    pub files_scanned: usize,
+    pub violations: Vec<Violation>,
+    pub suppressions: Vec<Suppression>,
+}
+
+impl LintOutcome {
+    /// Number of deny-severity violations.
+    pub fn deny_count(&self) -> usize {
+        self.violations
+            .iter()
+            .filter(|v| v.severity == Severity::Deny)
+            .count()
+    }
+
+    /// Number of warn-severity violations.
+    pub fn warn_count(&self) -> usize {
+        self.violations.len() - self.deny_count()
+    }
+
+    /// Whether the run should exit non-zero. Warnings only fail under
+    /// `strict`.
+    pub fn should_fail(&self, strict: bool) -> bool {
+        self.deny_count() > 0 || (strict && !self.violations.is_empty())
+    }
+
+    /// Renders rustc-style text diagnostics plus a summary line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            let _ = writeln!(out, "{}[{}]: {}", v.severity.label(), v.rule, v.message);
+            let _ = writeln!(out, "  --> {}:{}:{}", v.file, v.line, v.col);
+            if !v.excerpt.is_empty() {
+                let _ = writeln!(out, "   | {}", v.excerpt);
+            }
+        }
+        let _ = writeln!(
+            out,
+            "detlint: {} file(s) scanned, {} deny, {} warn, {} suppressed",
+            self.files_scanned,
+            self.deny_count(),
+            self.warn_count(),
+            self.suppressions.len()
+        );
+        out
+    }
+
+    /// Renders the machine-readable JSON report (hand-rolled, like every
+    /// other JSON artifact in this offline workspace).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n  \"tool\": \"detlint\",\n  \"version\": 1,\n");
+        let _ = writeln!(s, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(s, "  \"deny\": {},", self.deny_count());
+        let _ = writeln!(s, "  \"warn\": {},", self.warn_count());
+        s.push_str("  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            s.push_str("    {\"rule\": ");
+            push_json_str(&mut s, &v.rule);
+            let _ = write!(s, ", \"severity\": \"{}\"", v.severity.label());
+            s.push_str(", \"file\": ");
+            push_json_str(&mut s, &v.file);
+            let _ = write!(
+                s,
+                ", \"line\": {}, \"col\": {}, \"message\": ",
+                v.line, v.col
+            );
+            push_json_str(&mut s, &v.message);
+            s.push_str(", \"excerpt\": ");
+            push_json_str(&mut s, &v.excerpt);
+            s.push('}');
+        }
+        s.push_str("\n  ],\n  \"suppressions\": [");
+        for (i, sp) in self.suppressions.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            s.push_str("    {\"rule\": ");
+            push_json_str(&mut s, &sp.rule);
+            s.push_str(", \"file\": ");
+            push_json_str(&mut s, &sp.file);
+            let _ = write!(s, ", \"line\": {}, \"reason\": ", sp.line);
+            push_json_str(&mut s, &sp.reason);
+            s.push('}');
+        }
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+}
+
+/// Appends `s` as a JSON string literal (quotes + escapes).
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Finds `pat` in `hay` at identifier boundaries, returning the 0-based
+/// byte offset. Boundary checks only apply to pattern ends that are
+/// themselves identifier characters (so `.sum::<f64>()` matches mid-chain).
+fn find_word(hay: &str, pat: &str) -> Option<usize> {
+    let hb = hay.as_bytes();
+    let pb = pat.as_bytes();
+    let head_ident = pb.first().copied().is_some_and(is_ident_byte);
+    let tail_ident = pb.last().copied().is_some_and(is_ident_byte);
+    let mut from = 0usize;
+    while let Some(pos) = hay[from..].find(pat) {
+        let abs = from + pos;
+        let pre_ok = !head_ident || abs == 0 || !is_ident_byte(hb[abs - 1]);
+        let end = abs + pb.len();
+        let post_ok = !tail_ident || end >= hb.len() || !is_ident_byte(hb[end]);
+        if pre_ok && post_ok {
+            return Some(abs);
+        }
+        from = abs + 1;
+    }
+    None
+}
+
+/// Lints one file's source text, appending to `out`. `path` must be the
+/// repo-relative `/`-separated path (rule scoping keys off it).
+pub fn lint_source(path: &str, src: &str, out: &mut LintOutcome) {
+    let stripped = lexer::strip(src);
+    let src_lines: Vec<&str> = src.lines().collect();
+
+    // Index pragmas; flag hygiene errors (unknown rule / missing reason) —
+    // a broken pragma must never silently suppress.
+    let mut file_allows: BTreeMap<&str, &lexer::Pragma> = BTreeMap::new();
+    let mut line_allows: BTreeMap<usize, Vec<&lexer::Pragma>> = BTreeMap::new();
+    for p in &stripped.pragmas {
+        let known = rules::find(&p.rule).is_some();
+        if !known || p.reason.is_empty() {
+            let why = if p.rule.is_empty() {
+                "malformed detlint pragma (expected `detlint:allow(<rule>): <reason>`)".to_string()
+            } else if !known {
+                format!("detlint pragma names unknown rule `{}`", p.rule)
+            } else {
+                format!(
+                    "detlint pragma for `{}` is missing its mandatory reason \
+                     (`detlint:allow({}): <why this is sound>`)",
+                    p.rule, p.rule
+                )
+            };
+            out.violations.push(Violation {
+                rule: PRAGMA_RULE.to_string(),
+                severity: Severity::Deny,
+                file: path.to_string(),
+                line: p.line,
+                col: 1,
+                excerpt: src_lines
+                    .get(p.line - 1)
+                    .map(|l| l.trim().to_string())
+                    .unwrap_or_default(),
+                message: why,
+            });
+            continue;
+        }
+        if p.file_level {
+            file_allows.entry(p.rule.as_str()).or_insert(p);
+        } else {
+            line_allows.entry(p.target_line()).or_default().push(p);
+        }
+    }
+
+    let applicable: Vec<&Rule> = RULES.iter().filter(|r| r.applies_to(path)).collect();
+    if applicable.is_empty() {
+        return;
+    }
+
+    for (idx, masked_line) in stripped.masked.lines().enumerate() {
+        let lineno = idx + 1;
+        for rule in &applicable {
+            let hit = rule
+                .patterns
+                .iter()
+                .filter_map(|pat| find_word(masked_line, pat))
+                .min();
+            let Some(col0) = hit else { continue };
+            // Suppression: file-level first, then line-level.
+            if let Some(p) = file_allows.get(rule.id) {
+                out.suppressions.push(Suppression {
+                    rule: rule.id.to_string(),
+                    file: path.to_string(),
+                    line: lineno,
+                    reason: p.reason.clone(),
+                });
+                continue;
+            }
+            if let Some(ps) = line_allows.get(&lineno) {
+                if let Some(p) = ps.iter().find(|p| p.rule == rule.id) {
+                    out.suppressions.push(Suppression {
+                        rule: rule.id.to_string(),
+                        file: path.to_string(),
+                        line: lineno,
+                        reason: p.reason.clone(),
+                    });
+                    continue;
+                }
+            }
+            out.violations.push(Violation {
+                rule: rule.id.to_string(),
+                severity: rule.severity,
+                file: path.to_string(),
+                line: lineno,
+                col: col0 + 1,
+                excerpt: src_lines
+                    .get(idx)
+                    .map(|l| l.trim().to_string())
+                    .unwrap_or_default(),
+                message: rule.message.to_string(),
+            });
+        }
+    }
+}
+
+/// Directories never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".claude", "results"];
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every `.rs` file under `root` (skipping `target/`, VCS and result
+/// directories). File order is sorted, so the report is deterministic.
+pub fn lint_root(root: &Path) -> io::Result<LintOutcome> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    let mut rels: Vec<String> = files
+        .iter()
+        .filter_map(|p| p.strip_prefix(root).ok())
+        .map(|p| {
+            p.components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/")
+        })
+        .collect();
+    rels.sort();
+    let mut out = LintOutcome::default();
+    for rel in &rels {
+        let src = fs::read_to_string(root.join(rel.replace('/', std::path::MAIN_SEPARATOR_STR)))?;
+        lint_source(rel, &src, &mut out);
+        out.files_scanned += 1;
+    }
+    Ok(out)
+}
+
+/// The rule ids that pragma hygiene accepts, for documentation output.
+pub fn rule_ids() -> BTreeSet<&'static str> {
+    RULES.iter().map(|r| r.id).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_one(path: &str, src: &str) -> LintOutcome {
+        let mut out = LintOutcome::default();
+        lint_source(path, src, &mut out);
+        out.files_scanned = 1;
+        out
+    }
+
+    fn rules_hit(out: &LintOutcome) -> Vec<&str> {
+        out.violations.iter().map(|v| v.rule.as_str()).collect()
+    }
+
+    // ---- nondet-iteration ------------------------------------------------
+
+    #[test]
+    fn nondet_iteration_positive() {
+        let out = lint_one(
+            "crates/simdfs/src/coverage.rs",
+            "use std::collections::HashMap;\nlet m: HashMap<u32, u32> = HashMap::new();\n",
+        );
+        assert!(rules_hit(&out).contains(&"nondet-iteration"));
+        // One violation per line, not per occurrence.
+        assert_eq!(out.violations.len(), 2);
+        assert_eq!(out.violations[0].line, 1);
+        assert_eq!(out.violations[0].col, 23);
+    }
+
+    #[test]
+    fn nondet_iteration_negative_btree_and_out_of_scope() {
+        let out = lint_one(
+            "crates/simdfs/src/coverage.rs",
+            "use std::collections::BTreeMap;\nlet m: BTreeMap<u32, u32> = BTreeMap::new();\n",
+        );
+        assert!(out.violations.is_empty());
+        // Compat shims are outside the state-path scope.
+        let out = lint_one(
+            "crates/compat/proptest/src/lib.rs",
+            "use std::collections::HashMap;\n",
+        );
+        assert!(out.violations.is_empty());
+    }
+
+    #[test]
+    fn nondet_iteration_ignores_strings_and_comments() {
+        let out = lint_one(
+            "crates/themis/src/gen.rs",
+            "// a HashMap would be wrong here\nlet s = \"HashSet\";\n/* HashMap */\n",
+        );
+        assert!(out.violations.is_empty());
+    }
+
+    #[test]
+    fn nondet_iteration_respects_identifier_boundaries() {
+        let out = lint_one(
+            "crates/themis/src/gen.rs",
+            "struct MyHashMapLike;\nlet x = HashMapExt::new();\n",
+        );
+        assert!(out.violations.is_empty());
+    }
+
+    // ---- wall-clock ------------------------------------------------------
+
+    #[test]
+    fn wall_clock_positive_and_clock_rs_exempt() {
+        let src = "let t = std::time::Instant::now();\n";
+        let out = lint_one("crates/themis/src/campaign.rs", src);
+        assert!(rules_hit(&out).contains(&"wall-clock"));
+        let out = lint_one("crates/simdfs/src/clock.rs", src);
+        assert!(out.violations.is_empty());
+        let out = lint_one("crates/bench/src/perf.rs", src);
+        assert!(out.violations.is_empty());
+    }
+
+    // ---- ambient-rng -----------------------------------------------------
+
+    #[test]
+    fn ambient_rng_positive_everywhere_even_compat() {
+        let out = lint_one(
+            "crates/compat/rand/src/lib.rs",
+            "pub fn thread_rng() -> StdRng { unimplemented!() }\n",
+        );
+        assert!(rules_hit(&out).contains(&"ambient-rng"));
+    }
+
+    #[test]
+    fn seeded_rng_is_fine() {
+        let out = lint_one(
+            "crates/themis/src/gen.rs",
+            "let rng = StdRng::seed_from_u64(seed);\n",
+        );
+        assert!(out.violations.is_empty());
+    }
+
+    // ---- env-read --------------------------------------------------------
+
+    #[test]
+    fn env_read_scoping() {
+        let src = "let v = std::env::var(\"THEMIS_SEED\");\n";
+        let out = lint_one("crates/simdfs/src/sim.rs", src);
+        assert!(rules_hit(&out).contains(&"env-read"));
+        let out = lint_one("crates/bench/src/bin/repro.rs", src);
+        assert!(out.violations.is_empty());
+        let out = lint_one("crates/adaptors/examples/strategy_matrix.rs", src);
+        assert!(out.violations.is_empty());
+    }
+
+    // ---- float-order / float-accum --------------------------------------
+
+    #[test]
+    fn float_order_positive_total_cmp_negative() {
+        let out = lint_one(
+            "crates/simdfs/src/balancer.rs",
+            "v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n",
+        );
+        assert!(rules_hit(&out).contains(&"float-order"));
+        let out = lint_one(
+            "crates/simdfs/src/balancer.rs",
+            "v.sort_by(|a, b| a.total_cmp(b));\n",
+        );
+        assert!(out.violations.is_empty());
+    }
+
+    #[test]
+    fn float_accum_warns_only_in_scoring_files() {
+        let src = "let mean = fills.iter().map(|(_, f)| f).sum::<f64>();\n";
+        let out = lint_one("crates/themis/src/lvm.rs", src);
+        assert_eq!(rules_hit(&out), vec!["float-accum"]);
+        assert_eq!(out.violations[0].severity, Severity::Warn);
+        assert_eq!(out.deny_count(), 0);
+        assert!(!out.should_fail(false));
+        assert!(out.should_fail(true));
+        let out = lint_one("crates/themis/src/campaign.rs", src);
+        assert!(out.violations.is_empty());
+    }
+
+    // ---- unsafe-code -----------------------------------------------------
+
+    #[test]
+    fn unsafe_code_positive_and_string_immunity() {
+        let out = lint_one("crates/workload/src/lib.rs", "unsafe { *p = 3 }\n");
+        assert!(rules_hit(&out).contains(&"unsafe-code"));
+        let out = lint_one(
+            "crates/workload/src/lib.rs",
+            "let s = \"unsafe\"; // unsafe in comment\n",
+        );
+        assert!(out.violations.is_empty());
+    }
+
+    // ---- pragmas ---------------------------------------------------------
+
+    #[test]
+    fn pragma_with_reason_suppresses_and_is_recorded() {
+        let out = lint_one(
+            "crates/themis/src/gen.rs",
+            "// detlint:allow(nondet-iteration): test-only membership set, never iterated\n\
+             let mut seen = std::collections::HashSet::new();\n",
+        );
+        assert!(out.violations.is_empty());
+        assert_eq!(out.suppressions.len(), 1);
+        assert_eq!(out.suppressions[0].rule, "nondet-iteration");
+        assert_eq!(out.suppressions[0].line, 2);
+    }
+
+    #[test]
+    fn trailing_pragma_suppresses_its_own_line() {
+        let out = lint_one(
+            "crates/themis/src/gen.rs",
+            "let mut seen = std::collections::HashSet::new(); \
+             // detlint:allow(nondet-iteration): membership only\n",
+        );
+        assert!(out.violations.is_empty());
+        assert_eq!(out.suppressions.len(), 1);
+    }
+
+    #[test]
+    fn pragma_without_reason_is_a_violation_and_does_not_suppress() {
+        let out = lint_one(
+            "crates/themis/src/gen.rs",
+            "// detlint:allow(nondet-iteration)\n\
+             let mut seen = std::collections::HashSet::new();\n",
+        );
+        let hit = rules_hit(&out);
+        assert!(hit.contains(&"pragma-hygiene"));
+        assert!(hit.contains(&"nondet-iteration"));
+        assert!(out.suppressions.is_empty());
+    }
+
+    #[test]
+    fn pragma_with_unknown_rule_is_flagged() {
+        let out = lint_one(
+            "crates/themis/src/gen.rs",
+            "// detlint:allow(no-such-rule): because\nlet x = 1;\n",
+        );
+        assert_eq!(rules_hit(&out), vec!["pragma-hygiene"]);
+    }
+
+    #[test]
+    fn file_level_pragma_covers_all_matches() {
+        let out = lint_one(
+            "crates/themis/src/lvm.rs",
+            "// detlint:allow-file(float-accum): all reductions iterate Vec in index order\n\
+             let a = xs.iter().sum::<f64>();\n\
+             let b = ys.iter().sum::<f64>();\n",
+        );
+        assert!(out.violations.is_empty());
+        assert_eq!(out.suppressions.len(), 2);
+    }
+
+    #[test]
+    fn pragma_does_not_suppress_other_rules() {
+        let out = lint_one(
+            "crates/simdfs/src/sim.rs",
+            "// detlint:allow(nondet-iteration): wrong rule\n\
+             let t = Instant::now();\n",
+        );
+        assert!(rules_hit(&out).contains(&"wall-clock"));
+    }
+
+    // ---- report rendering ------------------------------------------------
+
+    #[test]
+    fn json_report_escapes_and_counts() {
+        let mut out = LintOutcome::default();
+        lint_source(
+            "crates/simdfs/src/sim.rs",
+            "let m = std::collections::HashMap::<u8, \u{8}u8>::new();\n",
+            &mut out,
+        );
+        out.files_scanned = 1;
+        let js = out.to_json();
+        assert!(js.contains("\"deny\": 1"));
+        assert!(js.contains("\"rule\": \"nondet-iteration\""));
+        assert!(js.contains("\\u0008"));
+    }
+
+    #[test]
+    fn text_report_is_rustc_style() {
+        let out = lint_one("crates/simdfs/src/sim.rs", "let t = Instant::now();\n");
+        let txt = out.render_text();
+        assert!(txt.contains("deny[wall-clock]"));
+        assert!(txt.contains("--> crates/simdfs/src/sim.rs:1:9"));
+    }
+}

@@ -1,0 +1,139 @@
+//! `detlint` CLI: lints the workspace for determinism/safety hazards.
+//!
+//! ```text
+//! cargo run -p detlint [--] [--root PATH] [--json PATH] [--no-json]
+//!                           [--strict] [--quiet] [--list-rules]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations, 2 usage or I/O error. A JSON report
+//! is written to `<root>/results/detlint.json` unless `--no-json`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Opts {
+    root: Option<PathBuf>,
+    json: Option<PathBuf>,
+    no_json: bool,
+    strict: bool,
+    quiet: bool,
+    list_rules: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: detlint [--root PATH] [--json PATH] [--no-json] [--strict] [--quiet] [--list-rules]"
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: None,
+        json: None,
+        no_json: false,
+        strict: false,
+        quiet: false,
+        list_rules: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => {
+                let v = args.next().ok_or("--root needs a value")?;
+                opts.root = Some(PathBuf::from(v));
+            }
+            "--json" => {
+                let v = args.next().ok_or("--json needs a value")?;
+                opts.json = Some(PathBuf::from(v));
+            }
+            "--no-json" => opts.no_json = true,
+            "--strict" => opts.strict = true,
+            "--quiet" => opts.quiet = true,
+            "--list-rules" => opts.list_rules = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` that
+/// declares `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_opts() {
+        Ok(o) => o,
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("detlint: {e}");
+            }
+            eprintln!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for r in detlint::rules::RULES {
+            println!("{:5} {:18} {}", r.severity.label(), r.id, r.message);
+        }
+        println!(
+            "      {:18} malformed/unjustified suppression pragmas",
+            detlint::rules::PRAGMA_RULE
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let Some(root) = opts.root.or_else(find_workspace_root) else {
+        eprintln!("detlint: could not locate a workspace root (pass --root)");
+        return ExitCode::from(2);
+    };
+
+    let outcome = match detlint::lint_root(&root) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("detlint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if !opts.quiet {
+        print!("{}", outcome.render_text());
+    }
+
+    if !opts.no_json {
+        let json_path = opts
+            .json
+            .unwrap_or_else(|| root.join("results").join("detlint.json"));
+        if let Some(parent) = json_path.parent() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("detlint: cannot create {}: {e}", parent.display());
+                return ExitCode::from(2);
+            }
+        }
+        if let Err(e) = std::fs::write(&json_path, outcome.to_json()) {
+            eprintln!("detlint: cannot write {}: {e}", json_path.display());
+            return ExitCode::from(2);
+        }
+        if !opts.quiet {
+            println!("report: {}", json_path.display());
+        }
+    }
+
+    if outcome.should_fail(opts.strict) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -9,6 +9,10 @@
 //! the corresponding real bugs lived (plan filtering, lossy moves,
 //! misreported completion).
 
+// detlint:allow-file(float-accum): every reduction here (fill means, max
+// fills) folds over a Vec built from `Cluster::node_fill`, which iterates
+// BTreeMap node ids in ascending order — the accumulation order is pinned.
+
 use crate::cluster::Cluster;
 use crate::types::{Bytes, FileId, NodeId, VolumeId};
 use std::collections::VecDeque;
@@ -113,7 +117,7 @@ impl Balancer {
     pub fn hottest_node(cluster: &Cluster) -> Option<NodeId> {
         Self::fills(cluster)
             .into_iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(n, _)| n)
     }
 
@@ -206,9 +210,7 @@ impl Balancer {
                 .find(|(n, _)| *n == b.0)
                 .map(|(_, f)| *f)
                 .unwrap_or(0.0);
-            fb.partial_cmp(&fa)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
+            fb.total_cmp(&fa).then(a.0.cmp(&b.0))
         });
         let mut moves = Vec::new();
         for (donor, replicas) in donors {
@@ -234,11 +236,7 @@ impl Balancer {
                     })
                     .cloned()
                     .collect();
-                receivers.sort_by(|a, b| {
-                    a.1.partial_cmp(&b.1)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(a.0.cmp(&b.0))
-                });
+                receivers.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
                 let Some((recv, _)) = receivers.first().cloned() else {
                     continue;
                 };

@@ -22,7 +22,7 @@
 //! saturate like real coverage does, giving Figure 12-style curves.
 
 use crate::hashing::mix;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Region sizes (in branch ids) for one flavor's coverage universe.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,8 +80,8 @@ fn reward(region: Region) -> u32 {
 #[derive(Debug, Clone)]
 pub struct CoverageModel {
     universe: CoverageUniverse,
-    hits: HashSet<u32>,
-    seen_features: HashSet<u64>,
+    hits: BTreeSet<u32>,
+    seen_features: BTreeSet<u64>,
 }
 
 impl CoverageModel {
@@ -89,8 +89,8 @@ impl CoverageModel {
     pub fn new(universe: CoverageUniverse) -> Self {
         CoverageModel {
             universe,
-            hits: HashSet::new(),
-            seen_features: HashSet::new(),
+            hits: BTreeSet::new(),
+            seen_features: BTreeSet::new(),
         }
     }
 

@@ -69,6 +69,17 @@ impl DecayingRate {
         self.value = 0.0;
         self.last = SimTime::ZERO;
     }
+
+    /// The raw, not-yet-decayed accumulated value (diagnostics/audit only —
+    /// use [`DecayingRate::value_at`] for observations).
+    pub fn peek_raw(&self) -> f64 {
+        self.value
+    }
+
+    /// The instant of the most recent update (diagnostics/audit only).
+    pub fn last_update(&self) -> SimTime {
+        self.last
+    }
 }
 
 /// Live load accounting attached to one node.

@@ -214,7 +214,7 @@ mod tests {
 
     #[test]
     fn class_indices_are_unique() {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for i in 0..14u64 {
             assert!(seen.insert(i), "duplicate index");
         }

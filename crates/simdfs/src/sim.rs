@@ -22,7 +22,7 @@ use crate::namespace::{Namespace, NsCheckpoint};
 use crate::placement::{Placement, PlacementCache, PlacementPolicy, VolumeView};
 use crate::request::{DfsRequest, OpClass, ReqOutcome};
 use crate::types::{Bytes, FileId, NodeId, NodeRole, SimTime, VolumeId, MIB};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Which latent bugs a simulator instance is built with.
 #[derive(Debug, Clone)]
@@ -112,7 +112,7 @@ pub struct DfsSim {
     prev_kind: Option<u64>,
     prev2_kind: Option<u64>,
     /// GlusterFS dht-rebalance hash cache: placement key -> expiry.
-    hash_cache: HashMap<u64, SimTime>,
+    hash_cache: BTreeMap<u64, SimTime>,
     crashed: Vec<NodeId>,
     /// Scheduled environment faults plus their active runtime state (see
     /// [`crate::faults`]); empty and inert unless a plan is installed.
@@ -151,7 +151,7 @@ struct SimSnapshot {
     balancer: Balancer,
     bugs: BugEngineCheckpoint,
     faults: FaultInjector,
-    hash_cache: HashMap<u64, SimTime>,
+    hash_cache: BTreeMap<u64, SimTime>,
     crashed: Vec<NodeId>,
     stats: SimStats,
     last_variance: (f64, f64, f64),
@@ -198,7 +198,7 @@ impl DfsSim {
             rr_counter: 0,
             prev_kind: None,
             prev2_kind: None,
-            hash_cache: HashMap::new(),
+            hash_cache: BTreeMap::new(),
             crashed: Vec::new(),
             faults: FaultInjector::default(),
             stats: SimStats::default(),
@@ -1696,7 +1696,66 @@ impl DfsSim {
         self.migrate_timer.clone_from(&snap.migrate_timer);
         self.placement_cache
             .invalidate_if_newer_than(snap.cluster.generation());
+        // Guard the undo log: a restore must land on exactly the state the
+        // incremental counters claim. Debug builds re-derive the accounting
+        // from first principles (file table, volume ownership, load-counter
+        // sanity) and abort on drift rather than let a corrupted baseline
+        // silently skew every forked campaign that follows.
+        #[cfg(debug_assertions)]
+        if let Err(e) = self.audit_state() {
+            panic!("state audit failed after restore({id}): {e}");
+        }
         true
+    }
+
+    /// First-principles consistency audit of the simulator state.
+    ///
+    /// Delegates the storage accounting to [`Cluster::audit`] (per-volume
+    /// byte totals recomputed from the file table) and additionally checks
+    /// the CPU/network side: every decaying load counter must hold a
+    /// finite, non-negative value whose last-update stamp does not lie in
+    /// the simulated future. The rate counters are event-sourced and lazily
+    /// decayed, so there is no independent ledger to resum them from — but
+    /// a journal-rewind bug shows up here as a stale `last` stamp ahead of
+    /// the restored clock or as a NaN/negative accumulator.
+    ///
+    /// Debug builds invoke this automatically after every snapshot restore;
+    /// it is also available to tests and tooling in any build.
+    pub fn audit_state(&self) -> Result<(), String> {
+        self.cluster.audit()?;
+        let now = self.clock.now();
+        fn check_rates(
+            node: NodeId,
+            load: &crate::metrics::NodeLoadAccount,
+            now: SimTime,
+        ) -> Result<(), String> {
+            for (name, rate) in [
+                ("cpu", &load.cpu),
+                ("rps", &load.rps),
+                ("read_io", &load.read_io),
+                ("write_io", &load.write_io),
+            ] {
+                let v = rate.peek_raw();
+                if !v.is_finite() || v < 0.0 {
+                    return Err(format!("node {node:?}: {name} counter is {v}"));
+                }
+                if rate.last_update() > now {
+                    return Err(format!(
+                        "node {node:?}: {name} counter last updated at {:?}, \
+                         after the current instant {now:?}",
+                        rate.last_update()
+                    ));
+                }
+            }
+            Ok(())
+        }
+        for (id, n) in &self.cluster.storage {
+            check_rates(*id, &n.load, now)?;
+        }
+        for (id, n) in &self.cluster.mgmt {
+            check_rates(*id, &n.load, now)?;
+        }
+        Ok(())
     }
 
     /// Drops a fork mark without restoring it. Releasing the last live
@@ -2463,5 +2522,43 @@ mod tests {
         s.reset();
         assert!(!s.restore(mark), "reset abandons the forked lineage");
         assert_eq!(s.fork_count(), 0);
+    }
+
+    #[test]
+    fn state_audit_stays_clean_under_fork_restore_churn() {
+        // Every restore below also runs the audit implicitly (debug
+        // builds); the explicit calls document the contract and keep the
+        // test meaningful under --release.
+        let mut s = DfsSim::new(Flavor::GlusterFs, BugSet::All);
+        for i in 0..20 {
+            let _ = s.execute(&DfsRequest::Create {
+                path: format!("/seed{i}"),
+                size: (1 + i as u64 % 7) * MIB,
+            });
+        }
+        s.audit_state().expect("pre-fork state must audit clean");
+        let mark = s.fork();
+        for i in 0..30 {
+            let _ = s.execute(&DfsRequest::Create {
+                path: format!("/fork{i}"),
+                size: (1 + i as u64 % 5) * MIB,
+            });
+            if i % 3 == 0 {
+                let _ = s.execute(&DfsRequest::Delete {
+                    path: format!("/seed{}", i % 20),
+                });
+            }
+        }
+        assert!(s.restore(mark));
+        s.audit_state().expect("restored state must audit clean");
+        for i in 0..10 {
+            let _ = s.execute(&DfsRequest::Overwrite {
+                path: format!("/seed{i}"),
+                size: 2 * MIB,
+            });
+        }
+        assert!(s.restore(mark));
+        s.audit_state()
+            .expect("second restore of the same mark must audit clean");
     }
 }

@@ -130,6 +130,77 @@ pub struct CampaignResult {
     pub resets: u64,
 }
 
+impl CampaignResult {
+    /// Renders the full campaign report as JSON.
+    ///
+    /// Hand-rolled (the offline workspace has no `serde_json`) and fully
+    /// deterministic: field order is fixed, floats use Rust's shortest
+    /// round-trip formatting, and every sequence is emitted in its stored
+    /// order. Because a campaign is a pure function of
+    /// `(seed, strategy, target)`, two runs with the same inputs must
+    /// produce *byte-identical* output from this method — the
+    /// `same_seed_campaigns_render_byte_identical_reports` regression test
+    /// and the determinism contract in DESIGN.md pin exactly that.
+    pub fn to_json(&self) -> String {
+        use crate::spec::json::escape_into;
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\"target\":\"");
+        escape_into(&mut s, &self.target);
+        s.push_str("\",\"strategy\":\"");
+        escape_into(&mut s, &self.strategy);
+        s.push('"');
+        s.push_str(&format!(
+            ",\"candidates_raised\":{},\"filtered_by_double_check\":{},\
+             \"final_coverage\":{},\"ops_sent\":{},\"iterations\":{},\
+             \"resets\":{}",
+            self.candidates_raised,
+            self.filtered_by_double_check,
+            self.final_coverage,
+            self.ops_sent,
+            self.iterations,
+            self.resets
+        ));
+        s.push_str(",\"confirmed\":[");
+        for (i, f) in self.confirmed.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"kind\":\"{}\",\"ratio\":{},\"time_ms\":{},\"case\":{},\
+                 \"repro_log\":[",
+                f.kind,
+                f.ratio,
+                f.time_ms,
+                crate::spec::json::to_json(&f.case)
+            ));
+            for (j, e) in f.repro_log.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "{{\"time_ms\":{},\"ok\":{},\"op\":\"",
+                    e.time_ms, e.ok
+                ));
+                escape_into(&mut s, &e.op.to_string());
+                s.push_str("\"}");
+            }
+            s.push_str("]}");
+        }
+        s.push_str("],\"coverage_trace\":[");
+        for (i, p) in self.coverage_trace.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"time_ms\":{},\"branches\":{}}}",
+                p.time_ms, p.branches
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
 /// Observer hooks, used by the evaluation harness to attribute detector
 /// confirmations to ground-truth bugs at the moment they happen.
 pub trait CampaignObserver {

@@ -152,7 +152,7 @@ mod tests {
     #[test]
     fn all_operators_eventually_generated() {
         let (mut m, mut r) = setup();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for _ in 0..2_000 {
             seen.insert(any_operation(&mut m, &mut r).opt);
         }

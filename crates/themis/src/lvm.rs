@@ -7,6 +7,10 @@
 //! max-over-mean ratios the imbalance detector thresholds against
 //! (Section 2.2's LBS definition).
 
+// detlint:allow-file(float-accum): all sums/folds reduce `Vec<f64>` load
+// vectors in index order; the vectors are built from reports whose node
+// order the adaptor fixes, so the floating-point reduction is order-pinned.
+
 use crate::adaptor::{LoadReport, Role};
 use serde::{Deserialize, Serialize};
 

@@ -309,7 +309,7 @@ mod tests {
     fn fresh_names_never_collide() {
         let mut m = model();
         let mut r = rng();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for _ in 0..100 {
             assert!(seen.insert(m.fresh_name(&mut r)));
         }

@@ -10,7 +10,7 @@
 use serde::{Deserialize, Serialize};
 
 /// The 17 concrete operators of the grammar.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Operator {
     /// `create fileName size` — create a file.
     Create,

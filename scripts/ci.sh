@@ -14,7 +14,16 @@ run() {
 
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets --offline -- -D warnings
+
+# Blocking lint stage: the workspace build enforces [workspace.lints]
+# (unsafe_code = forbid, unused_must_use = deny, ...), then detlint
+# enforces the determinism contract (see DESIGN.md) and writes the
+# machine-readable report to results/detlint.json. --strict promotes
+# warn-severity rules to failures: the tree must be fully clean.
 run cargo build --workspace --offline
+run cargo run --offline -p detlint -- --strict
+test -s results/detlint.json
+
 run cargo test --workspace --offline -q
 
 if [[ "${1:-}" != "--no-bench" ]]; then

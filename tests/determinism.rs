@@ -1,0 +1,46 @@
+//! Determinism-contract regression tests (see DESIGN.md, "Determinism
+//! contract"): a campaign is a pure function of `(seed, strategy, target)`,
+//! so its rendered JSON report — every field, every float, every log line —
+//! must be byte-identical across runs. This is the dynamic complement to
+//! the static `detlint` pass; it would have caught the pre-PR-5 unordered
+//! hash-container state (coverage sets, hash cache) had those sets ever
+//! leaked iteration order into results.
+
+use adaptors::SimAdaptor;
+use simdfs::{BugSet, Flavor};
+use themis::{run_campaign, CampaignConfig, ThemisStrategy};
+
+fn report(flavor: Flavor, seed: u64) -> String {
+    let mut adaptor = SimAdaptor::new(flavor, BugSet::New);
+    let mut strategy = ThemisStrategy::new();
+    let cfg = CampaignConfig {
+        budget_ms: 2 * 3_600_000,
+        seed,
+        ..Default::default()
+    };
+    run_campaign(&mut strategy, &mut adaptor, &cfg, &mut themis::NullObserver).to_json()
+}
+
+#[test]
+fn same_seed_campaigns_render_byte_identical_reports() {
+    for flavor in [Flavor::Hdfs, Flavor::GlusterFs] {
+        let a = report(flavor, 1709);
+        let b = report(flavor, 1709);
+        assert!(
+            a == b,
+            "{flavor}: same-seed campaign reports diverged (len {} vs {})",
+            a.len(),
+            b.len()
+        );
+        // The report must carry real content, not vacuously match.
+        assert!(a.contains("\"coverage_trace\":[{"), "empty trace: {a}");
+        assert!(a.len() > 500, "suspiciously small report: {a}");
+    }
+}
+
+#[test]
+fn different_seeds_render_different_reports() {
+    let a = report(Flavor::Hdfs, 1709);
+    let b = report(Flavor::Hdfs, 1710);
+    assert_ne!(a, b, "distinct seeds should not collide byte-for-byte");
+}
