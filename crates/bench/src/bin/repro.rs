@@ -1,14 +1,16 @@
 //! Regenerates every table and figure of the paper into `results/`.
 //!
 //! Usage: `repro [--workers N] [artifact...]` where artifact is one of
-//! `table1..table8`, `figure2`, `figure12`, `perf`, `faults`, or `all`
-//! (default; excludes `perf` and `faults`). The comparison tables share
-//! one matrix run (Table 3 / Table 5 / Figure 12). `perf` times the
-//! cached-vs-baseline campaign hot path, the snapshot-fork engine against
-//! full replay and the redeploy fallback, and grid-executor scaling, and
-//! dumps `results/BENCH_1.json` plus `results/BENCH_2.json`. `faults`
-//! sweeps the fault-injection matrix at a reduced budget and writes
-//! `results/faults.txt`.
+//! `table1..table8`, `figure2`, `figure12`, `perf`, `faults`, `scale`, or
+//! `all` (default; excludes `perf`, `faults`, and `scale`). The comparison
+//! tables share one matrix run (Table 3 / Table 5 / Figure 12). `perf`
+//! times the cached-vs-baseline campaign hot path, the snapshot-fork
+//! engine against full replay and the redeploy fallback, and
+//! grid-executor scaling, and dumps `results/BENCH_1.json` plus
+//! `results/BENCH_2.json`. `faults` sweeps the fault-injection matrix at
+//! a reduced budget and writes `results/faults.txt`. `scale` measures
+//! variance-sampling cost from 10 to 10k storage nodes plus heavy-traffic
+//! campaigns at scale and writes `results/BENCH_3.json`.
 //!
 //! `--workers N` pins the grid executor's worker count for every matrix
 //! run whose spec does not set one explicitly (0 restores the default of
@@ -103,6 +105,36 @@ fn main() {
         write(
             "BENCH_2.json",
             &bench::perf::bench2_json(cores, &micro, &modes, &grid),
+        );
+    }
+    // Scale is opt-in: large-topology scaling measurements (10 to 10k
+    // storage nodes), heavy-traffic campaigns with the mean-field
+    // cross-check, a same-seed determinism check at 10k nodes, and
+    // worker scaling over heavy cells. Writes `results/BENCH_3.json`.
+    if args.iter().any(|a| a == "scale") {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let variance = bench::scale::measure_variance_scaling(&[10, 100, 1_000, 10_000]);
+        let mut campaigns = vec![
+            bench::scale::run_heavy_campaign(simdfs::Flavor::Hdfs, 1_000, 0xbe, 12),
+            bench::scale::run_heavy_campaign(simdfs::Flavor::CephFs, 1_000, 0xbe, 12),
+        ];
+        // The determinism check doubles as the flagship 10k-node campaign:
+        // it runs the same campaign twice from scratch and compares the
+        // canonical reports byte for byte.
+        let det = bench::scale::check_campaign_determinism(simdfs::Flavor::Hdfs, 10_000, 0xbe, 12);
+        campaigns.push(det.campaign.clone());
+        let grid = bench::scale::measure_heavy_grid_scaling(
+            simdfs::Flavor::Hdfs,
+            500,
+            &[0xbe, 7, 21, 42, 5, 11, 17, 99],
+            24,
+            &[2, 4],
+        );
+        write(
+            "BENCH_3.json",
+            &bench::scale::bench3_json(cores, &variance, &campaigns, &det, &grid),
         );
     }
 }

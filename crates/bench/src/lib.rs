@@ -9,6 +9,7 @@
 pub mod grid;
 pub mod harness;
 pub mod perf;
+pub mod scale;
 pub mod tables;
 
 pub use grid::{run_cell, run_grid, GridCell, GridOutcome, GridSpec};

@@ -256,7 +256,7 @@ pub fn measure_fork_restore() -> Vec<RawMeasurement> {
 
 /// Times `f` and reports seconds-per-iteration statistics over
 /// `samples` batches of `iters` calls each.
-fn sample(id: &str, samples: u64, iters: u64, mut f: impl FnMut()) -> RawMeasurement {
+pub(crate) fn sample(id: &str, samples: u64, iters: u64, mut f: impl FnMut()) -> RawMeasurement {
     let mut mean_acc = 0.0;
     let mut min_s = f64::INFINITY;
     let mut max_s = 0.0f64;
@@ -400,7 +400,7 @@ pub fn measure_grid_scaling(spec: &GridSpec, worker_counts: &[usize]) -> GridSca
     }
 }
 
-fn push_json_str(out: &mut String, s: &str) {
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -413,7 +413,7 @@ fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
 }
 
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.9}")
     } else {
@@ -502,7 +502,7 @@ pub fn write_bench_json(
     std::fs::write(path, bench_json(raw, campaign, grid))
 }
 
-fn push_measurements(out: &mut String, raw: &[RawMeasurement], indent: &str) {
+pub(crate) fn push_measurements(out: &mut String, raw: &[RawMeasurement], indent: &str) {
     for (i, m) in raw.iter().enumerate() {
         out.push_str(indent);
         out.push_str("{\"id\": ");

@@ -90,20 +90,21 @@ impl Balancer {
     /// compare utilization, not raw bytes (the HDFS Balancer's definition),
     /// which stays meaningful when volume attach/detach makes node
     /// capacities differ.
+    ///
+    /// Runs once per executed operation (the activation check), so it
+    /// reads the cluster's streaming utilization stats in O(1) instead of
+    /// walking every node. The eligibility filter is identical to the old
+    /// walk: `UtilTracker` entries exist exactly for the nodes
+    /// [`Self::fills`] would have returned (see `StorageNode::util_q`).
     pub fn needs_rebalance(&self, cluster: &Cluster) -> bool {
-        let fills = Self::fills(cluster);
-        if fills.len() < 2 {
-            return false;
-        }
-        let mean = fills.iter().map(|(_, f)| f).sum::<f64>() / fills.len() as f64;
-        if mean <= f64::EPSILON {
-            return false;
-        }
-        let max = fills.iter().map(|(_, f)| *f).fold(f64::MIN, f64::max);
-        max > mean * (1.0 + self.threshold)
+        cluster.util_stats().is_imbalanced(self.threshold)
     }
 
     /// Per-node utilization for online storage nodes.
+    ///
+    /// O(nodes). Only called from the planning paths ([`Self::plan`],
+    /// [`Self::donor_nodes`], [`Self::hottest_node`]), which run when a
+    /// rebalance round *starts* — not per executed operation.
     fn fills(cluster: &Cluster) -> Vec<(NodeId, f64)> {
         cluster
             .node_fill()

@@ -8,6 +8,7 @@
 //! balancer.
 
 use crate::error::{SimError, SimResult};
+use crate::loadstats::UtilTracker;
 use crate::node::{MgmtNode, StorageNode, Volume};
 use crate::placement::VolumeView;
 use crate::types::{Bytes, NodeId, NodeRole, VolumeId};
@@ -57,6 +58,8 @@ pub(crate) struct ClusterCheckpoint {
     next_volume: u32,
     generation: u64,
     files_mark: usize,
+    util_stats: UtilTracker,
+    online_storage_nodes: usize,
 }
 
 impl ClusterCheckpoint {
@@ -88,6 +91,27 @@ pub struct Cluster {
     /// *not* bump it. Placement caches key off this counter.
     generation: u64,
     journal: FilesJournal,
+    /// Streaming per-node utilization statistics (Σx, Σx², min/max over
+    /// quantized fills). Every mutation that can change a storage node's
+    /// utilization or eligibility refreshes its entry, making the
+    /// imbalance ratio an O(1) read regardless of cluster size. See the
+    /// incremental-variance contract in DESIGN.md; `audit` recomputes it
+    /// from the node tables and fails on drift.
+    util_stats: UtilTracker,
+    /// Online storage node count, maintained by `add`/`remove`/`set_*` so
+    /// liveness checks need no fleet walk.
+    online_storage_nodes: usize,
+    /// Cached canonical volume views (the no-fault, no-hotspot placement
+    /// input). Valid while `views_built == Some(generation)`; fill-level
+    /// mutations patch entries in place via `sync_view_used`, view-changing
+    /// mutations invalidate by bumping `generation`.
+    views_cache: Vec<VolumeView>,
+    /// Position of each volume in `views_cache` (valid when fresh).
+    view_index: BTreeMap<VolumeId, u32>,
+    /// Generation `views_cache` was built at; `None` after a snapshot
+    /// restore (divergent suffixes reuse generation numbers, so equality
+    /// with `generation` would be a false match).
+    views_built: Option<u64>,
 }
 
 impl Cluster {
@@ -99,6 +123,88 @@ impl Cluster {
     /// The current placement topology generation (see the field docs).
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// The streaming utilization statistics over eligible storage nodes
+    /// (online, at least one volume, positive capacity) — the O(1) source
+    /// for the storage imbalance ratio.
+    pub fn util_stats(&self) -> &UtilTracker {
+        &self.util_stats
+    }
+
+    /// Re-derives one storage node's entry in the streaming stats from its
+    /// current volumes. Called by every mutation that can change the
+    /// node's utilization or eligibility.
+    fn refresh_node_stats(&mut self, id: NodeId) {
+        let q = self.storage.get(&id).and_then(|n| n.util_q());
+        self.util_stats.update(id, q);
+    }
+
+    /// Refreshes the streaming stats and the cached canonical view for the
+    /// node owning `vol`, after a fill-level mutation.
+    fn touch_volume(&mut self, vol: VolumeId) {
+        if let Some(&owner) = self.volume_owner.get(&vol) {
+            self.refresh_node_stats(owner);
+        }
+        self.sync_view_used(vol);
+    }
+
+    /// Patches `vol`'s entry in the canonical views cache, if fresh.
+    fn sync_view_used(&mut self, vol: VolumeId) {
+        if self.views_built != Some(self.generation) {
+            return;
+        }
+        let Some(&i) = self.view_index.get(&vol) else {
+            return;
+        };
+        if let Some(v) = self.volume(vol) {
+            let (used, capacity) = (v.used, v.capacity);
+            let view = &mut self.views_cache[i as usize];
+            view.used = used;
+            view.capacity = capacity;
+        }
+    }
+
+    /// The canonical volume views (every volume on online storage nodes),
+    /// rebuilt lazily when the placement topology generation moved and
+    /// patched in place on fill changes — O(1) amortized on the hot path,
+    /// where the previous code rebuilt the full list every operation.
+    pub fn canonical_views(&mut self) -> &[VolumeView] {
+        if self.views_built != Some(self.generation) {
+            let mut buf = std::mem::take(&mut self.views_cache);
+            self.volume_views_into(&mut buf);
+            self.views_cache = buf;
+            self.view_index.clear();
+            for (i, v) in self.views_cache.iter().enumerate() {
+                self.view_index.insert(v.volume, i as u32);
+            }
+            self.views_built = Some(self.generation);
+        }
+        &self.views_cache
+    }
+
+    /// Position of `vol` in [`Cluster::canonical_views`], if the cache is
+    /// fresh and the volume is visible.
+    pub(crate) fn view_pos(&self, vol: VolumeId) -> Option<usize> {
+        if self.views_built != Some(self.generation) {
+            return None;
+        }
+        self.view_index.get(&vol).map(|&i| i as usize)
+    }
+
+    /// Speculatively bumps a cached view's fill during placement planning
+    /// (so later fragments of the same request see earlier allocations),
+    /// returning the previous value for exact rollback.
+    pub(crate) fn bump_view_used(&mut self, pos: usize, bytes: Bytes) -> Bytes {
+        let v = &mut self.views_cache[pos];
+        let old = v.used;
+        v.used = v.used.saturating_add(bytes);
+        old
+    }
+
+    /// Rolls back a speculative [`Cluster::bump_view_used`].
+    pub(crate) fn set_view_used(&mut self, pos: usize, used: Bytes) {
+        self.views_cache[pos].used = used;
     }
 
     /// Read access to the physical file map.
@@ -138,6 +244,8 @@ impl Cluster {
             next_volume: self.next_volume,
             generation: self.generation,
             files_mark: self.journal.records.len(),
+            util_stats: self.util_stats.clone(),
+            online_storage_nodes: self.online_storage_nodes,
         }
     }
 
@@ -163,6 +271,11 @@ impl Cluster {
         self.next_node = cp.next_node;
         self.next_volume = cp.next_volume;
         self.generation = cp.generation;
+        self.util_stats.clone_from(&cp.util_stats);
+        self.online_storage_nodes = cp.online_storage_nodes;
+        // Divergent suffixes reuse generation numbers, so a fresh-looking
+        // cache could describe the abandoned branch: force a rebuild.
+        self.views_built = None;
     }
 
     /// Adds a management node with the given core count.
@@ -222,6 +335,8 @@ impl Cluster {
             },
         );
         self.generation += 1;
+        self.online_storage_nodes += 1;
+        self.refresh_node_stats(id);
         (id, vol_ids)
     }
 
@@ -235,7 +350,7 @@ impl Cluster {
         if !self.storage.contains_key(&id) {
             return Err(SimError::NoSuchNode(id));
         }
-        if self.storage.values().filter(|s| s.online).count() <= 1 {
+        if self.online_storage_nodes <= 1 {
             return Err(SimError::LastNode(id));
         }
         let node = self.storage.remove(&id).expect("checked above");
@@ -244,6 +359,10 @@ impl Cluster {
             self.volume_owner.remove(v);
         }
         self.generation += 1;
+        if node.online {
+            self.online_storage_nodes -= 1;
+        }
+        self.util_stats.update(id, None);
         Ok(self.strip_replicas(&dead_vols))
     }
 
@@ -293,6 +412,7 @@ impl Cluster {
         });
         self.volume_owner.insert(vid, node);
         self.generation += 1;
+        self.refresh_node_stats(node);
         Ok(vid)
     }
 
@@ -314,6 +434,7 @@ impl Cluster {
         node.volumes.retain(|v| v.id != vol);
         self.volume_owner.remove(&vol);
         self.generation += 1;
+        self.refresh_node_stats(owner);
         Ok(self.strip_replicas(&[vol]))
     }
 
@@ -322,6 +443,7 @@ impl Cluster {
         let v = self.volume_mut(vol)?;
         v.capacity = v.capacity.saturating_add(delta);
         self.generation += 1;
+        self.touch_volume(vol);
         Ok(())
     }
 
@@ -339,6 +461,7 @@ impl Cluster {
         }
         v.capacity = new_cap;
         self.generation += 1;
+        self.touch_volume(vol);
         Ok(())
     }
 
@@ -405,6 +528,7 @@ impl Cluster {
             .or_default()
             .replicas
             .push(Replica { volume: vol, bytes });
+        self.touch_volume(vol);
         Ok(())
     }
 
@@ -415,11 +539,18 @@ impl Cluster {
             return 0;
         };
         let mut freed = 0;
+        let mut touched: Vec<VolumeId> = Vec::new();
         for r in meta.replicas {
             if let Ok(v) = self.volume_mut(r.volume) {
                 v.used = v.used.saturating_sub(r.bytes);
                 freed += r.bytes;
+                if !touched.contains(&r.volume) {
+                    touched.push(r.volume);
+                }
             }
+        }
+        for vol in touched {
+            self.touch_volume(vol);
         }
         freed
     }
@@ -467,11 +598,18 @@ impl Cluster {
                 }
             }
         }
+        let mut touched: Vec<VolumeId> = Vec::new();
         for r in &meta.replicas {
             let target = scale(r.bytes);
             let old = r.bytes;
             let v = self.volume_mut(r.volume)?;
             v.used = v.used - old + target;
+            if !touched.contains(&r.volume) {
+                touched.push(r.volume);
+            }
+        }
+        for vol in touched {
+            self.touch_volume(vol);
         }
         self.note_file(fid);
         if let Some(m) = self.files.get_mut(&fid) {
@@ -525,6 +663,8 @@ impl Cluster {
             volume: to,
             bytes: kept,
         };
+        self.touch_volume(to);
+        self.touch_volume(from);
         Ok(moved)
     }
 
@@ -599,9 +739,15 @@ impl Cluster {
         self.mgmt.values().any(|m| m.online)
     }
 
-    /// Whether any storage node is online (allocation-free).
+    /// Whether any storage node is online. O(1): reads the maintained
+    /// online count instead of walking the fleet.
     pub fn has_online_storage(&self) -> bool {
-        self.storage.values().any(|s| s.online)
+        self.online_storage_nodes > 0
+    }
+
+    /// Number of online storage nodes (O(1), incrementally maintained).
+    pub fn online_storage_count(&self) -> usize {
+        self.online_storage_nodes
     }
 
     /// Number of online management nodes (allocation-free).
@@ -633,9 +779,13 @@ impl Cluster {
     /// Marks a node offline (crash) without removing it.
     pub fn set_offline(&mut self, id: NodeId) {
         if let Some(n) = self.storage.get_mut(&id) {
-            n.online = false;
-            // Offline storage nodes drop out of `volume_views`.
-            self.generation += 1;
+            if n.online {
+                n.online = false;
+                // Offline storage nodes drop out of `volume_views`.
+                self.generation += 1;
+                self.online_storage_nodes -= 1;
+                self.util_stats.update(id, None);
+            }
         }
         if let Some(n) = self.mgmt.get_mut(&id) {
             n.online = false;
@@ -650,6 +800,8 @@ impl Cluster {
                 n.online = true;
                 // The node's volumes re-enter `volume_views`.
                 self.generation += 1;
+                self.online_storage_nodes += 1;
+                self.refresh_node_stats(id);
             }
         }
         if let Some(n) = self.mgmt.get_mut(&id) {
@@ -674,6 +826,7 @@ impl Cluster {
         if changed {
             // Free-space-driven placement must see the shrunk capacities.
             self.generation += 1;
+            self.refresh_node_stats(id);
         }
         changed
     }
@@ -746,6 +899,53 @@ impl Cluster {
                 self.volume_owner.len(),
                 vols_seen
             ));
+        }
+        // The streaming utilization stats and the online count are
+        // maintained incrementally at every mutation site; rebuild both
+        // from the node tables and fail on any drift.
+        let mut fresh = UtilTracker::new();
+        let mut online = 0usize;
+        for (nid, node) in &self.storage {
+            if node.online {
+                online += 1;
+            }
+            if let Some(q) = node.util_q() {
+                fresh.update(*nid, Some(q));
+            }
+        }
+        if fresh != self.util_stats {
+            return Err(format!(
+                "streaming utilization stats drifted from the node tables: \
+                 tracked {} nodes Σq={} but recomputation gives {} nodes Σq={}",
+                self.util_stats.count(),
+                self.util_stats.sum_q(),
+                fresh.count(),
+                fresh.sum_q()
+            ));
+        }
+        if online != self.online_storage_nodes {
+            return Err(format!(
+                "online storage count drifted: tracked {} but {} nodes are online",
+                self.online_storage_nodes, online
+            ));
+        }
+        // A fresh canonical-views cache must agree with a from-scratch
+        // rebuild (fill mutations patch it in place).
+        if self.views_built == Some(self.generation) {
+            let rebuilt = self.volume_views();
+            if rebuilt != self.views_cache {
+                return Err(format!(
+                    "canonical views cache drifted: {} cached vs {} rebuilt entries, \
+                     first mismatch {:?}",
+                    self.views_cache.len(),
+                    rebuilt.len(),
+                    rebuilt
+                        .iter()
+                        .zip(&self.views_cache)
+                        .find(|(a, b)| a != b)
+                        .map(|(a, _)| a.volume)
+                ));
+            }
         }
         Ok(())
     }
@@ -1079,5 +1279,136 @@ mod tests {
         let vid = c.volume_views()[0].volume;
         c.volume_owner.remove(&vid);
         assert!(c.audit().is_err());
+    }
+
+    /// Drives every mutation primitive and asserts the streaming stats
+    /// stay exactly equal to a recomputation (via `audit`) throughout.
+    #[test]
+    fn streaming_stats_follow_every_mutation() {
+        let mut c = cluster_with(3, 2, 10_000);
+        assert_eq!(c.online_storage_count(), 3);
+        assert_eq!(c.util_stats().count(), 3);
+        assert_eq!(c.util_stats().sum_q(), 0);
+
+        let views = c.volume_views();
+        c.store(FileId(1), views[0].volume, 5_000).unwrap();
+        c.audit().unwrap();
+        assert_eq!(
+            c.util_stats().max_q(),
+            Some(crate::loadstats::quantize(5_000, 20_000))
+        );
+        assert!(c.util_stats().imbalance_ratio() > 2.9);
+
+        c.store(FileId(2), views[2].volume, 2_000).unwrap();
+        c.migrate(FileId(1), views[0].volume, views[3].volume, 5_000)
+            .unwrap();
+        c.audit().unwrap();
+
+        let node0 = views[0].node;
+        c.set_offline(node0);
+        c.audit().unwrap();
+        assert_eq!(c.online_storage_count(), 2);
+        assert_eq!(c.util_stats().count(), 2);
+        // Offline twice is a no-op, not a double decrement.
+        c.set_offline(node0);
+        assert_eq!(c.online_storage_count(), 2);
+        c.set_online(node0);
+        c.audit().unwrap();
+        assert_eq!(c.online_storage_count(), 3);
+
+        c.set_volumes_full(node0);
+        c.audit().unwrap();
+
+        let (nid, vids) = c.add_storage(1, 10_000);
+        c.audit().unwrap();
+        assert_eq!(c.online_storage_count(), 4);
+        c.free_file(FileId(2));
+        c.rescale_file(FileId(1), 5_000, 1_000).unwrap();
+        c.audit().unwrap();
+        c.expand_volume(vids[0], 500).unwrap();
+        c.reduce_volume(vids[0], 500).unwrap();
+        c.audit().unwrap();
+        let extra = c.add_volume(nid, 4_000).unwrap();
+        c.audit().unwrap();
+        c.remove_volume(extra).unwrap();
+        c.remove_storage(nid).unwrap();
+        c.audit().unwrap();
+        assert_eq!(c.online_storage_count(), 3);
+    }
+
+    #[test]
+    fn checkpoint_restores_streaming_stats_exactly() {
+        let mut c = cluster_with(2, 1, 10_000);
+        let views = c.volume_views();
+        c.store(FileId(1), views[0].volume, 300).unwrap();
+        c.set_journaling(true);
+        let cp = c.checkpoint();
+        let stats0 = c.util_stats().clone();
+
+        c.store(FileId(2), views[1].volume, 800).unwrap();
+        c.set_offline(views[1].node);
+        let (nid, _) = c.add_storage(2, 10_000);
+        c.store(FileId(3), c.storage[&nid].volumes[0].id, 50)
+            .unwrap();
+        assert_ne!(c.util_stats(), &stats0);
+
+        c.restore_to(&cp);
+        assert_eq!(c.util_stats(), &stats0);
+        assert_eq!(c.online_storage_count(), 2);
+        c.audit().unwrap();
+    }
+
+    fn cache_matches_rebuild(c: &mut Cluster) -> bool {
+        let cached = c.canonical_views().to_vec();
+        cached == c.volume_views()
+    }
+
+    #[test]
+    fn canonical_views_cache_tracks_fills_and_topology() {
+        let mut c = cluster_with(3, 2, 10_000);
+        assert!(cache_matches_rebuild(&mut c));
+        let vid = c.volume_views()[1].volume;
+
+        // Fill change: patched in place, no rebuild.
+        c.store(FileId(1), vid, 123).unwrap();
+        let pos = c.view_pos(vid).expect("cache fresh");
+        assert_eq!(c.canonical_views()[pos].used, 123);
+        assert!(cache_matches_rebuild(&mut c));
+        c.audit().unwrap();
+
+        // Topology change: the cache is rebuilt lazily.
+        let (nid, _) = c.add_storage(1, 10_000);
+        assert_eq!(c.view_pos(vid), None, "generation moved, cache stale");
+        assert!(cache_matches_rebuild(&mut c));
+        c.set_offline(nid);
+        assert!(cache_matches_rebuild(&mut c));
+        c.audit().unwrap();
+    }
+
+    #[test]
+    fn speculative_view_bumps_roll_back_exactly() {
+        let mut c = cluster_with(2, 1, 10_000);
+        let vid = c.volume_views()[0].volume;
+        c.store(FileId(1), vid, 100).unwrap();
+        let _ = c.canonical_views();
+        let pos = c.view_pos(vid).unwrap();
+        let old = c.bump_view_used(pos, 4_000);
+        assert_eq!(old, 100);
+        assert_eq!(c.canonical_views()[pos].used, 4_100);
+        c.set_view_used(pos, old);
+        assert!(cache_matches_rebuild(&mut c));
+        c.audit().unwrap();
+    }
+
+    #[test]
+    fn audit_catches_streaming_stats_drift() {
+        let mut c = cluster_with(2, 1, 10_000);
+        let vid = c.volume_views()[0].volume;
+        c.store(FileId(1), vid, 400).unwrap();
+        // Corrupt the tracker the way a missed mutation-site update would.
+        let owner = c.volume_owner[&vid];
+        c.util_stats.update(owner, Some(0));
+        let err = c.audit().unwrap_err();
+        assert!(err.contains("streaming"), "unexpected message: {err}");
     }
 }

@@ -312,6 +312,30 @@ impl FlavorConfig {
         }
     }
 
+    /// A large-topology variant of the flavor's default configuration for
+    /// scaling studies (1k/10k-node campaigns).
+    ///
+    /// Only the storage fleet grows — the management fleet keeps its
+    /// paper-faithful size, because real deployments scale data nodes far
+    /// faster than NameNodes/MDSes and the simulator's per-op mgmt walks
+    /// stay O(1) that way. Pre-loaded base files are enlarged to 1 GiB so
+    /// deploy-time preload stays a bounded number of placements (tens of
+    /// thousands at 10k nodes) instead of millions.
+    ///
+    /// Requesting fewer storage nodes than the paper default keeps the
+    /// default topology unchanged.
+    pub fn scaled(flavor: Flavor, storage_nodes: u32) -> Self {
+        let mut cfg = Self::for_flavor(flavor);
+        if storage_nodes > cfg.storage_nodes {
+            cfg.storage_nodes = storage_nodes;
+            // Leave headroom for AddStorageNode churn on top of the
+            // requested fleet (10%, at least 2 slots).
+            cfg.max_storage_nodes = storage_nodes.saturating_add((storage_nodes / 10).max(2));
+            cfg.base_file_size = GIB;
+        }
+        cfg
+    }
+
     /// Default size of a volume added by `AddVolume`/`AddStorageNode`
     /// requests when the caller does not specify one.
     pub fn default_new_volume_capacity(&self) -> Bytes {
@@ -368,6 +392,23 @@ mod tests {
         assert!(u(Flavor::CephFs) > u(Flavor::GlusterFs));
         assert!(u(Flavor::GlusterFs) > u(Flavor::Hdfs));
         assert!(u(Flavor::Hdfs) > u(Flavor::LeoFs));
+    }
+
+    #[test]
+    fn scaled_grows_storage_only() {
+        for f in Flavor::all() {
+            let base = f.config();
+            let big = FlavorConfig::scaled(f, 1_000);
+            assert_eq!(big.storage_nodes, 1_000);
+            assert!(big.max_storage_nodes >= 1_002);
+            assert_eq!(big.mgmt_nodes, base.mgmt_nodes, "{f} mgmt fleet fixed");
+            assert_eq!(big.max_mgmt_nodes, base.max_mgmt_nodes);
+            assert_eq!(big.base_file_size, GIB);
+            // Requesting fewer nodes than the default changes nothing.
+            let small = FlavorConfig::scaled(f, 1);
+            assert_eq!(small.storage_nodes, base.storage_nodes);
+            assert_eq!(small.base_file_size, base.base_file_size);
+        }
     }
 
     #[test]

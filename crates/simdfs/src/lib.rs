@@ -41,6 +41,8 @@ pub mod error;
 pub mod faults;
 pub mod flavor;
 pub mod hashing;
+pub mod loadstats;
+pub mod meanfield;
 pub mod metrics;
 pub mod namespace;
 pub mod node;
@@ -56,6 +58,8 @@ pub use coverage::{CoverageModel, CoverageUniverse, Region};
 pub use error::{SimError, SimResult};
 pub use faults::{FaultEvent, FaultInjector, FaultKind, FaultPlan};
 pub use flavor::{BalancerStyle, Flavor, FlavorConfig, PlacementKind, RoutingKind};
+pub use loadstats::UtilTracker;
+pub use meanfield::MeanFieldModel;
 pub use metrics::{ClusterSnapshot, NodeLoadSample};
 pub use namespace::Namespace;
 pub use request::{DfsRequest, OpClass, ReqOutcome};

@@ -1,0 +1,295 @@
+//! Streaming load-variance accumulators.
+//!
+//! The load variance model samples the storage-utilization imbalance ratio
+//! after every executed operation. Recomputing it from live node state is
+//! O(nodes) per op — fine for the paper's 10-node clusters, a blocker for
+//! 10k-node campaigns. [`UtilTracker`] maintains the same statistic
+//! incrementally: every cluster mutation that can change a node's
+//! utilization (or its eligibility) reports the node's new quantized
+//! utilization, and the imbalance ratio, mean and variance become O(1)
+//! reads (O(log n) per update).
+//!
+//! ## Exactness contract
+//!
+//! All state is integer: utilizations are quantized to `used·2³²/capacity`
+//! (a 32-bit fixed-point fraction), the sums are `u128`, and min/max come
+//! from an ordered multiset of quantized values. Integer accumulation is
+//! order-independent and loss-free, so the tracker is *exactly* equal to a
+//! fresh recomputation from the node tables after any mutation sequence —
+//! including snapshot-fork restores, where the tracker is cloned and
+//! restored wholesale. `Cluster::audit` recomputes it from scratch and
+//! fails on any drift.
+//!
+//! Quantization granularity is `capacity·2⁻³²` (about 12 bytes on a 48 GiB
+//! node), so the ratio differs from the exact `f64` ratio by at most ~1e-9
+//! relative at MiB file scales.
+
+use crate::types::{Bytes, NodeId};
+use std::collections::BTreeMap;
+
+/// Fixed-point scale: utilizations are fractions with 32 fractional bits.
+const Q_SCALE_BITS: u32 = 32;
+
+/// Quantizes a node utilization `used/capacity` to 32-bit fixed point.
+///
+/// `used ≤ capacity` (a cluster invariant enforced by every byte mutation)
+/// keeps the result in `0..=2³²`.
+pub fn quantize(used: Bytes, capacity: Bytes) -> u64 {
+    debug_assert!(capacity > 0, "quantize requires a positive capacity");
+    ((used as u128 * (1u128 << Q_SCALE_BITS)) / capacity as u128) as u64
+}
+
+/// Streaming accumulator over per-node quantized utilizations.
+///
+/// Tracks Σx, Σx², count, and the exact min/max via an ordered multiset.
+/// One entry per *eligible* node; the owner decides eligibility (for the
+/// storage dimension: online, has volumes, positive capacity) and calls
+/// [`UtilTracker::update`] with `None` to remove a node that became
+/// ineligible.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UtilTracker {
+    /// Current quantized utilization per eligible node.
+    entries: BTreeMap<NodeId, u64>,
+    /// Multiset of the values in `entries`, for exact min/max under removal.
+    dist: BTreeMap<u64, u32>,
+    /// Σ quantized utilization. 10k nodes × 2³² < 2⁴⁶ — far inside u128.
+    sum: u128,
+    /// Σ (quantized utilization)². 10k × 2⁶⁴ < 2⁷⁸ — far inside u128.
+    sum_sq: u128,
+}
+
+impl UtilTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets, replaces, or removes (`q = None`) a node's quantized
+    /// utilization. O(log n).
+    pub fn update(&mut self, node: NodeId, q: Option<u64>) {
+        let old = match q {
+            Some(v) => self.entries.insert(node, v),
+            None => self.entries.remove(&node),
+        };
+        if let Some(old) = old {
+            self.sum -= old as u128;
+            self.sum_sq -= (old as u128) * (old as u128);
+            match self.dist.get_mut(&old) {
+                Some(n) if *n > 1 => *n -= 1,
+                _ => {
+                    self.dist.remove(&old);
+                }
+            }
+        }
+        if let Some(v) = q {
+            self.sum += v as u128;
+            self.sum_sq += (v as u128) * (v as u128);
+            *self.dist.entry(v).or_insert(0) += 1;
+        }
+    }
+
+    /// Number of eligible nodes.
+    pub fn count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Smallest tracked quantized utilization, if any node is tracked.
+    pub fn min_q(&self) -> Option<u64> {
+        self.dist.keys().next().copied()
+    }
+
+    /// Largest tracked quantized utilization, if any node is tracked.
+    pub fn max_q(&self) -> Option<u64> {
+        self.dist.keys().next_back().copied()
+    }
+
+    /// Σ of quantized utilizations.
+    pub fn sum_q(&self) -> u128 {
+        self.sum
+    }
+
+    /// Σ of squared quantized utilizations.
+    pub fn sum_sq_q(&self) -> u128 {
+        self.sum_sq
+    }
+
+    /// Mean utilization as a fraction in `[0, 1]`.
+    pub fn mean(&self) -> f64 {
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        (self.sum as f64 / self.entries.len() as f64) / (1u64 << Q_SCALE_BITS) as f64
+    }
+
+    /// Population variance of the utilization fractions.
+    pub fn variance(&self) -> f64 {
+        let n = self.entries.len();
+        if n < 2 {
+            return 0.0;
+        }
+        // E[x²] − E[x]² over the quantized values, then rescale. Both terms
+        // are single divisions of exact integer sums — no float reduction.
+        let n = n as f64;
+        let scale = (1u64 << Q_SCALE_BITS) as f64;
+        let mean = self.sum as f64 / n;
+        let var_q = self.sum_sq as f64 / n - mean * mean;
+        (var_q / (scale * scale)).max(0.0)
+    }
+
+    /// The imbalance ratio `max/mean` over tracked utilizations, matching
+    /// [`ClusterSnapshot::imbalance_ratio_iter`]'s conventions: `1.0` for
+    /// fewer than two nodes or an (effectively) zero mean.
+    ///
+    /// [`ClusterSnapshot::imbalance_ratio_iter`]: crate::metrics::ClusterSnapshot
+    pub fn imbalance_ratio(&self) -> f64 {
+        let n = self.entries.len();
+        if n < 2 || self.sum == 0 {
+            return 1.0;
+        }
+        let max = self.max_q().unwrap_or(0);
+        // max/mean = max·n/Σ — one float division over exact integers.
+        (max as f64 * n as f64) / self.sum as f64
+    }
+
+    /// O(1) equivalent of the balancer's activation predicate
+    /// `max > mean·(1 + threshold)`: false with fewer than two nodes or an
+    /// all-zero load.
+    pub fn is_imbalanced(&self, threshold: f64) -> bool {
+        let n = self.entries.len();
+        if n < 2 || self.sum == 0 {
+            return false;
+        }
+        let max = self.max_q().unwrap_or(0);
+        max as f64 * n as f64 > (1.0 + threshold) * self.sum as f64
+    }
+
+    /// The tracked quantized utilization for `node`, if eligible.
+    pub fn get(&self, node: NodeId) -> Option<u64> {
+        self.entries.get(&node).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker(vals: &[(u32, u64)]) -> UtilTracker {
+        let mut t = UtilTracker::new();
+        for &(id, q) in vals {
+            t.update(NodeId(id), Some(q));
+        }
+        t
+    }
+
+    #[test]
+    fn quantize_is_monotone_and_bounded() {
+        assert_eq!(quantize(0, 100), 0);
+        assert_eq!(quantize(100, 100), 1 << 32);
+        assert_eq!(quantize(50, 100), 1 << 31);
+        let a = quantize(1 << 30, 48 << 30);
+        let b = quantize(2 << 30, 48 << 30);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn empty_and_singleton_are_balanced() {
+        let mut t = UtilTracker::new();
+        assert_eq!(t.imbalance_ratio(), 1.0);
+        assert!(!t.is_imbalanced(0.1));
+        t.update(NodeId(1), Some(1 << 31));
+        assert_eq!(t.count(), 1);
+        assert_eq!(t.imbalance_ratio(), 1.0);
+        assert!(!t.is_imbalanced(0.1));
+    }
+
+    #[test]
+    fn ratio_matches_direct_computation() {
+        let t = tracker(&[(1, 100), (2, 200), (3, 300)]);
+        // max/mean = 300/200 = 1.5
+        assert!((t.imbalance_ratio() - 1.5).abs() < 1e-12);
+        assert!(t.is_imbalanced(0.4));
+        assert!(!t.is_imbalanced(0.6));
+    }
+
+    #[test]
+    fn zero_sum_is_balanced() {
+        let t = tracker(&[(1, 0), (2, 0), (3, 0)]);
+        assert_eq!(t.imbalance_ratio(), 1.0);
+        assert!(!t.is_imbalanced(0.0));
+    }
+
+    #[test]
+    fn update_and_remove_keep_sums_and_extremes_exact() {
+        let mut t = tracker(&[(1, 10), (2, 20), (3, 20), (4, 40)]);
+        assert_eq!(t.min_q(), Some(10));
+        assert_eq!(t.max_q(), Some(40));
+        assert_eq!(t.sum_q(), 90);
+        assert_eq!(t.sum_sq_q(), 100 + 400 + 400 + 1600);
+
+        // Replace the max; extremes move.
+        t.update(NodeId(4), Some(5));
+        assert_eq!(t.min_q(), Some(5));
+        assert_eq!(t.max_q(), Some(20));
+        assert_eq!(t.sum_q(), 55);
+
+        // Remove one of the duplicated values; the other remains.
+        t.update(NodeId(2), None);
+        assert_eq!(t.max_q(), Some(20));
+        assert_eq!(t.count(), 3);
+        assert_eq!(t.sum_q(), 35);
+
+        // Remove everything; back to pristine.
+        t.update(NodeId(1), None);
+        t.update(NodeId(3), None);
+        t.update(NodeId(4), None);
+        assert_eq!(t, UtilTracker::new());
+    }
+
+    #[test]
+    fn removing_untracked_node_is_a_no_op() {
+        let mut t = tracker(&[(1, 7)]);
+        t.update(NodeId(99), None);
+        assert_eq!(t.count(), 1);
+        assert_eq!(t.sum_q(), 7);
+    }
+
+    #[test]
+    fn tracker_equals_recomputation_after_random_walk() {
+        // Deterministic pseudo-random mutation walk; compare against a
+        // from-scratch rebuild after every step.
+        let mut t = UtilTracker::new();
+        let mut shadow: BTreeMap<NodeId, u64> = BTreeMap::new();
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..2000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let id = NodeId((x >> 33) as u32 % 16);
+            let action = (x >> 13) % 3;
+            match action {
+                0 => {
+                    let q = x % (1u64 << 32);
+                    t.update(id, Some(q));
+                    shadow.insert(id, q);
+                }
+                _ => {
+                    t.update(id, None);
+                    shadow.remove(&id);
+                }
+            }
+            let mut fresh = UtilTracker::new();
+            for (&id, &q) in &shadow {
+                fresh.update(id, Some(q));
+            }
+            assert_eq!(t, fresh);
+        }
+    }
+
+    #[test]
+    fn variance_matches_two_point_distribution() {
+        // Two nodes at 0 and full: mean 1/2, variance 1/4.
+        let t = tracker(&[(1, 0), (2, 1 << 32)]);
+        assert!((t.mean() - 0.5).abs() < 1e-12);
+        assert!((t.variance() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,137 @@
+//! Mean-field cross-check for large-cluster load trajectories.
+//!
+//! Mean-field analyses of replication in large storage systems (Sun et
+//! al., see PAPERS.md) show that as the cluster grows, the *mean* load
+//! trajectory converges to a deterministic analytic limit: under
+//! homogeneous capacities, the expected mean utilization after ingesting
+//! `L` logical bytes at replication factor `r` onto base load `B` over
+//! total capacity `C` is simply `(B + L·r)/C`, independent of placement
+//! details. Per-node fluctuations shrink as O(1/√n), so at 1k–10k nodes
+//! the simulated mean must track the analytic curve tightly.
+//!
+//! [`MeanFieldModel`] implements that limit as an *independent* detector
+//! signal: it is fed only the workload's logical byte flow (never cluster
+//! state), and campaigns compare its prediction against the observed mean
+//! utilization from the streaming tracker. A persistent gap means replicas
+//! were lost, over-created, or mis-accounted — exactly the class of
+//! failures the load variance model hunts, caught from the opposite
+//! direction (mean drift instead of spread).
+
+use crate::types::Bytes;
+
+/// Analytic mean-load predictor, driven by logical workload bytes only.
+#[derive(Debug, Clone)]
+pub struct MeanFieldModel {
+    /// Physical bytes resident before the workload started (preload).
+    base_used: Bytes,
+    /// Total capacity of the storage fleet at model start.
+    total_capacity: Bytes,
+    /// Replication factor applied to logical bytes.
+    replicas: u32,
+    /// Net logical bytes the workload believes are live (creates + grows
+    /// minus deletes + shrinks). Signed: a workload may delete preloaded
+    /// state it did not create.
+    logical_live: i128,
+    /// Largest |observed − predicted| mean utilization seen so far.
+    max_abs_deviation: f64,
+    /// Number of observations compared.
+    samples: u64,
+}
+
+impl MeanFieldModel {
+    /// Builds the model from the cluster's starting footprint.
+    pub fn new(base_used: Bytes, total_capacity: Bytes, replicas: u32) -> Self {
+        Self {
+            base_used,
+            total_capacity,
+            replicas,
+            logical_live: 0,
+            max_abs_deviation: 0.0,
+            samples: 0,
+        }
+    }
+
+    /// Records `bytes` of new logical data entering the system.
+    pub fn ingest(&mut self, bytes: Bytes) {
+        self.logical_live += bytes as i128;
+    }
+
+    /// Records `bytes` of logical data leaving the system.
+    pub fn remove(&mut self, bytes: Bytes) {
+        self.logical_live -= bytes as i128;
+    }
+
+    /// The analytic mean utilization `(B + L·r)/C` as a fraction.
+    pub fn predicted_mean(&self) -> f64 {
+        if self.total_capacity == 0 {
+            return 0.0;
+        }
+        let physical = self.base_used as i128 + self.logical_live * self.replicas as i128;
+        (physical.max(0) as f64) / self.total_capacity as f64
+    }
+
+    /// Compares an observed mean utilization against the prediction,
+    /// returning the signed deviation `observed − predicted` and folding
+    /// its magnitude into [`MeanFieldModel::max_deviation`].
+    pub fn observe(&mut self, observed_mean: f64) -> f64 {
+        let dev = observed_mean - self.predicted_mean();
+        if dev.abs() > self.max_abs_deviation {
+            self.max_abs_deviation = dev.abs();
+        }
+        self.samples += 1;
+        dev
+    }
+
+    /// Largest |deviation| across all observations.
+    pub fn max_deviation(&self) -> f64 {
+        self.max_abs_deviation
+    }
+
+    /// Number of observations folded in.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::GIB;
+
+    #[test]
+    fn prediction_follows_logical_flow() {
+        let mut m = MeanFieldModel::new(10 * GIB, 100 * GIB, 3);
+        assert!((m.predicted_mean() - 0.10).abs() < 1e-12);
+        m.ingest(10 * GIB);
+        assert!((m.predicted_mean() - 0.40).abs() < 1e-12);
+        m.remove(5 * GIB);
+        assert!((m.predicted_mean() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn net_negative_flow_clamps_at_zero() {
+        let mut m = MeanFieldModel::new(GIB, 100 * GIB, 2);
+        m.remove(10 * GIB);
+        assert_eq!(m.predicted_mean(), 0.0);
+    }
+
+    #[test]
+    fn observe_tracks_worst_deviation() {
+        let mut m = MeanFieldModel::new(0, 100 * GIB, 1);
+        m.ingest(50 * GIB);
+        let d1 = m.observe(0.5);
+        assert!(d1.abs() < 1e-12);
+        let d2 = m.observe(0.6);
+        assert!((d2 - 0.1).abs() < 1e-12);
+        let _ = m.observe(0.45);
+        assert!((m.max_deviation() - 0.1).abs() < 1e-12);
+        assert_eq!(m.samples(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_predicts_zero() {
+        let mut m = MeanFieldModel::new(0, 0, 3);
+        m.ingest(GIB);
+        assert_eq!(m.predicted_mean(), 0.0);
+    }
+}

@@ -174,8 +174,11 @@ impl ClusterSnapshot {
 
     /// Streaming form of [`ClusterSnapshot::imbalance_ratio`]: consumes the
     /// values in one pass with no intermediate collection. The simulator's
-    /// per-operation variance sampling uses this directly over live node
-    /// state instead of materializing a full snapshot.
+    /// per-operation variance sampling uses this for the CPU/network
+    /// dimensions (bounded management fleets); the storage dimension is
+    /// served in O(1) by the incrementally maintained
+    /// [`crate::loadstats::UtilTracker`], whose `imbalance_ratio` computes
+    /// the same max-over-mean quantity from quantized utilizations.
     pub fn imbalance_ratio_iter(values: impl Iterator<Item = f64>) -> f64 {
         let (mut n, mut sum, mut max) = (0usize, 0.0f64, f64::MIN);
         for v in values {

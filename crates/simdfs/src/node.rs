@@ -70,6 +70,22 @@ impl StorageNode {
     pub fn volume(&self, id: VolumeId) -> Option<&Volume> {
         self.volumes.iter().find(|v| v.id == id)
     }
+
+    /// The node's quantized utilization for the streaming load stats, or
+    /// `None` if the node is ineligible for the storage pool (offline,
+    /// diskless, or zero total capacity). This is the single definition of
+    /// eligibility shared by the variance sampler, the balancer's
+    /// activation check, and the cluster auditor.
+    pub fn util_q(&self) -> Option<u64> {
+        if !self.online || self.volumes.is_empty() {
+            return None;
+        }
+        let cap = self.capacity();
+        if cap == 0 {
+            return None;
+        }
+        Some(crate::loadstats::quantize(self.used(), cap))
+    }
 }
 
 /// A metadata management node (NameNode / MDS / gateway).
@@ -108,6 +124,25 @@ mod tests {
     #[test]
     fn volume_util_zero_capacity() {
         assert_eq!(vol(0, 0, 0).util(), 0.0);
+    }
+
+    #[test]
+    fn util_q_encodes_eligibility() {
+        let mut node = StorageNode {
+            id: NodeId(1),
+            online: true,
+            volumes: vec![vol(0, 100, 25), vol(1, 100, 25)],
+            load: NodeLoadAccount::default(),
+            joined: SimTime::ZERO,
+        };
+        assert_eq!(node.util_q(), Some(1 << 30)); // 50/200 = 1/4
+        node.online = false;
+        assert_eq!(node.util_q(), None);
+        node.online = true;
+        node.volumes.clear();
+        assert_eq!(node.util_q(), None);
+        node.volumes.push(vol(0, 0, 0));
+        assert_eq!(node.util_q(), None, "zero capacity is ineligible");
     }
 
     #[test]

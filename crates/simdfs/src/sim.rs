@@ -22,6 +22,7 @@ use crate::namespace::{Namespace, NsCheckpoint};
 use crate::placement::{Placement, PlacementCache, PlacementPolicy, VolumeView};
 use crate::request::{DfsRequest, OpClass, ReqOutcome};
 use crate::types::{Bytes, FileId, NodeId, NodeRole, SimTime, VolumeId, MIB};
+use std::cmp::Ordering;
 use std::collections::BTreeMap;
 
 /// Which latent bugs a simulator instance is built with.
@@ -717,6 +718,28 @@ impl DfsSim {
         if size == 0 {
             return Ok(Vec::new());
         }
+        // Decide up front whether this placement must run on a *filtered*
+        // copy of the volume views: partition faults hide nodes, and a
+        // hotspot-placement effect that wins its percentage roll funnels
+        // the whole file onto the victim. Neither applies on the common
+        // path, which then plans against the cluster's canonical views
+        // cache without copying — O(blocks · log V) per op instead of
+        // O(V) — with speculative fill bumps that are rolled back before
+        // the caller applies the real stores.
+        let hotspot = self
+            .bugs
+            .active_effects()
+            .find_map(|(s, v)| match s.effect {
+                Effect::HotspotPlacement { pct } => v.map(|victim| (pct, victim)),
+                _ => None,
+            });
+        let hot_victim = match hotspot {
+            Some((pct, victim)) if ((mix(key, 0x68_6f_74) % 100) as u8) < pct => Some(victim),
+            _ => None,
+        };
+        if hot_victim.is_none() && !self.faults.has_partitions() && self.placement_caching {
+            return self.plan_fragments_canonical(key, size);
+        }
         let mut views = std::mem::take(&mut self.views_buf);
         self.cluster.volume_views_into(&mut views);
         // Whether `views` is still the canonical list for the current
@@ -733,45 +756,23 @@ impl DfsSim {
                 canonical = false;
             }
         }
-        let hotspot = self
-            .bugs
-            .active_effects()
-            .find_map(|(s, v)| match s.effect {
-                Effect::HotspotPlacement { pct } => v.map(|victim| (pct, victim)),
-                _ => None,
-            });
-        if let Some((pct, victim)) = hotspot {
-            let roll = (mix(key, 0x68_6f_74) % 100) as u8;
-            if roll < pct {
-                let mut victim_views: Vec<_> =
-                    views.iter().copied().filter(|v| v.node == victim).collect();
-                if victim_views.is_empty() {
-                    // The original victim left the cluster; the faulty
-                    // placement path now funnels toward the currently most
-                    // utilized node instead.
-                    if let Some(hot) = Balancer::hottest_node(&self.cluster) {
-                        victim_views = views.iter().copied().filter(|v| v.node == hot).collect();
-                    }
+        if let Some(victim) = hot_victim {
+            let mut victim_views: Vec<_> =
+                views.iter().copied().filter(|v| v.node == victim).collect();
+            if victim_views.is_empty() {
+                // The original victim left the cluster; the faulty
+                // placement path now funnels toward the currently most
+                // utilized node instead.
+                if let Some(hot) = Balancer::hottest_node(&self.cluster) {
+                    victim_views = views.iter().copied().filter(|v| v.node == hot).collect();
                 }
-                if !victim_views.is_empty() {
-                    views = victim_views;
-                    canonical = false;
-                }
+            }
+            if !victim_views.is_empty() {
+                views = victim_views;
+                canonical = false;
             }
         }
-        // Choose an effective block size: whole-file when the flavor does
-        // not stripe (sharding large files like the GlusterFS shard
-        // translator); otherwise cap the number of blocks so enormous
-        // files stay tractable (a real DFS would use larger chunks, too).
-        let block = if self.cfg.block_size == 0 {
-            if self.cfg.shard_threshold > 0 && size > self.cfg.shard_threshold {
-                self.cfg.shard_size.max(size.div_ceil(64))
-            } else {
-                size
-            }
-        } else {
-            self.cfg.block_size.max(size.div_ceil(64))
-        };
+        let block = self.effective_block(size);
         // Fragments stay block-granular so the balancer can move them
         // individually; consecutive blocks landing on the same volume are
         // coalesced only up to a migration-friendly cap.
@@ -830,6 +831,99 @@ impl DfsSim {
             block_idx += 1;
         }
         self.views_buf = views;
+        self.placed_buf = placed;
+        match failed {
+            Some(e) => {
+                self.frags_buf = out;
+                Err(e)
+            }
+            None => Ok(out),
+        }
+    }
+
+    /// Chooses the effective block size for `size` bytes: whole-file when
+    /// the flavor does not stripe (sharding large files like the GlusterFS
+    /// shard translator); otherwise cap the number of blocks so enormous
+    /// files stay tractable (a real DFS would use larger chunks, too).
+    fn effective_block(&self, size: Bytes) -> Bytes {
+        if self.cfg.block_size == 0 {
+            if self.cfg.shard_threshold > 0 && size > self.cfg.shard_threshold {
+                self.cfg.shard_size.max(size.div_ceil(64))
+            } else {
+                size
+            }
+        } else {
+            self.cfg.block_size.max(size.div_ceil(64))
+        }
+    }
+
+    /// The common-case planner: no partition filtering, no hotspot reroute,
+    /// placement caching on. Plans directly against the cluster's canonical
+    /// views cache (no per-op O(V) copy); intra-plan fill awareness comes
+    /// from speculative `bump_view_used` bumps recorded in an undo list and
+    /// rolled back before returning — the caller's `store` calls then apply
+    /// the real mutations, which re-sync the cache in place.
+    fn plan_fragments_canonical(
+        &mut self,
+        key: u64,
+        size: Bytes,
+    ) -> SimResult<Vec<(VolumeId, Bytes)>> {
+        let block = self.effective_block(size);
+        const MAX_FRAGMENT: Bytes = 64 * MIB;
+        let mut out = std::mem::take(&mut self.frags_buf);
+        out.clear();
+        let mut placed = std::mem::take(&mut self.placed_buf);
+        let mut remaining = size;
+        let mut block_idx = 0u64;
+        let mut failed = None;
+        let generation = self.cluster.generation();
+        // Speculative fill bumps to unwind: (view position, previous used).
+        let mut undo: Vec<(usize, Bytes)> = Vec::new();
+        while remaining > 0 {
+            let b = block.min(remaining);
+            self.placement.place_cached_into(
+                &mut self.placement_cache,
+                generation,
+                mix(key, block_idx),
+                b,
+                self.cfg.replicas,
+                self.cluster.canonical_views(),
+                &mut placed,
+            );
+            // Fewer replicas than requested is acceptable under space
+            // pressure (reduced redundancy); zero placements is ENOSPC.
+            if placed.is_empty() {
+                failed = Some(SimError::OutOfSpace {
+                    requested: b,
+                    free: self.cluster.total_free(),
+                });
+                break;
+            }
+            for &vol in &placed {
+                let cap = MAX_FRAGMENT.max(block);
+                match out
+                    .iter_mut()
+                    .rev()
+                    .take(self.cfg.replicas)
+                    .find(|(v, bytes)| *v == vol && bytes.saturating_add(b) <= cap)
+                {
+                    Some((_, bytes)) => *bytes += b,
+                    None => out.push((vol, b)),
+                }
+                // Keep the planning views' fill levels current so later
+                // blocks avoid volumes this plan already filled.
+                if let Some(pos) = self.cluster.view_pos(vol) {
+                    undo.push((pos, self.cluster.bump_view_used(pos, b)));
+                }
+            }
+            remaining -= b;
+            block_idx += 1;
+        }
+        // Unwind the speculative bumps in reverse so repeated bumps of the
+        // same view settle back to the original fill level exactly.
+        for (pos, old) in undo.into_iter().rev() {
+            self.cluster.set_view_used(pos, old);
+        }
         self.placed_buf = placed;
         match failed {
             Some(e) => {
@@ -899,6 +993,24 @@ impl DfsSim {
     /// Single-replica hash-location lookup on the canonical views (Gluster
     /// linkfile maintenance), through the placement cache when enabled.
     fn hash_location(&mut self, key: u64) -> Option<VolumeId> {
+        if !self.faults.has_partitions() && self.placement_caching {
+            // Common case: look up against the cluster's canonical views
+            // cache directly, no per-op copy.
+            let generation = self.cluster.generation();
+            let mut placed = std::mem::take(&mut self.placed_buf);
+            self.placement.place_cached_into(
+                &mut self.placement_cache,
+                generation,
+                key,
+                0,
+                1,
+                self.cluster.canonical_views(),
+                &mut placed,
+            );
+            let loc = placed.first().copied();
+            self.placed_buf = placed;
+            return loc;
+        }
         self.cluster.volume_views_into(&mut self.views_buf);
         let mut canonical = true;
         if self.faults.has_partitions() {
@@ -991,28 +1103,39 @@ impl DfsSim {
     /// a deeply imbalanced state takes coordinated sequences, not a single
     /// heavyweight command (Finding 6).
     fn replace_displaced(&mut self, displaced: Vec<(FileId, crate::cluster::Replica)>) {
+        if displaced.is_empty() {
+            return;
+        }
         let mut views = std::mem::take(&mut self.views_buf);
         self.cluster.volume_views_into(&mut views);
+        // Least-utilized volume with room (by fill fraction). `total_cmp`
+        // keeps the sort a total order (fill fractions are never NaN here
+        // thanks to `capacity.max(1)`, but a partial comparator falling
+        // back to `Equal` is a latent determinism hazard). The comparator
+        // is a *strict* total order (volume ids are unique), so sorting
+        // once and re-inserting the single view each store changes yields
+        // exactly the order a full re-sort per replica used to produce —
+        // O((V + D) log V) instead of O(D · V log V).
+        fn by_fill(a: &VolumeView, b: &VolumeView) -> Ordering {
+            let fa = a.used as f64 / a.capacity.max(1) as f64;
+            let fb = b.used as f64 / b.capacity.max(1) as f64;
+            fa.total_cmp(&fb).then(a.volume.cmp(&b.volume))
+        }
+        views.sort_by(by_fill);
         for (fid, replica) in displaced {
-            // Least-utilized volume with room (by fill fraction). `total_cmp`
-            // keeps the sort a total order (fill fractions are never NaN
-            // here thanks to `capacity.max(1)`, but a partial comparator
-            // falling back to `Equal` is a latent determinism hazard).
-            views.sort_by(|a, b| {
-                let fa = a.used as f64 / a.capacity.max(1) as f64;
-                let fb = b.used as f64 / b.capacity.max(1) as f64;
-                fa.total_cmp(&fb).then(a.volume.cmp(&b.volume))
-            });
-            let target = views
-                .iter()
-                .find(|v| v.free() >= replica.bytes)
-                .map(|v| v.volume);
+            let target = views.iter().position(|v| v.free() >= replica.bytes);
             match target {
-                Some(vol) if self.cluster.store(fid, vol, replica.bytes).is_ok() => {
-                    self.charge_storage_write(vol);
-                    if let Some(v) = views.iter_mut().find(|v| v.volume == vol) {
-                        v.used = v.used.saturating_add(replica.bytes);
-                    }
+                Some(i)
+                    if self
+                        .cluster
+                        .store(fid, views[i].volume, replica.bytes)
+                        .is_ok() =>
+                {
+                    self.charge_storage_write(views[i].volume);
+                    let mut moved = views.remove(i);
+                    moved.used = moved.used.saturating_add(replica.bytes);
+                    let pos = views.partition_point(|v| by_fill(v, &moved) == Ordering::Less);
+                    views.insert(pos, moved);
                 }
                 _ => {
                     self.stats.bytes_lost += replica.bytes;
@@ -1401,26 +1524,30 @@ impl DfsSim {
     }
 
     fn sample_variance(&mut self) {
-        // Runs once per executed operation, so it streams the three
-        // imbalance ratios straight off live node state instead of
-        // materializing (allocating + sorting) a full `ClusterSnapshot`.
-        // The filters mirror `load_snapshot` + `ClusterSnapshot::by_role`:
-        // online nodes only, diskless storage nodes excluded.
+        let (storage, cpu, network) = self.compute_variance();
+        self.last_variance = (storage, cpu, network);
+        let ev = SimEvent::Variance {
+            storage,
+            cpu,
+            network,
+        };
+        self.feed_bugs(&ev);
+    }
+
+    /// Computes the three imbalance ratios without feeding the bug engine
+    /// (the per-op probe; also exposed to the scaling benchmark via
+    /// [`DfsSim::variance_probe`]).
+    ///
+    /// The storage dimension is an O(1) read off the cluster's streaming
+    /// utilization stats — maintained incrementally at every mutation site
+    /// with the same eligibility filter (`StorageNode::util_q`) the old
+    /// full walk applied. The CPU/network dimensions still walk the
+    /// management fleet, which is bounded by `max_mgmt_nodes` (4–5) and
+    /// therefore O(1) with respect to storage scale; their decaying-rate
+    /// counters have no exact streaming form.
+    fn compute_variance(&mut self) -> (f64, f64, f64) {
         let now = self.clock.now();
-        let storage = ClusterSnapshot::imbalance_ratio_iter(
-            self.cluster
-                .storage
-                .values()
-                .filter(|st| st.online && !st.volumes.is_empty())
-                .filter_map(|st| {
-                    let capacity: Bytes = st.volumes.iter().map(|v| v.capacity).sum();
-                    if capacity == 0 {
-                        return None;
-                    }
-                    let used: Bytes = st.volumes.iter().map(|v| v.used).sum();
-                    Some(used as f64 / capacity as f64)
-                }),
-        );
+        let storage = self.cluster.util_stats().imbalance_ratio();
         let cpu = ClusterSnapshot::imbalance_ratio_iter(
             self.cluster
                 .mgmt
@@ -1439,13 +1566,15 @@ impl DfsSim {
                         + m.load.write_io.value_at(now)
                 }),
         );
-        self.last_variance = (storage, cpu, network);
-        let ev = SimEvent::Variance {
-            storage,
-            cpu,
-            network,
-        };
-        self.feed_bugs(&ev);
+        (storage, cpu, network)
+    }
+
+    /// Samples the (storage, cpu, network) imbalance ratios right now,
+    /// without advancing time or feeding triggers. This is the probe the
+    /// scaling benchmark times to prove the per-op variance cost stays
+    /// flat from 10 to 10k nodes.
+    pub fn variance_probe(&mut self) -> (f64, f64, f64) {
+        self.compute_variance()
     }
 
     fn variance_bucket(&self) -> u64 {

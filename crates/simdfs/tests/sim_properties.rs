@@ -4,7 +4,8 @@
 use proptest::prelude::*;
 use simdfs::bugs::{SimEvent, Trigger};
 use simdfs::{
-    BugSet, DfsRequest, DfsSim, Flavor, NodeId, OpClass, RebalanceStatus, SimTime, VolumeId, MIB,
+    BugSet, DfsRequest, DfsSim, FaultPlan, Flavor, NodeId, OpClass, RebalanceStatus, SimTime,
+    VolumeId, MIB,
 };
 
 /// An arbitrary request referencing small id spaces so that a useful
@@ -118,6 +119,58 @@ proptest! {
                 prop_assert!(v.used <= v.capacity);
             }
         }
+    }
+
+    /// The streaming utilization accumulators always agree with a full
+    /// recomputation: after any request stream — under any flavor and
+    /// fault profile, across fork/restore boundaries — the state audit
+    /// (which rebuilds the tracker from scratch and compares) passes, and
+    /// the O(1) imbalance ratio matches the float ratio computed from a
+    /// fresh load snapshot.
+    #[test]
+    fn incremental_variance_matches_full_recompute(
+        reqs in proptest::collection::vec(arb_request(), 1..80),
+        flavor_idx in 0usize..4,
+        profile_idx in 0usize..3,
+    ) {
+        let flavor = Flavor::all()[flavor_idx];
+        let profile = ["none", "crash", "diskfull"][profile_idx];
+        let mut sim = DfsSim::new(flavor, BugSet::None);
+        if profile != "none" {
+            sim.set_fault_plan(FaultPlan::named(profile, 42).expect("known profile"));
+        }
+
+        let check = |sim: &mut DfsSim| -> Result<(), TestCaseError> {
+            prop_assert!(
+                sim.audit_state().is_ok(),
+                "[{flavor:?}/{profile}] audit: {:?}",
+                sim.audit_state()
+            );
+            let tracked = sim.cluster().util_stats().imbalance_ratio();
+            let recomputed = sim.load_snapshot().storage_imbalance();
+            // The tracker quantizes utilization to 2^-32; request sizes are
+            // MiB-scale on GiB-scale volumes, so quantization error in the
+            // ratio is orders of magnitude below this tolerance.
+            prop_assert!(
+                (tracked - recomputed).abs() <= 1e-6 * recomputed.max(1.0),
+                "[{flavor:?}/{profile}] ratio drifted: tracked {tracked} vs recomputed {recomputed}"
+            );
+            Ok(())
+        };
+
+        // First half, then abandon it via restore (the undo log must put
+        // the accumulators back exactly), then the full stream.
+        let mark = sim.fork();
+        for r in &reqs[..reqs.len() / 2] {
+            let _ = sim.execute(r);
+        }
+        check(&mut sim)?;
+        prop_assert!(sim.restore(mark), "fork mark must stay valid");
+        check(&mut sim)?;
+        for r in &reqs {
+            let _ = sim.execute(r);
+        }
+        check(&mut sim)?;
     }
 
     /// Trigger state machines never panic and fire at most once per

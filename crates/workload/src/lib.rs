@@ -11,11 +11,13 @@
 //! [`Operation`]: themis::spec::Operation
 
 pub mod filebench;
+pub mod heavy;
 pub mod replay;
 pub mod sizes;
 pub mod smallfile;
 
 pub use filebench::{Personality, PersonalityKind};
+pub use heavy::{DiurnalCycle, FlashCrowd, ZipfianHotspot};
 pub use replay::{replay, replay_for, ReplayStats};
 pub use sizes::SizeDistribution;
 pub use smallfile::SmallFileConfig;
@@ -43,6 +45,9 @@ mod tests {
             Box::new(Personality::new(PersonalityKind::FileServer, 11)),
             Box::new(Personality::new(PersonalityKind::WebServer, 11)),
             Box::new(Personality::new(PersonalityKind::VarMail, 11)),
+            Box::new(ZipfianHotspot::new(11, 500, 32)),
+            Box::new(DiurnalCycle::new(11, 2)),
+            Box::new(FlashCrowd::new(11, 3, 16, 4)),
         ];
         for wl in &mut w {
             for _ in 0..5 {

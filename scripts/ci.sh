@@ -69,6 +69,40 @@ if [[ "${1:-}" != "--no-bench" ]]; then
     test -s results/faults.txt
     echo "==> results/faults.txt:"
     cat results/faults.txt
+
+    # Scaling artifact: per-op variance-sampling cost from 10 to 10k
+    # storage nodes, heavy-traffic campaigns at scale with the mean-field
+    # cross-check, the same-seed 10k-node determinism check, and worker
+    # scaling over large-topology cells, into results/BENCH_3.json.
+    run cargo run --release --offline -p bench --bin repro -- scale
+    test -s results/BENCH_3.json
+    echo "==> results/BENCH_3.json:"
+    cat results/BENCH_3.json
+
+    # Scaling regression gate: the streaming accumulators must keep the
+    # per-operation variance probe O(1) — its cost at 10k nodes may not
+    # exceed twice its cost at 10 nodes. A regression here means some
+    # mutation path went back to full recomputation.
+    ratio=$(grep -o '"variance_probe_cost_ratio": *[0-9.]*' results/BENCH_3.json \
+        | grep -o '[0-9.]*$')
+    awk -v r="$ratio" 'BEGIN {
+        if (r == "" || r > 2.0) {
+            printf "==> VARIANCE SCALING REGRESSION: 10k/10 probe cost ratio %s > 2.0\n", r
+            exit 1
+        }
+        printf "==> variance scaling gate OK: 10k/10 probe cost ratio %s\n", r
+    }'
+
+    # The 10k-node campaign must be deterministic and pass both the state
+    # audit and the mean-field cross-check.
+    grep -q '"identical": true' results/BENCH_3.json \
+        || { echo "==> 10k-node campaign is not deterministic"; exit 1; }
+    if grep -q 'false' <<<"$(grep -o '"audit_ok": [a-z]*' results/BENCH_3.json)"; then
+        echo "==> heavy campaign failed the state audit"; exit 1
+    fi
+    if grep -q 'false' <<<"$(grep -o '"mean_field_ok": [a-z]*' results/BENCH_3.json)"; then
+        echo "==> heavy campaign drifted from the mean-field model"; exit 1
+    fi
 fi
 
 echo "CI OK"
