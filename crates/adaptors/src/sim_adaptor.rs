@@ -111,6 +111,25 @@ impl SimAdaptor {
         Rc::clone(&self.sim)
     }
 
+    /// Marks the simulator's current state as the reusable base for
+    /// cross-campaign reuse (see [`simdfs::DfsSim::mark_base`]). Call once
+    /// right after construction, before any traffic or fault plan.
+    pub fn mark_base(&mut self) {
+        self.sim.borrow_mut().mark_base();
+    }
+
+    /// Rewinds the wrapped simulator to its base mark — byte-identical to
+    /// a fresh deploy — and clears the adaptor's own per-campaign client
+    /// state (command log; retry policy is left as configured). Returns
+    /// `false` if [`SimAdaptor::mark_base`] was never called.
+    pub fn restore_to_base(&mut self) -> bool {
+        if !self.sim.borrow_mut().restore_to_base() {
+            return false;
+        }
+        self.op_log.clear();
+        true
+    }
+
     /// Translates a Themis operation into a simulator request.
     ///
     /// Returns `None` for operations whose operands cannot be represented
@@ -602,6 +621,35 @@ mod tests {
         assert!(a.snapshots().is_none());
         a.set_snapshot_capability(true);
         assert!(a.snapshots().is_some());
+    }
+
+    #[test]
+    fn base_restore_reproduces_a_fresh_adaptor() {
+        let mut reused = adaptor(Flavor::GlusterFs);
+        reused.mark_base();
+        for i in 0..10 {
+            reused.send(&create(&format!("/warm{i}"), 4 << 20)).unwrap();
+        }
+        assert!(reused.restore_to_base());
+        assert!(reused.command_log().is_empty());
+
+        let mut fresh = adaptor(Flavor::GlusterFs);
+        assert_eq!(reused.now_ms(), fresh.now_ms());
+        assert_eq!(reused.coverage(), fresh.coverage());
+        for i in 0..10 {
+            reused.send(&create(&format!("/f{i}"), 4 << 20)).unwrap();
+            fresh.send(&create(&format!("/f{i}"), 4 << 20)).unwrap();
+        }
+        assert_eq!(reused.now_ms(), fresh.now_ms());
+        assert_eq!(reused.coverage(), fresh.coverage());
+        assert_eq!(reused.inventory().files, fresh.inventory().files);
+        assert_eq!(reused.free_space(), fresh.free_space());
+    }
+
+    #[test]
+    fn base_restore_without_mark_fails() {
+        let mut a = adaptor(Flavor::Hdfs);
+        assert!(!a.restore_to_base());
     }
 
     #[test]

@@ -1,16 +1,18 @@
 //! Regenerates every table and figure of the paper into `results/`.
 //!
 //! Usage: `repro [--workers N] [artifact...]` where artifact is one of
-//! `table1..table8`, `figure2`, `figure12`, `perf`, `faults`, `scale`, or
-//! `all` (default; excludes `perf`, `faults`, and `scale`). The comparison
-//! tables share one matrix run (Table 3 / Table 5 / Figure 12). `perf`
-//! times the cached-vs-baseline campaign hot path, the snapshot-fork
-//! engine against full replay and the redeploy fallback, and
-//! grid-executor scaling, and dumps `results/BENCH_1.json` plus
-//! `results/BENCH_2.json`. `faults` sweeps the fault-injection matrix at
-//! a reduced budget and writes `results/faults.txt`. `scale` measures
-//! variance-sampling cost from 10 to 10k storage nodes plus heavy-traffic
-//! campaigns at scale and writes `results/BENCH_3.json`.
+//! `table1..table8`, `figure2`, `figure12`, `perf`, `faults`, `scale`,
+//! `scaling`, or `all` (default; excludes `perf`, `faults`, `scale`, and
+//! `scaling`). The comparison tables share one matrix run (Table 3 /
+//! Table 5 / Figure 12). `perf` times the cached-vs-baseline campaign hot
+//! path, the snapshot-fork engine against full replay and the redeploy
+//! fallback, and grid-executor scaling, and dumps `results/BENCH_1.json`
+//! plus `results/BENCH_2.json`. `faults` sweeps the fault-injection
+//! matrix at a reduced budget and writes `results/faults.txt`. `scale`
+//! measures variance-sampling cost from 10 to 10k storage nodes plus
+//! heavy-traffic campaigns at scale and writes `results/BENCH_3.json`.
+//! `scaling` runs the heavy-cell grid through the work-stealing executor
+//! at 1/2/4/8 workers and writes `results/BENCH_4.json`.
 //!
 //! `--workers N` pins the grid executor's worker count for every matrix
 //! run whose spec does not set one explicitly (0 restores the default of
@@ -106,6 +108,16 @@ fn main() {
             "BENCH_2.json",
             &bench::perf::bench2_json(cores, &micro, &modes, &grid),
         );
+    }
+    // Scaling is opt-in: the heavy-cell grid through the work-stealing
+    // executor at 1/2/4/8 workers, with per-worker counters, the reuse
+    // redeploy count, fresh-deploy identity at every worker count, and
+    // the 0.7x-per-worker CI gate (recorded as skipped on single-core
+    // hosts). Writes `results/BENCH_4.json`.
+    if args.iter().any(|a| a == "scaling") {
+        let spec = bench::scaling::heavy_spec(4);
+        let bench4 = bench::scaling::measure_scaling(&spec, &[2, 4, 8]);
+        write("BENCH_4.json", &bench::scaling::bench4_json(&bench4));
     }
     // Scale is opt-in: large-topology scaling measurements (10 to 10k
     // storage nodes), heavy-traffic campaigns with the mean-field

@@ -1,24 +1,36 @@
 //! Parallel campaign grid executor.
 //!
 //! Evaluation workloads are embarrassingly parallel across campaign cells:
-//! every `(flavor, strategy, seed)` combination is an independent,
-//! deterministic computation. [`run_grid`] executes such a matrix on a
-//! self-scheduling worker pool (crossbeam scoped threads claiming cell
-//! index batches from a shared atomic cursor, so fast cells never leave a
-//! slow worker's queue stranded) and returns the results keyed by grid
-//! index — the output is bit-identical regardless of worker count or
-//! scheduling order, because each cell is a pure function of its
-//! coordinates.
+//! every `(flavor, strategy, seed, fault_profile)` combination is an
+//! independent, deterministic computation. [`run_grid`] executes such a
+//! matrix on a work-stealing pool and returns the results keyed by grid
+//! index — the output is bit-identical regardless of worker count or steal
+//! schedule, because each cell is a pure function of its coordinates.
 //!
-//! The pool is deliberately share-nothing on the hot path: each worker
-//! appends finished cells into a buffer it owns and counts its own
-//! progress, so the only cross-core traffic while cells run is the claim
-//! cursor (one fetch-add per batch). Buffers are merged and index-sorted
-//! once, at join.
+//! Three things make the pool scale where the previous shared-cursor
+//! version did not:
+//!
+//! 1. **Per-worker simulator reuse.** Each worker owns one
+//!    [`CellRunner`] per flavor it touches: a single deploy, base-marked,
+//!    then rewound between cells via `restore_to_base` (a pristine-clone
+//!    restore) instead of re-ingesting the whole topology per cell. A
+//!    grid's total deploy count drops from `cells` to at most
+//!    `workers × flavors`, which [`WorkerStats::redeploys`] proves.
+//! 2. **Work stealing.** Cell indices are seeded into per-worker FIFO
+//!    deques with a strided partition (`index % workers`), so neighboring
+//!    indices — which correlate with the heavy axes, flavor above all —
+//!    start on different workers. A worker that drains its own deque
+//!    steals half a victim's queue at a time, scanning victims in ring
+//!    order; a straggler's backlog migrates instead of stranding the pool.
+//! 3. **Sharded collection.** Workers append finished cells into buffers
+//!    they own (preallocated to the expected share) and the shards are
+//!    merged by grid index once, at join. The hot path shares only the
+//!    deques and one remaining-cells counter.
 
-use crate::harness::{run_eval_faulted, EvalResult};
+use crate::harness::{run_eval_cell, CellRunner, EvalResult};
+use crossbeam::deque::{Steal, Stealer, Worker};
 use simdfs::{BugSet, Flavor};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use themis::VarianceWeights;
 
 /// A campaign matrix: the cross product of flavors, strategies and seeds,
@@ -45,6 +57,12 @@ pub struct GridSpec {
     pub weights: VarianceWeights,
     /// Worker threads. 0 means one per available core.
     pub workers: usize,
+    /// Deploy every cell's simulator at this many storage nodes
+    /// ([`simdfs::FlavorConfig::scaled`]) instead of the flavor's stock
+    /// topology. `None` (the default) keeps stock. This is what lets the
+    /// BENCH_4 scaling artifact run heavy ~100 ms cells through the same
+    /// executor the paper tables use.
+    pub scale_nodes: Option<u32>,
 }
 
 impl GridSpec {
@@ -67,6 +85,7 @@ impl GridSpec {
             threshold_t: 0.25,
             weights: VarianceWeights::default(),
             workers: 0,
+            scale_nodes: None,
         }
     }
 
@@ -91,6 +110,13 @@ impl GridSpec {
             self.seeds[sd],
             &self.fault_profiles[fp],
         )
+    }
+
+    /// Position of cell `index`'s flavor within `self.flavors` (the
+    /// worker-local [`CellRunner`] pool is indexed by this).
+    fn flavor_slot(&self, index: usize) -> usize {
+        let per_flavor = self.strategies.len() * self.seeds.len() * self.fault_profiles.len();
+        index / per_flavor
     }
 
     fn resolved_workers(&self) -> usize {
@@ -137,21 +163,51 @@ pub struct GridCell {
     pub eval: EvalResult,
 }
 
+/// Per-worker execution counters. Under stealing, "which worker ran cell
+/// i" is schedule-dependent, so a bare completion count says nothing
+/// useful; these three numbers are what straggler diagnosis actually
+/// needs: how much work each worker did, how much of it was taken from
+/// other workers' queues, and how long it was busy doing it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Cells this worker executed (local + stolen).
+    pub cells_run: u64,
+    /// Of [`WorkerStats::cells_run`], cells seeded into *another*
+    /// worker's deque (tracked by origin tag, so a cell stolen in a batch
+    /// and later popped locally still counts as stolen).
+    pub cells_stolen: u64,
+    /// Wall-clock nanoseconds spent executing cells (excludes idle
+    /// spinning while out of work).
+    pub busy_ns: u64,
+    /// Full simulator deploys this worker performed — at most one per
+    /// flavor it touched, thanks to [`CellRunner`] reuse.
+    pub redeploys: u64,
+}
+
 /// The outcome of a grid run.
 #[derive(Debug)]
 pub struct GridOutcome {
     /// Every cell, ordered by grid index — the ordering is a function of
     /// the spec alone, never of worker count or scheduling.
     pub cells: Vec<GridCell>,
-    /// Cells completed per worker (progress accounting; sums to
-    /// `cells.len()`).
-    pub per_worker_completed: Vec<u64>,
+    /// Per-worker counters; `cells_run` sums to `cells.len()`.
+    pub worker_stats: Vec<WorkerStats>,
 }
 
-/// Runs one cell (also the serial reference path used by tests).
+impl GridOutcome {
+    /// Total full simulator deploys across the pool. With per-worker
+    /// reuse this is bounded by `workers × flavors` no matter how many
+    /// cells ran.
+    pub fn redeploys(&self) -> u64 {
+        self.worker_stats.iter().map(|s| s.redeploys).sum()
+    }
+}
+
+/// Runs one cell from a fresh deploy — the serial reference path the
+/// determinism tests compare the reusing executor against.
 pub fn run_cell(spec: &GridSpec, index: usize) -> GridCell {
     let (flavor, strategy, seed, fault_profile) = spec.coords(index);
-    let eval = run_eval_faulted(
+    let eval = run_eval_cell(
         flavor,
         strategy,
         spec.bugs.clone(),
@@ -160,6 +216,7 @@ pub fn run_cell(spec: &GridSpec, index: usize) -> GridCell {
         spec.threshold_t,
         spec.weights,
         fault_profile,
+        spec.scale_nodes,
     );
     GridCell {
         index,
@@ -171,54 +228,101 @@ pub fn run_cell(spec: &GridSpec, index: usize) -> GridCell {
     }
 }
 
-/// Keeps the shared claim cursor on its own cache line so the only
-/// genuinely shared hot word never false-shares with worker state.
+/// Keeps the shared remaining-cells counter on its own cache line so the
+/// only genuinely shared hot word never false-shares with worker state.
 #[repr(align(64))]
 struct CacheAligned<T>(T);
 
-/// Executes the full matrix on the worker pool.
+/// Generic work-stealing executor: runs tasks `0..n` across `workers`
+/// threads and returns every task's result (indexed by task id) plus
+/// per-worker counters.
 ///
-/// Cell indices are handed out through a shared atomic cursor in small
-/// batches: a worker finishing its batch immediately claims the next
-/// unstarted one, so the pool stays busy even when cell runtimes vary
-/// wildly (different flavors reach very different iteration counts in the
-/// same virtual budget). Batches are sized so every worker makes at least
-/// ~8 claims — coarse enough to keep cursor traffic negligible on big
-/// matrices, fine enough that uneven cells still balance. Workers own
-/// their output buffers and progress counts outright; results are merged
-/// and sorted by grid index after the join, which keeps the hot path free
-/// of locks and false sharing.
-pub fn run_grid(spec: &GridSpec) -> GridOutcome {
-    let n = spec.cells();
-    let workers = spec.resolved_workers();
-    if workers <= 1 || n <= 1 {
-        // Serial fast path: no thread machinery at all.
-        let cells: Vec<GridCell> = (0..n).map(|i| run_cell(spec, i)).collect();
-        return GridOutcome {
-            cells,
-            per_worker_completed: vec![n as u64],
-        };
+/// Task ids are seeded into per-worker FIFO deques with a strided
+/// partition (`id % workers`); an idle worker steals half a victim's
+/// deque at a time, scanning victims in ring order starting from its
+/// right-hand neighbor. Tasks carry their origin worker, so
+/// [`WorkerStats::cells_stolen`] counts true migrations even when a
+/// batch-stolen task is popped locally later.
+///
+/// `make_worker` runs once *inside* each spawned thread and builds that
+/// worker's task closure — worker state (simulator pools here) never
+/// crosses a thread boundary, so it does not need to be `Send`. The task
+/// closure must be a pure function of the task id; the executor asserts
+/// every id is executed exactly once, and the strided seeding plus FIFO
+/// discipline keep the *schedule* reproducible for a given (n, workers)
+/// when no stealing occurs.
+pub fn steal_execute<T, M, F>(
+    n: usize,
+    workers: usize,
+    make_worker: M,
+) -> (Vec<T>, Vec<WorkerStats>)
+where
+    T: Send,
+    M: Fn(usize) -> F + Sync,
+    F: FnMut(usize) -> T,
+{
+    assert!(workers >= 1, "steal_execute needs at least one worker");
+    let queues: Vec<Worker<(usize, usize)>> = (0..workers).map(|_| Worker::new_fifo()).collect();
+    for i in 0..n {
+        // Strided initial partition: contiguous ranges correlate with the
+        // heavy grid axes (all of one flavor's cells are adjacent), so
+        // deal indices round-robin instead.
+        queues[i % workers].push((i, i % workers));
     }
-    let batch = (n / (workers * 8)).max(1);
-    let next = CacheAligned(AtomicUsize::new(0));
-    let next = &next;
-    let outputs: Vec<(Vec<GridCell>, u64)> = crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
+    let stealers: Vec<Stealer<(usize, usize)>> = queues.iter().map(|q| q.stealer()).collect();
+    let stealers = &stealers;
+    let remaining = CacheAligned(AtomicUsize::new(n));
+    let remaining = &remaining;
+    let make_worker = &make_worker;
+
+    let shards: Vec<(Vec<(usize, T)>, WorkerStats)> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = queues
+            .into_iter()
+            .enumerate()
+            .map(|(w, q)| {
                 s.spawn(move |_| {
-                    let mut mine: Vec<GridCell> = Vec::new();
+                    let mut run = make_worker(w);
+                    let mut stats = WorkerStats::default();
+                    let mut shard: Vec<(usize, T)> = Vec::with_capacity(n / workers + 1);
                     loop {
-                        let lo = next.0.fetch_add(batch, Ordering::Relaxed);
-                        if lo >= n {
-                            break;
-                        }
-                        let hi = (lo + batch).min(n);
-                        for i in lo..hi {
-                            mine.push(run_cell(spec, i));
+                        // Own deque first; then scan victims ring-order.
+                        let task = q.pop().or_else(|| {
+                            (1..workers).find_map(|k| {
+                                let victim = &stealers[(w + k) % workers];
+                                loop {
+                                    match victim.steal_batch_and_pop(&q) {
+                                        Steal::Success(t) => break Some(t),
+                                        Steal::Empty => break None,
+                                        Steal::Retry => continue,
+                                    }
+                                }
+                            })
+                        });
+                        match task {
+                            Some((i, origin)) => {
+                                let t0 = std::time::Instant::now();
+                                let result = run(i);
+                                stats.busy_ns += t0.elapsed().as_nanos() as u64;
+                                stats.cells_run += 1;
+                                if origin != w {
+                                    stats.cells_stolen += 1;
+                                }
+                                shard.push((i, result));
+                                remaining.0.fetch_sub(1, Ordering::Release);
+                            }
+                            None => {
+                                // Nothing stealable *right now*, but a task
+                                // in flight elsewhere may still land in a
+                                // victim's deque via a batch steal — only
+                                // the global counter says we are done.
+                                if remaining.0.load(Ordering::Acquire) == 0 {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
                         }
                     }
-                    let done = mine.len() as u64;
-                    (mine, done)
+                    (shard, stats)
                 })
             })
             .collect();
@@ -228,17 +332,77 @@ pub fn run_grid(spec: &GridSpec) -> GridOutcome {
             .collect()
     })
     .expect("grid scope failed");
-    let per_worker_completed: Vec<u64> = outputs.iter().map(|(_, done)| *done).collect();
-    let mut cells: Vec<GridCell> = outputs.into_iter().flat_map(|(cells, _)| cells).collect();
-    cells.sort_unstable_by_key(|c| c.index);
-    assert_eq!(
-        cells.len(),
-        n,
-        "every cell index must be claimed exactly once"
-    );
+
+    let mut stats = Vec::with_capacity(workers);
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (shard, st) in shards {
+        stats.push(st);
+        for (i, t) in shard {
+            assert!(slots[i].is_none(), "task {i} executed more than once");
+            slots[i] = Some(t);
+        }
+    }
+    let results: Vec<T> = slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| s.unwrap_or_else(|| panic!("task {i} never executed")))
+        .collect();
+    (results, stats)
+}
+
+/// Executes the full matrix on the work-stealing pool (see the module
+/// docs for the architecture). Every worker lazily builds one
+/// [`CellRunner`] per flavor on first contact and reuses it — via
+/// base-mark restore — for every later cell of that flavor, so the
+/// executor's deploy count is `Σ` (flavors each worker touched), not the
+/// cell count. Results are bit-identical to [`run_cell`]'s fresh-deploy
+/// reference at every worker count and steal schedule.
+pub fn run_grid(spec: &GridSpec) -> GridOutcome {
+    let n = spec.cells();
+    if n == 0 {
+        return GridOutcome {
+            cells: Vec::new(),
+            worker_stats: Vec::new(),
+        };
+    }
+    let workers = spec.resolved_workers();
+    // Redeploys are counted through shared slots (not WorkerStats directly)
+    // because the runner pool lives inside the worker closure, which
+    // steal_execute owns until join.
+    let redeploy_counts: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+    let redeploy_counts = &redeploy_counts;
+    let (cells, mut stats) = steal_execute(n, workers, |w| {
+        let mut pool: Vec<Option<CellRunner>> = spec.flavors.iter().map(|_| None).collect();
+        move |i| {
+            let (flavor, strategy, seed, fault_profile) = spec.coords(i);
+            let runner = pool[spec.flavor_slot(i)].get_or_insert_with(|| {
+                redeploy_counts[w].fetch_add(1, Ordering::Relaxed);
+                CellRunner::new(flavor, spec.bugs.clone(), spec.scale_nodes)
+            });
+            let eval = runner.run(
+                strategy,
+                spec.hours,
+                seed,
+                spec.threshold_t,
+                spec.weights,
+                fault_profile,
+            );
+            GridCell {
+                index: i,
+                flavor,
+                strategy: strategy.to_string(),
+                seed,
+                fault_profile: fault_profile.to_string(),
+                eval,
+            }
+        }
+    });
+    for (w, st) in stats.iter_mut().enumerate() {
+        st.redeploys = redeploy_counts[w].load(Ordering::Relaxed);
+    }
     GridOutcome {
         cells,
-        per_worker_completed,
+        worker_stats: stats,
     }
 }
 
@@ -267,6 +431,10 @@ mod tests {
         assert_eq!(spec.coords(1), (Flavor::GlusterFs, "Themis-", 11, "none"));
         assert_eq!(spec.coords(2), (Flavor::Hdfs, "Themis-", 3, "none"));
         assert_eq!(spec.coords(3), (Flavor::Hdfs, "Themis-", 11, "none"));
+        assert_eq!(spec.flavor_slot(0), 0);
+        assert_eq!(spec.flavor_slot(1), 0);
+        assert_eq!(spec.flavor_slot(2), 1);
+        assert_eq!(spec.flavor_slot(3), 1);
     }
 
     #[test]
@@ -302,45 +470,95 @@ mod tests {
             );
             assert!(cell.eval.campaign.iterations > 0);
         }
-        assert_eq!(out.per_worker_completed.len(), 2);
-        assert_eq!(out.per_worker_completed.iter().sum::<u64>(), 4);
+        assert_eq!(out.worker_stats.len(), 2);
+        assert_eq!(out.worker_stats.iter().map(|s| s.cells_run).sum::<u64>(), 4);
     }
 
     #[test]
     fn worker_count_is_clamped_to_cells() {
         let spec = tiny_spec(64);
         let out = run_grid(&spec);
-        assert_eq!(out.per_worker_completed.len(), 4);
+        assert_eq!(out.worker_stats.len(), 4);
     }
 
     #[test]
-    fn serial_path_reports_one_worker() {
+    fn single_worker_runs_everything_itself() {
         let spec = tiny_spec(1);
         let out = run_grid(&spec);
-        assert_eq!(out.per_worker_completed, vec![4]);
         assert_eq!(out.cells.len(), 4);
+        assert_eq!(out.worker_stats.len(), 1);
+        let st = out.worker_stats[0];
+        assert_eq!(st.cells_run, 4);
+        assert_eq!(st.cells_stolen, 0, "one worker has nobody to steal from");
+        assert!(st.busy_ns > 0);
     }
 
     #[test]
-    fn batched_pickup_still_covers_every_cell_in_order() {
-        // 32 cells on 2 workers → batch size 2: exercises the multi-cell
-        // claim path and the merge-sort at join.
+    fn reuse_pins_redeploys_to_workers_times_flavors() {
+        // 2 flavors × 8 seeds = 16 cells on 2 workers: without reuse this
+        // would deploy 16 simulators; with it, at most 2 × 2.
         let spec = GridSpec {
             workers: 2,
             ..GridSpec::new(
                 vec![Flavor::GlusterFs, Flavor::Hdfs],
                 vec!["Themis-".into()],
-                (0..16u64).collect(),
+                (0..8u64).collect(),
                 BugSet::None,
                 1,
             )
         };
-        assert_eq!(spec.cells(), 32);
         let out = run_grid(&spec);
-        assert_eq!(out.cells.len(), 32);
-        for (i, cell) in out.cells.iter().enumerate() {
-            assert_eq!(cell.index, i);
+        assert_eq!(out.cells.len(), 16);
+        let redeploys = out.redeploys();
+        assert!(
+            (1..=4).contains(&redeploys),
+            "2 workers × 2 flavors caps deploys at 4, got {redeploys}"
+        );
+    }
+
+    #[test]
+    fn strided_seeding_interleaves_flavors_across_workers() {
+        // Generic-executor check: with 2 workers and no stealing possible
+        // (both equally loaded, trivial tasks), worker w must run exactly
+        // the ids with id % 2 == w.
+        let (results, stats) = steal_execute(8, 2, |w| move |i: usize| (w, i));
+        for (i, (_w, id)) in results.iter().enumerate() {
+            assert_eq!(*id, i, "results are keyed by task id");
         }
-        assert_eq!(out.per_worker_completed.iter().sum::<u64>(), 32);
+        let total: u64 = stats.iter().map(|s| s.cells_run).sum();
+        assert_eq!(total, 8);
+        // Every task landed initially on id % 2; stolen or not, the
+        // origin-tag bookkeeping must balance.
+        let stolen: u64 = stats.iter().map(|s| s.cells_stolen).sum();
+        assert!(stolen <= 8);
+    }
+
+    #[test]
+    fn uneven_task_costs_get_stolen_not_stranded() {
+        use std::sync::atomic::AtomicU64 as A;
+        // Task 0 is ~1000x heavier than the rest and is seeded to worker
+        // 0 along with tasks 2, 4, 6...; with stealing, other workers must
+        // pick up worker 0's backlog: total cells_run by workers 1..3
+        // must exceed their own initial share.
+        let heavy_runs = A::new(0);
+        let (results, stats) = steal_execute(64, 4, |_w| {
+            let heavy_runs = &heavy_runs;
+            move |i: usize| {
+                if i == 0 {
+                    heavy_runs.fetch_add(1, Ordering::Relaxed);
+                    // Busy loop long enough for the others to drain and
+                    // start stealing.
+                    let mut acc = 0u64;
+                    for k in 0..2_000_000u64 {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                    }
+                    assert_ne!(acc, 1); // keep the loop un-optimizable
+                }
+                i as u64
+            }
+        });
+        assert_eq!(results, (0..64).map(|i| i as u64).collect::<Vec<_>>());
+        assert_eq!(stats.iter().map(|s| s.cells_run).sum::<u64>(), 64);
+        assert_eq!(heavy_runs.load(Ordering::Relaxed), 1);
     }
 }

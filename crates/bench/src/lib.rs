@@ -10,9 +10,10 @@ pub mod grid;
 pub mod harness;
 pub mod perf;
 pub mod scale;
+pub mod scaling;
 pub mod tables;
 
-pub use grid::{run_cell, run_grid, GridCell, GridOutcome, GridSpec};
+pub use grid::{run_cell, run_grid, steal_execute, GridCell, GridOutcome, GridSpec, WorkerStats};
 pub use harness::{
     render_table, run_eval, run_eval_baseline, run_matrix, run_strategy_all_flavors, EvalResult,
 };

@@ -280,6 +280,49 @@ pub(crate) fn sample(id: &str, samples: u64, iters: u64, mut f: impl FnMut()) ->
     }
 }
 
+/// Host CPU topology, recorded in every BENCH_*.json so a CI scaling gate
+/// can distinguish "no speedup" from "single-core host" and skip honestly.
+#[derive(Debug, Clone, Copy)]
+pub struct HostTopology {
+    /// What `std::thread::available_parallelism()` reported (affinity- and
+    /// cgroup-aware: the parallelism actually available to this process).
+    pub available_parallelism: usize,
+    /// Logical CPUs the OS exposes (`/proc/cpuinfo` processor count where
+    /// readable; falls back to `available_parallelism`).
+    pub logical_cores: usize,
+}
+
+impl HostTopology {
+    /// Probes the current host.
+    pub fn detect() -> Self {
+        let ap = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let logical = std::fs::read_to_string("/proc/cpuinfo")
+            .ok()
+            .map(|s| s.lines().filter(|l| l.starts_with("processor")).count())
+            .filter(|&n| n > 0)
+            .unwrap_or(ap);
+        HostTopology {
+            available_parallelism: ap,
+            logical_cores: logical,
+        }
+    }
+
+    /// Whether this host can exhibit real parallel speedup at all.
+    pub fn multi_core(&self) -> bool {
+        self.available_parallelism > 1
+    }
+
+    /// The topology as a JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"available_parallelism\": {}, \"logical_cores\": {}}}",
+            self.available_parallelism, self.logical_cores
+        )
+    }
+}
+
 /// Wall-clock of the same campaign matrix at several worker counts.
 #[derive(Debug, Clone)]
 pub struct GridScaling {
@@ -287,7 +330,9 @@ pub struct GridScaling {
     pub cells: usize,
     /// `(workers, wall_seconds)` per measured run.
     pub runs: Vec<(usize, f64)>,
-    /// Whether every parallel run matched the serial cell-by-cell results.
+    /// Whether every measured run (including the one-worker pass, which
+    /// reuses simulators like the rest) matched the fresh-deploy serial
+    /// reference cell by cell.
     pub identical_to_serial: bool,
 }
 
@@ -368,17 +413,18 @@ pub fn scaling_spec(hours: u64) -> GridSpec {
     )
 }
 
-/// Runs `spec` serially (cell by cell) and then once per requested worker
-/// count, timing each pass and checking parallel results against serial.
+/// Runs `spec` through the work-stealing executor once per worker count
+/// (always including 1, the denominator of every speedup), timing each
+/// pass, and checks every pass — the one-worker run included, since it
+/// reuses simulators like the rest — against an untimed fresh-deploy
+/// serial reference. Speedups therefore measure pure parallel scaling,
+/// not deploy-elision, while the identity bit still pins the reuse
+/// machinery to the reference semantics.
 pub fn measure_grid_scaling(spec: &GridSpec, worker_counts: &[usize]) -> GridScaling {
-    let start = Instant::now();
-    let serial: Vec<_> = (0..spec.cells()).map(|i| run_cell(spec, i)).collect();
-    let mut runs = vec![(1usize, start.elapsed().as_secs_f64())];
+    let reference: Vec<_> = (0..spec.cells()).map(|i| run_cell(spec, i)).collect();
+    let mut runs = Vec::new();
     let mut identical = true;
-    for &workers in worker_counts {
-        if workers <= 1 {
-            continue;
-        }
+    for workers in std::iter::once(1usize).chain(worker_counts.iter().copied().filter(|&w| w > 1)) {
         let spec = GridSpec {
             workers,
             ..spec.clone()
@@ -386,11 +432,11 @@ pub fn measure_grid_scaling(spec: &GridSpec, worker_counts: &[usize]) -> GridSca
         let start = Instant::now();
         let out = run_grid(&spec);
         runs.push((workers, start.elapsed().as_secs_f64()));
-        identical &= out.cells.len() == serial.len()
+        identical &= out.cells.len() == reference.len()
             && out
                 .cells
                 .iter()
-                .zip(&serial)
+                .zip(&reference)
                 .all(|(g, s)| g.index == s.index && g.eval.campaign == s.eval.campaign);
     }
     GridScaling {
@@ -426,6 +472,10 @@ pub(crate) fn json_f64(v: f64) -> String {
 pub fn bench_json(raw: &[RawMeasurement], campaign: &CampaignPerf, grid: &GridScaling) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"schema\": \"themis-bench-v1\",\n");
+    out.push_str(&format!(
+        "  \"host\": {},\n",
+        HostTopology::detect().to_json()
+    ));
 
     out.push_str("  \"campaign\": {\n");
     out.push_str(&format!(
@@ -528,7 +578,11 @@ pub fn bench2_json(
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"schema\": \"themis-bench-v2\",\n");
-    out.push_str(&format!("  \"host\": {{\"cores\": {cores}}},\n"));
+    let topo = HostTopology::detect();
+    out.push_str(&format!(
+        "  \"host\": {{\"cores\": {cores}, \"available_parallelism\": {}, \"logical_cores\": {}}},\n",
+        topo.available_parallelism, topo.logical_cores
+    ));
 
     out.push_str("  \"fork_restore\": [\n");
     push_measurements(&mut out, fork_restore, "    ");
@@ -656,6 +710,7 @@ mod tests {
         }];
         let j = bench_json(&raw, &campaign, &grid);
         assert!(j.contains("\"schema\": \"themis-bench-v1\""));
+        assert!(j.contains("\"host\": {\"available_parallelism\": "));
         assert!(j.contains("\"speedup\": 3.0"));
         assert!(j.contains("\\\"x\\\""));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
@@ -695,6 +750,16 @@ mod tests {
     }
 
     #[test]
+    fn host_topology_probe_is_sane() {
+        let t = HostTopology::detect();
+        assert!(t.available_parallelism >= 1);
+        assert!(t.logical_cores >= 1);
+        let j = t.to_json();
+        assert!(j.starts_with("{\"available_parallelism\": "));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
     fn bench2_json_is_well_formed_enough() {
         let c = ForkCampaignPerf {
             flavor: Flavor::CephFs,
@@ -725,7 +790,7 @@ mod tests {
         }];
         let j = bench2_json(4, &raw, std::slice::from_ref(&c), &grid);
         assert!(j.contains("\"schema\": \"themis-bench-v2\""));
-        assert!(j.contains("\"host\": {\"cores\": 4}"));
+        assert!(j.contains("\"host\": {\"cores\": 4, \"available_parallelism\": "));
         assert!(j.contains("\"fault_profile\": \"crash\""));
         assert!(j.contains("\"speedup_vs_replay\": 5.0"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());

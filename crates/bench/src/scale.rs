@@ -15,7 +15,6 @@ use simdfs::{BugSet, DfsRequest, DfsSim, Flavor, FlavorConfig, MeanFieldModel, M
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 use themis::spec::{Operand, Operation, Operator};
 use themis::DfsAdaptor;
@@ -332,12 +331,11 @@ impl HeavyGridScaling {
     }
 }
 
-/// Pad to a cache line so per-worker cursor updates do not false-share.
-#[repr(align(64))]
-struct CacheAligned<T>(T);
-
 /// Runs one heavy campaign per seed, serially and then at each requested
-/// worker count, checking parallel reports against serial.
+/// worker count on the grid's work-stealing executor
+/// ([`crate::grid::steal_execute`] — the ad-hoc claim-cursor pool this
+/// module used to carry is gone), checking parallel reports against
+/// serial.
 pub fn measure_heavy_grid_scaling(
     flavor: Flavor,
     nodes: u32,
@@ -358,43 +356,11 @@ pub fn measure_heavy_grid_scaling(
             continue;
         }
         let start = Instant::now();
-        let cursor = CacheAligned(AtomicUsize::new(0));
-        let mut reports: Vec<Option<String>> = vec![None; seeds.len()];
-        // Same work-stealing shape as the grid executor: workers pull the
-        // next unclaimed cell index from a shared cursor, so cell order
-        // inside a worker is nondeterministic but each cell's result is a
-        // pure function of its seed.
-        crossbeam::thread::scope(|scope| {
-            let cursor = &cursor;
-            let mut handles = Vec::new();
-            for _ in 0..workers {
-                handles.push(scope.spawn(move |_| {
-                    let mut out: Vec<(usize, String)> = Vec::new();
-                    loop {
-                        let i = cursor.0.fetch_add(1, Ordering::Relaxed);
-                        if i >= seeds.len() {
-                            break;
-                        }
-                        out.push((
-                            i,
-                            run_heavy_campaign(flavor, nodes, seeds[i], blocks).report,
-                        ));
-                    }
-                    out
-                }));
-            }
-            for h in handles {
-                for (i, report) in h.join().expect("heavy cell worker panicked") {
-                    reports[i] = Some(report);
-                }
-            }
-        })
-        .expect("heavy grid scope");
+        let (reports, _stats) = crate::grid::steal_execute(seeds.len(), workers, |_w| {
+            move |i: usize| run_heavy_campaign(flavor, nodes, seeds[i], blocks).report
+        });
         runs.push((workers, start.elapsed().as_secs_f64()));
-        identical &= reports
-            .iter()
-            .zip(&serial)
-            .all(|(got, want)| got.as_deref() == Some(want.as_str()));
+        identical &= reports.iter().zip(&serial).all(|(got, want)| got == want);
     }
 
     HeavyGridScaling {
@@ -415,7 +381,11 @@ pub fn bench3_json(
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"schema\": \"themis-bench-v3\",\n");
-    out.push_str(&format!("  \"host\": {{\"cores\": {cores}}},\n"));
+    let topo = crate::perf::HostTopology::detect();
+    out.push_str(&format!(
+        "  \"host\": {{\"cores\": {cores}, \"available_parallelism\": {}, \"logical_cores\": {}}},\n",
+        topo.available_parallelism, topo.logical_cores
+    ));
     out.push_str(&format!(
         "  \"variance_probe_cost_ratio\": {},\n",
         json_f64(variance.probe_cost_ratio())

@@ -131,6 +131,23 @@ pub struct DfsSim {
     /// Monotonic id source for fork marks (never reused, so a stale id
     /// from before a reset can never alias a live mark).
     next_snapshot_id: u64,
+    /// Post-deploy base state for cross-campaign simulator reuse (see
+    /// [`DfsSim::mark_base`]). Unlike fork marks it survives resets.
+    base: Option<Box<BaseMark>>,
+}
+
+/// What [`DfsSim::restore_to_base`] needs beyond the pristine
+/// namespace/cluster clone: the state a reset does *not* re-establish.
+/// The coverage model is monotone within one campaign (which is why fork
+/// marks skip it) but must rewind between campaigns; the clock and the
+/// cumulative stats likewise outlive resets but not a fresh deploy.
+#[derive(Debug)]
+struct BaseMark {
+    clock: SimClock,
+    coverage: CoverageModel,
+    stats: SimStats,
+    check_timer: Option<PeriodicTimer>,
+    migrate_timer: PeriodicTimer,
 }
 
 /// One saved execution point of the snapshot-fork engine.
@@ -207,6 +224,7 @@ impl DfsSim {
             pristine: None,
             snapshots: Vec::new(),
             next_snapshot_id: 0,
+            base: None,
             cfg,
             bug_set,
         };
@@ -1903,6 +1921,95 @@ impl DfsSim {
         self.snapshots.len()
     }
 
+    /// Marks the current state as the reusable *base* for cross-campaign
+    /// simulator reuse: [`DfsSim::restore_to_base`] later rewinds to
+    /// exactly this point, no matter what ran in between — including
+    /// resets, which kill every ordinary fork mark.
+    ///
+    /// Must be called while the simulator is at a freshly deployed (or
+    /// freshly reset) state with no fault plan installed and no live fork
+    /// marks: the base restore re-establishes the namespace and cluster
+    /// from the pristine deploy snapshot, so marking a dirtied state would
+    /// record a clock/coverage point that no longer matches it.
+    ///
+    /// This is the entry point behind the grid executor's per-worker
+    /// simulator pool: deploy once per (worker, flavor), restore to base
+    /// between campaign cells instead of rebuilding the topology.
+    pub fn mark_base(&mut self) {
+        debug_assert!(
+            self.snapshots.is_empty(),
+            "mark_base on a sim with live fork marks"
+        );
+        debug_assert!(!self.faults.any(), "mark_base with a fault plan installed");
+        self.base = Some(Box::new(BaseMark {
+            clock: self.clock.clone(),
+            coverage: self.coverage.clone(),
+            stats: self.stats,
+            check_timer: self.check_timer.clone(),
+            migrate_timer: self.migrate_timer.clone(),
+        }));
+    }
+
+    /// Whether [`DfsSim::mark_base`] has been called.
+    pub fn has_base(&self) -> bool {
+        self.base.is_some()
+    }
+
+    /// Rewinds the simulator to the state captured by
+    /// [`DfsSim::mark_base`], byte-for-byte equivalent to a fresh deploy:
+    /// pristine namespace/cluster, rearmed bugs, empty fault plan, base
+    /// clock, base coverage and base statistics. Every live fork mark
+    /// dies (the restored lineage is a new one). Returns `false` (leaving
+    /// the sim untouched) if no base was ever marked.
+    ///
+    /// Unlike [`DfsSim::reset`] — which models an operator redeploying a
+    /// live cluster (faults persist, the clock keeps running, coverage
+    /// accumulates) — this models *reusing the process for an unrelated
+    /// campaign*, so everything observable rewinds.
+    pub fn restore_to_base(&mut self) -> bool {
+        let Some(base) = self.base.take() else {
+            return false;
+        };
+        self.snapshots.clear();
+        self.ns.set_journaling(false);
+        self.cluster.set_journaling(false);
+        match self.pristine.take() {
+            Some(p) => {
+                self.ns.clone_from(&p.0);
+                self.cluster.clone_from(&p.1);
+                self.pristine = Some(p);
+            }
+            None => {
+                self.ns = Namespace::new();
+                self.cluster = Cluster::new();
+                self.build_topology();
+            }
+        }
+        self.placement_cache.invalidate();
+        self.balancer = Balancer::new(self.cfg.balance_threshold);
+        self.bugs.rearm();
+        self.hash_cache.clear();
+        self.crashed.clear();
+        self.faults = FaultInjector::default();
+        self.prev_kind = None;
+        self.prev2_kind = None;
+        self.rr_counter = 0;
+        self.last_variance = (1.0, 1.0, 1.0);
+        self.clock = base.clock.clone();
+        self.coverage.clone_from(&base.coverage);
+        self.stats = base.stats;
+        self.check_timer.clone_from(&base.check_timer);
+        self.migrate_timer.clone_from(&base.migrate_timer);
+        self.base = Some(base);
+        // Same guard as a fork restore: the base must land on exactly the
+        // state the incremental counters claim.
+        #[cfg(debug_assertions)]
+        if let Err(e) = self.audit_state() {
+            panic!("state audit failed after restore_to_base: {e}");
+        }
+        true
+    }
+
     /// The bug set this simulator was built with.
     pub fn bug_set(&self) -> &BugSet {
         &self.bug_set
@@ -2689,5 +2796,77 @@ mod tests {
         assert!(s.restore(mark));
         s.audit_state()
             .expect("second restore of the same mark must audit clean");
+    }
+
+    #[test]
+    fn restore_to_base_without_mark_is_a_noop() {
+        let mut s = sim(Flavor::Hdfs);
+        let before = fingerprint(&s);
+        assert!(!s.has_base());
+        assert!(!s.restore_to_base());
+        assert_eq!(fingerprint(&s), before);
+    }
+
+    #[test]
+    fn restore_to_base_matches_a_fresh_deploy() {
+        // A reused sim, rewound to base, must be indistinguishable from a
+        // brand-new one running the same workload — including coverage,
+        // stats, and the clock, none of which fork marks capture.
+        let mut reused = DfsSim::new(Flavor::GlusterFs, BugSet::All);
+        reused.mark_base();
+        churn(&mut reused, 0);
+        assert!(reused.coverage_count() > 0, "churn must produce coverage");
+        assert!(reused.restore_to_base());
+
+        let mut fresh = DfsSim::new(Flavor::GlusterFs, BugSet::All);
+        assert_eq!(fingerprint(&reused), fingerprint(&fresh));
+        assert_eq!(reused.coverage_count(), fresh.coverage_count());
+
+        churn(&mut reused, 1);
+        churn(&mut fresh, 1);
+        assert_eq!(
+            fingerprint(&reused),
+            fingerprint(&fresh),
+            "replay after base restore must be bit-identical to fresh"
+        );
+        assert_eq!(reused.coverage_count(), fresh.coverage_count());
+    }
+
+    #[test]
+    fn restore_to_base_survives_reset_and_kills_fork_marks() {
+        let mut s = DfsSim::new(Flavor::Hdfs, BugSet::None);
+        s.mark_base();
+        let base = fingerprint(&s);
+        churn(&mut s, 0);
+        let mark = s.fork();
+        churn(&mut s, 1);
+        s.reset(); // kills `mark`, keeps the base
+        assert!(!s.restore(mark));
+        churn(&mut s, 2);
+        assert!(s.restore_to_base(), "base must outlive resets");
+        assert_eq!(fingerprint(&s), base);
+        assert_eq!(s.fork_count(), 0);
+        assert!(s.has_base(), "base stays marked for the next cell");
+        // And again: the base is reusable indefinitely.
+        churn(&mut s, 3);
+        assert!(s.restore_to_base());
+        assert_eq!(fingerprint(&s), base);
+    }
+
+    #[test]
+    fn restore_to_base_clears_the_fault_plan() {
+        let mut s = DfsSim::new(Flavor::CephFs, BugSet::None);
+        s.mark_base();
+        s.set_fault_plan(FaultPlan::new(vec![fault_at(
+            1_000,
+            FaultKind::CrashStorage { index: 0 },
+        )]));
+        churn(&mut s, 0);
+        assert!(s.restore_to_base());
+        assert!(
+            !s.fault_injector().any(),
+            "base restore must drop the per-cell fault plan"
+        );
+        assert!(s.crashed_nodes().is_empty());
     }
 }

@@ -2,8 +2,10 @@
 # CI gate: formatting, lints, the full test suite, and a bench smoke run
 # that exercises the grid executor and dumps the perf JSON artifact.
 #
-# Usage: scripts/ci.sh [--no-bench]
-#   --no-bench   skip the bench smoke step (fast pre-push check)
+# Usage: scripts/ci.sh [--no-bench|--bench-scaling]
+#   --no-bench        skip the bench smoke step (fast pre-push check)
+#   --bench-scaling   also run the heavy-cell worker-scaling bench and
+#                     gate results/BENCH_4.json (slow; multi-core boxes)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -102,6 +104,38 @@ if [[ "${1:-}" != "--no-bench" ]]; then
     fi
     if grep -q 'false' <<<"$(grep -o '"mean_field_ok": [a-z]*' results/BENCH_3.json)"; then
         echo "==> heavy campaign drifted from the mean-field model"; exit 1
+    fi
+fi
+
+if [[ "${1:-}" == "--bench-scaling" ]]; then
+    # Worker-scaling artifact: the heavy-cell grid through the
+    # work-stealing executor at 1/2/4/8 workers with per-worker
+    # {cells_run, cells_stolen, busy_ns} counters, the reuse redeploy
+    # count, and fresh-deploy identity at every worker count, into
+    # results/BENCH_4.json.
+    run cargo run --release --offline -p bench --bin repro -- scaling
+    test -s results/BENCH_4.json
+    echo "==> results/BENCH_4.json:"
+    cat results/BENCH_4.json
+
+    # Determinism is non-negotiable at any core count: every parallel
+    # run's cells must be byte-identical to the serial fresh-deploy
+    # reference, even when the speedup gate itself is skipped.
+    grep -q '"identical_to_serial": true' results/BENCH_4.json \
+        || { echo "==> parallel grid diverged from the serial reference"; exit 1; }
+
+    # Speedup gate: every measured worker count w with 1 < w <= the
+    # host's available parallelism must hit >= 0.7x-per-worker speedup
+    # (>= 1.4x @ 2 workers, >= 2.8x @ 4). The bench computes the verdict
+    # itself; single-core hosts record the gate as skipped instead.
+    if grep -q '"skipped": "single-core"' results/BENCH_4.json; then
+        echo "==> scaling gate skipped: single-core host"
+    elif grep -q '"passed": true' results/BENCH_4.json; then
+        echo "==> scaling gate OK: >= 0.7x-per-worker speedup"
+    else
+        echo "==> SCALING REGRESSION:"
+        grep -o '"why": "[^"]*"' results/BENCH_4.json || true
+        exit 1
     fi
 fi
 
