@@ -12,7 +12,8 @@ use simdfs::{
 use std::cell::RefCell;
 use std::rc::Rc;
 use themis::adaptor::{
-    AdaptorError, DfsAdaptor, LoadReport, NodeInventory, NodeLoad, Role, SnapshotCapable,
+    AdaptorError, CrashExplorable, CrashOracleViolation, DfsAdaptor, LoadReport, NodeInventory,
+    NodeLoad, Role, SnapshotCapable,
 };
 use themis::spec::{Operand, Operation, Operator};
 
@@ -395,6 +396,63 @@ impl DfsAdaptor for SimAdaptor {
             None
         }
     }
+
+    fn crash_points(&mut self) -> Option<&mut dyn CrashExplorable> {
+        // Crash exploration replays windows through fork/restore; the
+        // capability is only coherent while snapshots are advertised.
+        if self.advertise_snapshots {
+            Some(self)
+        } else {
+            None
+        }
+    }
+}
+
+/// Crash-point instrumentation over the simulator's migration pipeline
+/// (see `simdfs::crash`). Labels and indices are deterministic, so the
+/// explorer's enumerate-then-crash replays line up exactly.
+impl CrashExplorable for SimAdaptor {
+    fn arm_enumeration(&mut self) {
+        self.sim.borrow_mut().arm_crash_enumeration();
+    }
+
+    fn arm_crash_at(&mut self, k: u64) {
+        self.sim.borrow_mut().arm_crash_at(k);
+    }
+
+    fn disarm(&mut self) -> Vec<String> {
+        self.sim.borrow_mut().disarm_crash()
+    }
+
+    fn crash_fired(&mut self) -> bool {
+        self.sim.borrow().crashed_in_flight().is_some()
+    }
+
+    fn recover(&mut self) -> Option<String> {
+        self.sim
+            .borrow_mut()
+            .recover_crashed_machine()
+            .map(|inf| inf.label())
+    }
+
+    fn check_invariants(&mut self) -> Option<CrashOracleViolation> {
+        self.sim
+            .borrow_mut()
+            .check_crash_invariants()
+            .err()
+            .map(|v| CrashOracleViolation {
+                class: v.class.as_str().into(),
+                detail: v.detail,
+            })
+    }
+
+    fn window_step_ms(&self) -> u64 {
+        self.sim.borrow().config().migrate_step_ms
+    }
+
+    fn set_runtime_audit(&mut self, on: bool) {
+        self.sim.borrow_mut().set_runtime_audit(on);
+    }
 }
 
 /// Fork/restore over the simulator's delta-journal snapshots. The sim
@@ -658,5 +716,64 @@ mod tests {
         let before = a.free_space();
         a.send(&create("/big", 64 << 20)).unwrap();
         assert!(a.free_space() < before);
+    }
+
+    #[test]
+    fn crash_capability_follows_snapshot_advertisement() {
+        let mut a = adaptor(Flavor::GlusterFs);
+        assert!(a.crash_points().is_some());
+        a.set_snapshot_capability(false);
+        assert!(a.crash_points().is_none());
+    }
+
+    #[test]
+    fn bounded_exploration_finds_all_seeded_classes_where_random_misses() {
+        // The acceptance-criteria scenario: on GlusterFS (the linkfile
+        // flavor) bounded exploration finds all three seeded
+        // crash-window classes, while the random-time baseline with the
+        // same fork budget misses at least one.
+        let mut a = adaptor(Flavor::GlusterFs);
+        let cfg = themis::CrashExplorerConfig::default();
+        let result = themis::run_crash_campaign(&mut a, &cfg).unwrap();
+        for class in ["orphan_replica", "double_counted_blocks", "lost_linkfile"] {
+            assert!(
+                result.bounded.found(class),
+                "bounded arm must find {class}; found {:?}",
+                result.bounded.by_class
+            );
+        }
+        assert_eq!(result.baseline.forks, result.bounded.forks);
+        let missed = ["orphan_replica", "double_counted_blocks", "lost_linkfile"]
+            .iter()
+            .filter(|c| !result.baseline.found(c))
+            .count();
+        assert!(
+            missed >= 1,
+            "random baseline with the same budget must miss a class; found {:?}",
+            result.baseline.by_class
+        );
+    }
+
+    #[test]
+    fn non_linkfile_flavors_find_the_accounting_classes() {
+        let mut a = adaptor(Flavor::Hdfs);
+        let cfg = themis::CrashExplorerConfig::default();
+        let result = themis::run_crash_campaign(&mut a, &cfg).unwrap();
+        assert!(result.bounded.found("orphan_replica"));
+        assert!(result.bounded.found("double_counted_blocks"));
+        assert!(
+            !result.bounded.found("lost_linkfile"),
+            "HDFS has no linkfile machinery"
+        );
+    }
+
+    #[test]
+    fn crash_campaign_is_deterministic() {
+        let cfg = themis::CrashExplorerConfig::default();
+        let mut a = adaptor(Flavor::GlusterFs);
+        let first = themis::run_crash_campaign(&mut a, &cfg).unwrap();
+        let mut b = adaptor(Flavor::GlusterFs);
+        let second = themis::run_crash_campaign(&mut b, &cfg).unwrap();
+        assert_eq!(first, second, "same seed must reproduce bit-identically");
     }
 }

@@ -2,8 +2,9 @@
 //!
 //! Usage: `repro [--workers N] [artifact...]` where artifact is one of
 //! `table1..table8`, `figure2`, `figure12`, `perf`, `faults`, `scale`,
-//! `scaling`, or `all` (default; excludes `perf`, `faults`, `scale`, and
-//! `scaling`). The comparison tables share one matrix run (Table 3 /
+//! `scaling`, `crash`, or `all` (default; excludes `perf`, `faults`,
+//! `scale`, `scaling`, and `crash`). The comparison tables share one
+//! matrix run (Table 3 /
 //! Table 5 / Figure 12). `perf` times the cached-vs-baseline campaign hot
 //! path, the snapshot-fork engine against full replay and the redeploy
 //! fallback, and grid-executor scaling, and dumps `results/BENCH_1.json`
@@ -12,7 +13,10 @@
 //! measures variance-sampling cost from 10 to 10k storage nodes plus
 //! heavy-traffic campaigns at scale and writes `results/BENCH_3.json`.
 //! `scaling` runs the heavy-cell grid through the work-stealing executor
-//! at 1/2/4/8 workers and writes `results/BENCH_4.json`.
+//! at 1/2/4/8 workers and writes `results/BENCH_4.json`. `crash` runs
+//! bounded crash-point exploration of the migration pipeline (plus the
+//! equal-budget random baseline) on every flavor and writes
+//! `results/BENCH_5.json`.
 //!
 //! `--workers N` pins the grid executor's worker count for every matrix
 //! run whose spec does not set one explicitly (0 restores the default of
@@ -118,6 +122,20 @@ fn main() {
         let spec = bench::scaling::heavy_spec(4);
         let bench4 = bench::scaling::measure_scaling(&spec, &[2, 4, 8]);
         write("BENCH_4.json", &bench::scaling::bench4_json(&bench4));
+    }
+    // Crash is opt-in: bounded crash-point exploration of the migration
+    // pipeline — one campaign per flavor (bounded arm plus the
+    // equal-budget random-time baseline) through the work-stealing
+    // executor, with a from-scratch byte-identity check. Writes
+    // `results/BENCH_5.json`.
+    if args.iter().any(|a| a == "crash") {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(4);
+        let bench5 =
+            bench::crashbench::measure_crashbench(&themis::CrashExplorerConfig::default(), workers);
+        write("BENCH_5.json", &bench::crashbench::bench5_json(&bench5));
     }
     // Scale is opt-in: large-topology scaling measurements (10 to 10k
     // storage nodes), heavy-traffic campaigns with the mean-field

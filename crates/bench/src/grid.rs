@@ -233,6 +233,27 @@ pub fn run_cell(spec: &GridSpec, index: usize) -> GridCell {
 #[repr(align(64))]
 struct CacheAligned<T>(T);
 
+/// Context captured when a worker's task panics: which worker was
+/// running which task, and the panic payload rendered to a string.
+#[derive(Debug, Clone)]
+struct TaskPanic {
+    worker: usize,
+    task: usize,
+    message: String,
+}
+
+/// Renders a caught panic payload (the common `&str`/`String` cases;
+/// anything else is labelled as opaque rather than dropped).
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
 /// Generic work-stealing executor: runs tasks `0..n` across `workers`
 /// threads and returns every task's result (indexed by task id) plus
 /// per-worker counters.
@@ -251,6 +272,12 @@ struct CacheAligned<T>(T);
 /// every id is executed exactly once, and the strided seeding plus FIFO
 /// discipline keep the *schedule* reproducible for a given (n, workers)
 /// when no stealing occurs.
+///
+/// If a task panics, the executor aborts the grid cleanly: the unwind is
+/// caught, sibling workers stop draining (instead of spinning forever on
+/// the remaining-cells counter), every completed shard is still merged,
+/// and the re-raised panic names the worker, the in-flight cell index,
+/// the original payload, and how many cells had completed.
 pub fn steal_execute<T, M, F>(
     n: usize,
     workers: usize,
@@ -274,6 +301,12 @@ where
     let remaining = CacheAligned(AtomicUsize::new(n));
     let remaining = &remaining;
     let make_worker = &make_worker;
+    // A panicking task must not take its context down with it: the worker
+    // catches the unwind, records (worker, task, payload) here, and raises
+    // the abort flag so sibling workers stop draining instead of spinning
+    // on a remaining-count that can no longer reach zero.
+    let aborted = &std::sync::atomic::AtomicBool::new(false);
+    let panics = &std::sync::Mutex::new(Vec::<TaskPanic>::new());
 
     let shards: Vec<(Vec<(usize, T)>, WorkerStats)> = crossbeam::thread::scope(|s| {
         let handles: Vec<_> = queues
@@ -285,6 +318,9 @@ where
                     let mut stats = WorkerStats::default();
                     let mut shard: Vec<(usize, T)> = Vec::with_capacity(n / workers + 1);
                     loop {
+                        if aborted.load(Ordering::Acquire) {
+                            break;
+                        }
                         // Own deque first; then scan victims ring-order.
                         let task = q.pop().or_else(|| {
                             (1..workers).find_map(|k| {
@@ -301,14 +337,32 @@ where
                         match task {
                             Some((i, origin)) => {
                                 let t0 = std::time::Instant::now();
-                                let result = run(i);
+                                let result =
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                        run(i)
+                                    }));
                                 stats.busy_ns += t0.elapsed().as_nanos() as u64;
-                                stats.cells_run += 1;
-                                if origin != w {
-                                    stats.cells_stolen += 1;
+                                match result {
+                                    Ok(t) => {
+                                        stats.cells_run += 1;
+                                        if origin != w {
+                                            stats.cells_stolen += 1;
+                                        }
+                                        shard.push((i, t));
+                                        remaining.0.fetch_sub(1, Ordering::Release);
+                                    }
+                                    Err(payload) => {
+                                        panics.lock().expect("panic log poisoned").push(
+                                            TaskPanic {
+                                                worker: w,
+                                                task: i,
+                                                message: payload_message(&*payload),
+                                            },
+                                        );
+                                        aborted.store(true, Ordering::Release);
+                                        break;
+                                    }
                                 }
-                                shard.push((i, result));
-                                remaining.0.fetch_sub(1, Ordering::Release);
                             }
                             None => {
                                 // Nothing stealable *right now*, but a task
@@ -328,7 +382,11 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("grid worker panicked"))
+            .enumerate()
+            .map(|(w, h)| {
+                h.join()
+                    .unwrap_or_else(|_| panic!("grid worker {w} panicked outside task execution"))
+            })
             .collect()
     })
     .expect("grid scope failed");
@@ -341,6 +399,18 @@ where
             assert!(slots[i].is_none(), "task {i} executed more than once");
             slots[i] = Some(t);
         }
+    }
+    // Every surviving shard is merged above before a task panic is
+    // re-raised, so the failure message can report exactly how much of the
+    // grid completed (and with which context the rest was lost).
+    let panics = panics.lock().expect("panic log poisoned");
+    if let Some(p) = panics.first() {
+        let completed = slots.iter().filter(|s| s.is_some()).count();
+        panic!(
+            "grid worker {} panicked while running cell {}: {}; \
+             {completed}/{n} cells completed before the grid aborted",
+            p.worker, p.task, p.message
+        );
     }
     let results: Vec<T> = slots
         .into_iter()
@@ -560,5 +630,33 @@ mod tests {
         assert_eq!(results, (0..64).map(|i| i as u64).collect::<Vec<_>>());
         assert_eq!(stats.iter().map(|s| s.cells_run).sum::<u64>(), 64);
         assert_eq!(heavy_runs.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_context_and_completed_count() {
+        let caught = std::panic::catch_unwind(|| {
+            steal_execute(8, 2, |_w| {
+                move |i: usize| {
+                    if i == 5 {
+                        panic!("cell exploded deterministically");
+                    }
+                    i
+                }
+            })
+        });
+        let payload = caught.expect_err("the grid must propagate the task panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("the grid panic carries a rich message");
+        assert!(msg.contains("grid worker"), "names the worker: {msg}");
+        assert!(msg.contains("cell 5"), "names the in-flight cell: {msg}");
+        assert!(
+            msg.contains("cell exploded deterministically"),
+            "carries the original payload: {msg}"
+        );
+        assert!(
+            msg.contains("cells completed"),
+            "reports the merged shards: {msg}"
+        );
     }
 }

@@ -6,6 +6,7 @@
 //! artifacts under `results/`; `cargo bench` runs reduced-budget versions
 //! under Criterion for timing.
 
+pub mod crashbench;
 pub mod grid;
 pub mod harness;
 pub mod perf;

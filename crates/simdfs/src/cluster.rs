@@ -25,7 +25,7 @@ pub struct Replica {
 }
 
 /// Physical metadata for one file.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FileMeta {
     /// Placement key (hash of the path at creation; renames rehash it).
     pub key: u64,
@@ -666,6 +666,101 @@ impl Cluster {
         self.touch_volume(to);
         self.touch_volume(from);
         Ok(moved)
+    }
+
+    // ------------------------------------------------------------------
+    // Migration micro-steps
+    //
+    // [`Cluster::migrate`] above is the atomic fast path the normal
+    // simulation loop uses. The crash-point explorer instead drives a
+    // migration through the same state transitions as enumerable
+    // micro-operations — per-fragment destination copies, the file-table
+    // commit, and the source-space reclaim — so a deterministic crash can
+    // land *between* any two of them. Composing the full sequence with no
+    // crash yields byte-identical cluster state to the atomic path (there
+    // is a differential test pinning this).
+    // ------------------------------------------------------------------
+
+    /// Copies `bytes` of migrating data onto `to` without touching the
+    /// file table: the mid-copy state of a real migration, where the
+    /// source replica stays authoritative. Fails (state untouched) if the
+    /// destination lacks the space.
+    pub fn migrate_copy(&mut self, to: VolumeId, bytes: Bytes) -> SimResult<()> {
+        let dest = self.volume_mut(to)?;
+        if dest.free() < bytes {
+            return Err(SimError::OutOfSpace {
+                requested: bytes,
+                free: dest.free(),
+            });
+        }
+        dest.used += bytes;
+        self.touch_volume(to);
+        Ok(())
+    }
+
+    /// Releases `bytes` previously landed by [`Cluster::migrate_copy`]:
+    /// the rollback a *correct* crash recovery performs when the copy
+    /// never committed.
+    pub fn migrate_rollback_copy(&mut self, to: VolumeId, bytes: Bytes) {
+        if let Ok(dest) = self.volume_mut(to) {
+            dest.used = dest.used.saturating_sub(bytes);
+            self.touch_volume(to);
+        }
+    }
+
+    /// Commits the file-table side of a migration: the replica of `fid`
+    /// on `from` is re-pointed at `to` holding `kept` bytes. Returns the
+    /// source replica's former size, which the caller must reclaim with
+    /// [`Cluster::migrate_commit_account`] — between the two calls the
+    /// moved bytes are counted on both ends, exactly the double-count
+    /// window of a real two-phase migration.
+    pub fn migrate_commit_swap(
+        &mut self,
+        fid: crate::types::FileId,
+        from: VolumeId,
+        to: VolumeId,
+        kept: Bytes,
+    ) -> SimResult<Bytes> {
+        let meta = self
+            .files
+            .get(&fid)
+            .ok_or(SimError::NoSuchPath(format!("{fid}")))?;
+        let idx = meta
+            .replicas
+            .iter()
+            .position(|r| r.volume == from)
+            .ok_or(SimError::NoSuchVolume(from))?;
+        let moved = meta.replicas[idx].bytes;
+        self.note_file(fid);
+        let meta = self.files.get_mut(&fid).expect("checked above");
+        meta.replicas[idx] = Replica {
+            volume: to,
+            bytes: kept,
+        };
+        Ok(moved)
+    }
+
+    /// Reclaims the source space of a committed migration (`moved` bytes
+    /// freed on `from`), completing what
+    /// [`Cluster::migrate_commit_swap`] started.
+    pub fn migrate_commit_account(&mut self, from: VolumeId, moved: Bytes) {
+        if let Ok(src) = self.volume_mut(from) {
+            src.used = src.used.saturating_sub(moved);
+            self.touch_volume(from);
+        }
+    }
+
+    /// Bytes of `vol`'s incremental `used` counter accounted for by the
+    /// file table — the from-first-principles number [`Cluster::audit`]
+    /// compares against. The crash-consistency oracle uses the per-volume
+    /// form to classify which end of an interrupted migration leaked.
+    pub fn recomputed_used(&self, vol: VolumeId) -> Bytes {
+        self.files
+            .values()
+            .flat_map(|m| m.replicas.iter())
+            .filter(|r| r.volume == vol)
+            .map(|r| r.bytes)
+            .sum()
     }
 
     /// Bytes stored per online storage node with at least one volume.

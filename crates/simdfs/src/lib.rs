@@ -37,6 +37,7 @@ pub mod bugs;
 pub mod clock;
 pub mod cluster;
 pub mod coverage;
+pub mod crash;
 pub mod error;
 pub mod faults;
 pub mod flavor;
@@ -55,6 +56,7 @@ pub use balancer::{Balancer, MigrationMove, RebalanceStatus};
 pub use bugs::{BugEngine, BugSpec, Effect, FailureKind, Gate, Metric, SimEvent, Trigger};
 pub use cluster::Cluster;
 pub use coverage::{CoverageModel, CoverageUniverse, Region};
+pub use crash::{CrashClass, CrashViolation, InFlightMove, MigrationStepKind};
 pub use error::{SimError, SimResult};
 pub use faults::{FaultEvent, FaultInjector, FaultKind, FaultPlan};
 pub use flavor::{BalancerStyle, Flavor, FlavorConfig, PlacementKind, RoutingKind};

@@ -33,9 +33,15 @@ const Q_SCALE_BITS: u32 = 32;
 /// Quantizes a node utilization `used/capacity` to 32-bit fixed point.
 ///
 /// `used ≤ capacity` (a cluster invariant enforced by every byte mutation)
-/// keeps the result in `0..=2³²`.
+/// keeps the result in `0..=2³²`. A zero-capacity node — reachable after a
+/// disk-full fault shrinks volumes or a resize detaches the last bytes —
+/// has no meaningful utilization fraction; it reports as saturated full
+/// (`2³²`) so imbalance detection treats it as the worst case instead of
+/// dividing by zero (debug) or wrapping to garbage (release).
 pub fn quantize(used: Bytes, capacity: Bytes) -> u64 {
-    debug_assert!(capacity > 0, "quantize requires a positive capacity");
+    if capacity == 0 {
+        return 1u64 << Q_SCALE_BITS;
+    }
     ((used as u128 * (1u128 << Q_SCALE_BITS)) / capacity as u128) as u64
 }
 
@@ -189,6 +195,15 @@ mod tests {
         let a = quantize(1 << 30, 48 << 30);
         let b = quantize(2 << 30, 48 << 30);
         assert!(a < b);
+    }
+
+    #[test]
+    fn quantize_zero_capacity_saturates_full() {
+        // A node whose volumes shrank to zero capacity must read as
+        // saturated full, not divide by zero (debug) or wrap (release).
+        assert_eq!(quantize(0, 0), 1 << 32);
+        assert_eq!(quantize(12345, 0), 1 << 32);
+        assert_eq!(quantize(0, 0), quantize(100, 100));
     }
 
     #[test]

@@ -13,6 +13,10 @@ use crate::bugs::{BugEngine, BugEngineCheckpoint, BugRuntime, BugSpec, Effect, S
 use crate::clock::{PeriodicTimer, SimClock};
 use crate::cluster::{Cluster, ClusterCheckpoint};
 use crate::coverage::{CoverageModel, Region};
+use crate::crash::{
+    fragment_bytes, fragment_count, CrashClass, CrashPlan, CrashRuntime, CrashViolation,
+    InFlightMove, MigrationStepKind,
+};
 use crate::error::{SimError, SimResult};
 use crate::faults::{FaultInjector, FaultKind, FaultPlan};
 use crate::flavor::{BalancerStyle, Flavor, FlavorConfig, RoutingKind};
@@ -134,6 +138,15 @@ pub struct DfsSim {
     /// Post-deploy base state for cross-campaign simulator reuse (see
     /// [`DfsSim::mark_base`]). Unlike fork marks it survives resets.
     base: Option<Box<BaseMark>>,
+    /// Crash-point instrumentation over the migration pipeline (see
+    /// [`crate::crash`]); disarmed and inert on the normal hot path.
+    crash: CrashRuntime,
+    /// Whether [`DfsSim::audit_state`] runs automatically after every
+    /// snapshot restore. Defaults to on in debug builds; release-mode
+    /// campaigns opt in via [`DfsSim::set_runtime_audit`] — the
+    /// crash-consistency oracle needs the guard with `debug_assertions`
+    /// off, while hot-path campaigns keep it disabled for throughput.
+    runtime_audit: bool,
 }
 
 /// What [`DfsSim::restore_to_base`] needs beyond the pristine
@@ -178,6 +191,7 @@ struct SimSnapshot {
     rr_counter: u64,
     check_timer: Option<PeriodicTimer>,
     migrate_timer: PeriodicTimer,
+    crash: CrashRuntime,
 }
 
 impl DfsSim {
@@ -225,6 +239,8 @@ impl DfsSim {
             snapshots: Vec::new(),
             next_snapshot_id: 0,
             base: None,
+            crash: CrashRuntime::default(),
+            runtime_audit: cfg!(debug_assertions),
             cfg,
             bug_set,
         };
@@ -1177,6 +1193,12 @@ impl DfsSim {
     }
 
     fn advance(&mut self, ms: u64) {
+        // An armed crash fired and its victim has not been recovered yet:
+        // the explorer inspects the frozen mid-migration state before
+        // anything else happens, so time holds still.
+        if self.crash.in_flight.is_some() {
+            return;
+        }
         let now = self.clock.advance(ms);
         // Fire scheduled environment faults before migration steps: the
         // steps must observe crashes/partitions that became due.
@@ -1192,6 +1214,11 @@ impl DfsSim {
             let moves = self.balancer.next_moves(self.cfg.moves_per_step);
             for m in moves {
                 self.execute_move(&m);
+                if self.crash.in_flight.is_some() {
+                    // The machine applying this move just crashed; the
+                    // rest of the step dies with the aborted round.
+                    return;
+                }
             }
             if self.balancer.status() == RebalanceStatus::Done {
                 let ev = SimEvent::RebalanceDone {
@@ -1325,6 +1352,15 @@ impl DfsSim {
             .unwrap_or(0);
         let kept = lossy_kept(m.bytes, bug_loss.max(self.faults.loss_pct()));
 
+        // With crash-point instrumentation armed, the move runs as
+        // enumerable micro-steps instead of one atomic transition. The
+        // disarmed hot path below is byte-identical to the
+        // pre-instrumentation behaviour (a single branch away).
+        if self.crash.armed() {
+            self.execute_move_interruptible(m, key, had_link, cache_hit, kept);
+            return;
+        }
+
         match self.cluster.migrate(m.file, m.from, m.to, kept) {
             Ok(moved) => {
                 self.stats.migrations += 1;
@@ -1371,6 +1407,379 @@ impl DfsSim {
             mix(0x4D16, (cache_hit as u64) << 1 | had_link as u64),
             variance_bucket,
         );
+    }
+
+    // ------------------------------------------------------------------
+    // Crash-point exploration (see crate::crash)
+    // ------------------------------------------------------------------
+
+    /// The armed variant of the atomic migrate-and-account tail of
+    /// [`DfsSim::execute_move`]: the same state transitions as enumerable
+    /// micro-steps with a crash point after each. Composed with no crash
+    /// firing, the result is byte-identical to the atomic path (pinned by
+    /// a differential test).
+    fn execute_move_interruptible(
+        &mut self,
+        m: &MigrationMove,
+        key: u64,
+        had_link: bool,
+        cache_hit: bool,
+        kept: Bytes,
+    ) {
+        self.run_move_microsteps(m, key, kept);
+        if self.crash.in_flight.is_some() {
+            // The victim died mid-move: no step event is emitted — the
+            // balancer never hears back, like a lost RPC.
+            return;
+        }
+        let ev = SimEvent::MigrationStep {
+            cache_hit,
+            had_link,
+        };
+        self.feed_bugs(&ev);
+        let variance_bucket = self.variance_bucket();
+        self.touch_deep(
+            mix(0x4D16, (cache_hit as u64) << 1 | had_link as u64),
+            variance_bucket,
+        );
+    }
+
+    fn run_move_microsteps(&mut self, m: &MigrationMove, key: u64, kept: Bytes) {
+        // Stale-plan and capacity validation mirrors the atomic path: the
+        // source replica size caps `kept`, and one up-front space check
+        // drops the move when the destination cannot take it.
+        let Some(meta) = self.cluster.files().get(&m.file) else {
+            return;
+        };
+        let Some(moved) = meta
+            .replicas
+            .iter()
+            .find(|r| r.volume == m.from)
+            .map(|r| r.bytes)
+        else {
+            return;
+        };
+        let kept = kept.min(moved);
+        if self.cluster.volume(m.to).is_none_or(|v| v.free() < kept) {
+            return;
+        }
+        if self.crash_point(m, MigrationStepKind::Plan, 0, moved, kept, key) {
+            return;
+        }
+        let frags = fragment_count(kept);
+        let mut copied: Bytes = 0;
+        for i in 0..frags {
+            let share = fragment_bytes(kept, frags, i);
+            if self.cluster.migrate_copy(m.to, share).is_err() {
+                // Unreachable after the up-front check; drop the move like
+                // the atomic error path, leaving no partial state behind.
+                self.cluster.migrate_rollback_copy(m.to, copied);
+                return;
+            }
+            copied += share;
+            let step = MigrationStepKind::Copy {
+                fragment: i + 1,
+                of: frags,
+            };
+            if self.crash_point(m, step, copied, moved, kept, key) {
+                return;
+            }
+        }
+        if self
+            .cluster
+            .migrate_commit_swap(m.file, m.from, m.to, kept)
+            .is_err()
+        {
+            self.cluster.migrate_rollback_copy(m.to, copied);
+            return;
+        }
+        if self.crash_point(m, MigrationStepKind::CommitSwap, copied, moved, kept, key) {
+            return;
+        }
+        self.cluster.migrate_commit_account(m.from, moved);
+        if self.crash_point(
+            m,
+            MigrationStepKind::CommitAccount,
+            copied,
+            moved,
+            kept,
+            key,
+        ) {
+            return;
+        }
+        // Cleanup bookkeeping, identical to the atomic path's success arm.
+        self.stats.migrations += 1;
+        self.stats.bytes_migrated += moved;
+        self.balancer.total_moves += 1;
+        self.balancer.total_bytes_moved += moved;
+        if moved > kept {
+            self.stats.bytes_lost += moved - kept;
+        }
+        let now = self.clock.now();
+        if self.cfg.hash_cache_ttl_ms > 0 {
+            self.hash_cache
+                .insert(key, now.advanced(self.cfg.hash_cache_ttl_ms));
+            let hash_loc = self.hash_location(key);
+            if let Some(meta) = self.cluster.file_mut(m.file) {
+                let data_at: Vec<VolumeId> = meta.replicas.iter().map(|r| r.volume).collect();
+                meta.linkfile_at = match hash_loc {
+                    Some(h) if !data_at.contains(&h) => Some(h),
+                    _ => None,
+                };
+            }
+        }
+        self.charge_storage_write(m.to);
+        if let Some(node) = self.cluster.storage.get_mut(&m.from_node) {
+            node.load.read_io.add(now, 1.0);
+            node.load.cpu.add(now, 1.0);
+        }
+        let _ = self.crash_point(m, MigrationStepKind::Cleanup, copied, moved, kept, key);
+    }
+
+    /// Passes one crash point. Enumeration mode counts and labels it;
+    /// crash mode kills the machine applying the step when the armed
+    /// index matches. Returns `true` when a crash fired (the move halts).
+    fn crash_point(
+        &mut self,
+        m: &MigrationMove,
+        step: MigrationStepKind,
+        copied: Bytes,
+        moved: Bytes,
+        kept: Bytes,
+        key: u64,
+    ) -> bool {
+        let idx = self.crash.points_seen;
+        self.crash.points_seen += 1;
+        match self.crash.plan {
+            // Unreachable: only the armed micro-step path calls this.
+            None => false,
+            Some(CrashPlan::Enumerate) => {
+                let label = format!("{} f{} {}->{}", step.label(), m.file, m.from, m.to);
+                self.crash.labels.push(label);
+                false
+            }
+            Some(CrashPlan::At(k)) => {
+                if idx != k {
+                    return false;
+                }
+                // The machine applying this micro-step dies: the
+                // destination while data is landing, the source side for
+                // commit and cleanup.
+                let victim = match step {
+                    MigrationStepKind::Plan | MigrationStepKind::Copy { .. } => m.to_node,
+                    _ => m.from_node,
+                };
+                self.crash.in_flight = Some(InFlightMove {
+                    mv: m.clone(),
+                    step,
+                    copied,
+                    moved,
+                    kept,
+                    key,
+                    victim,
+                    point: idx,
+                });
+                self.cluster.set_offline(victim);
+                if !self.crashed.contains(&victim) {
+                    self.crashed.push(victim);
+                }
+                // A crashed mover aborts the round, exactly like an
+                // environment crash fault.
+                self.balancer.abort();
+                true
+            }
+        }
+    }
+
+    /// Arms crash-point enumeration: migration execution switches to the
+    /// micro-step path and counts + labels every crash point it passes,
+    /// crashing nothing. Drive time forward, then read the labels back
+    /// with [`DfsSim::disarm_crash`].
+    pub fn arm_crash_enumeration(&mut self) {
+        self.crash = CrashRuntime {
+            plan: Some(CrashPlan::Enumerate),
+            ..CrashRuntime::default()
+        };
+    }
+
+    /// Arms a crash at the `k`-th (0-based) crash point passed from now
+    /// on. With the same driving sequence, point indices line up exactly
+    /// with a previous enumeration from the same state.
+    pub fn arm_crash_at(&mut self, k: u64) {
+        self.crash = CrashRuntime {
+            plan: Some(CrashPlan::At(k)),
+            ..CrashRuntime::default()
+        };
+    }
+
+    /// Disarms the crash instrumentation, returning the labels collected
+    /// while enumerating. A fired-but-unrecovered crash and the last
+    /// recovered move survive disarming — the oracle still needs them.
+    pub fn disarm_crash(&mut self) -> Vec<String> {
+        self.crash.plan = None;
+        self.crash.points_seen = 0;
+        std::mem::take(&mut self.crash.labels)
+    }
+
+    /// Crash points passed since the instrumentation was armed.
+    pub fn crash_points_seen(&self) -> u64 {
+        self.crash.points_seen
+    }
+
+    /// The migration interrupted by a fired crash, until recovery runs.
+    pub fn crashed_in_flight(&self) -> Option<&InFlightMove> {
+        self.crash.in_flight.as_ref()
+    }
+
+    /// Restarts the machine an armed crash killed and runs the restart
+    /// repair a real node performs when it rejoins after dying mid-move.
+    ///
+    /// The repair deliberately carries the three **seeded crash-window
+    /// bug classes** this explorer exists to find; each one manifests
+    /// only when the crash landed inside its micro-window, which is why
+    /// random-time injection rarely triggers them:
+    ///
+    /// - crash mid-**copy** → *orphan replica*: the restart-time volume
+    ///   scan re-registers partially copied bytes as allocated space but
+    ///   never cross-checks them against the file table, so nobody owns
+    ///   or reclaims them (correct recovery would roll the copy back);
+    /// - crash after **commit-swap** → *double-counted blocks*: the file
+    ///   table already names the destination, so recovery declares the
+    ///   move complete and never reclaims the source space (correct
+    ///   recovery would finish the source-side accounting);
+    /// - crash after **commit-account** → *lost linkfile*: the linkfile
+    ///   rewrite scheduled after the commit is forgotten across the
+    ///   restart, so DHT lookups at the hash location find neither data
+    ///   nor a pointer (correct recovery would recompute the linkfile;
+    ///   only linkfile-routing flavors are affected).
+    ///
+    /// Returns the interrupted move's record, also kept internally for
+    /// [`DfsSim::check_crash_invariants`]. `None` if no crash is pending.
+    pub fn recover_crashed_machine(&mut self) -> Option<InFlightMove> {
+        let inf = self.crash.in_flight.take()?;
+        self.cluster.set_online(inf.victim);
+        self.crashed.retain(|n| *n != inf.victim);
+        match inf.step {
+            MigrationStepKind::Plan | MigrationStepKind::Cleanup => {
+                // Nothing was mid-flight: before the first fragment or
+                // after full durability, a restart is clean.
+            }
+            MigrationStepKind::Copy { .. } => {
+                // SEEDED BUG — orphan replica (see the doc comment). The
+                // correct repair is:
+                //   self.cluster.migrate_rollback_copy(inf.mv.to, inf.copied);
+            }
+            MigrationStepKind::CommitSwap => {
+                // SEEDED BUG — double-counted blocks. The correct repair:
+                //   self.cluster.migrate_commit_account(inf.mv.from, inf.moved);
+            }
+            MigrationStepKind::CommitAccount => {
+                // SEEDED BUG — lost linkfile: the pending linkfile
+                // recompute for `inf.mv.file` is dropped on restart.
+            }
+        }
+        self.crash.recovered = Some(inf.clone());
+        Some(inf)
+    }
+
+    /// Crash-consistency oracle: after a crash-and-recover cycle,
+    /// re-derives the namespace/replica/accounting invariants from first
+    /// principles and classifies any violation into the seeded
+    /// crash-window classes. Runs in every build profile — it is the
+    /// release-mode face of [`DfsSim::audit_state`], which backstops the
+    /// scoped checks here.
+    pub fn check_crash_invariants(&mut self) -> Result<(), CrashViolation> {
+        if let Some(inf) = self.crash.recovered.clone() {
+            // Destination first: bytes present on disk that the file table
+            // does not account for are an orphaned partial copy.
+            let to_used = self.cluster.volume(inf.mv.to).map_or(0, |v| v.used);
+            let to_expect = self.cluster.recomputed_used(inf.mv.to);
+            if to_used > to_expect {
+                return Err(CrashViolation {
+                    class: CrashClass::OrphanReplica,
+                    detail: format!(
+                        "volume {} holds {} bytes but the file table accounts for {}: \
+                         {} orphan bytes left by '{}'",
+                        inf.mv.to,
+                        to_used,
+                        to_expect,
+                        to_used - to_expect,
+                        inf.label()
+                    ),
+                });
+            }
+            // Source next: space still charged for a replica the file
+            // table re-pointed elsewhere means the bytes count twice.
+            let from_used = self.cluster.volume(inf.mv.from).map_or(0, |v| v.used);
+            let from_expect = self.cluster.recomputed_used(inf.mv.from);
+            if from_used > from_expect {
+                return Err(CrashViolation {
+                    class: CrashClass::DoubleCountedBlocks,
+                    detail: format!(
+                        "volume {} still charges {} bytes but the file table accounts \
+                         for {}: {} bytes double-counted across {} and {} after '{}'",
+                        inf.mv.from,
+                        from_used,
+                        from_expect,
+                        from_used - from_expect,
+                        inf.mv.from,
+                        inf.mv.to,
+                        inf.label()
+                    ),
+                });
+            }
+            // Linkfile invariant, for committed moves on linkfile-routing
+            // flavors: the moved file must end with exactly the linkfile
+            // its post-move layout requires.
+            if inf.step.committed() && self.cfg.hash_cache_ttl_ms > 0 {
+                let layout = self.cluster.files().get(&inf.mv.file).map(|meta| {
+                    let data_at: Vec<VolumeId> = meta.replicas.iter().map(|r| r.volume).collect();
+                    (meta.linkfile_at, data_at)
+                });
+                if let Some((link, data_at)) = layout {
+                    let hash_loc = self.hash_location(inf.key);
+                    let expected = match hash_loc {
+                        Some(h) if !data_at.contains(&h) => Some(h),
+                        _ => None,
+                    };
+                    if link != expected {
+                        return Err(CrashViolation {
+                            class: CrashClass::LostLinkfile,
+                            detail: format!(
+                                "file f{} data sits at {:?} with hash location {:?}, \
+                                 which requires linkfile {:?}, but the namespace holds \
+                                 {:?} after '{}'",
+                                inf.mv.file,
+                                data_at,
+                                hash_loc,
+                                expected,
+                                link,
+                                inf.label()
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        // Backstop: the full first-principles audit catches anything the
+        // scoped checks above did not classify.
+        self.audit_state().map_err(|detail| CrashViolation {
+            class: CrashClass::Other,
+            detail,
+        })
+    }
+
+    /// Turns the automatic post-restore state audit on or off at runtime.
+    /// Debug builds default to on; release builds default to off so
+    /// hot-path campaigns keep their throughput, and the crash explorer
+    /// (or any caller that wants the release-mode oracle) opts in.
+    pub fn set_runtime_audit(&mut self, on: bool) {
+        self.runtime_audit = on;
+    }
+
+    /// Whether the automatic post-restore audit is currently enabled.
+    pub fn runtime_audit_enabled(&self) -> bool {
+        self.runtime_audit
     }
 
     fn maybe_activate_balancer(&mut self, class: OpClass, ok: bool) {
@@ -1735,6 +2144,9 @@ impl DfsSim {
         self.bugs.rearm();
         self.hash_cache.clear();
         self.crashed.clear();
+        // Crash-point instrumentation is tester-side probe state, not DFS
+        // state; a redeploy disarms it.
+        self.crash = CrashRuntime::default();
         // Environment faults outlive a redeploy: the fault plan models the
         // hosting environment, not DFS process state. Fault-crashed hosts
         // stay down and forced-full disks stay full; slow-node, partition
@@ -1801,6 +2213,7 @@ impl DfsSim {
             rr_counter: self.rr_counter,
             check_timer: self.check_timer.clone(),
             migrate_timer: self.migrate_timer.clone(),
+            crash: self.crash.clone(),
         });
         id
     }
@@ -1841,16 +2254,20 @@ impl DfsSim {
         self.rr_counter = snap.rr_counter;
         self.check_timer.clone_from(&snap.check_timer);
         self.migrate_timer.clone_from(&snap.migrate_timer);
+        self.crash.clone_from(&snap.crash);
         self.placement_cache
             .invalidate_if_newer_than(snap.cluster.generation());
         // Guard the undo log: a restore must land on exactly the state the
-        // incremental counters claim. Debug builds re-derive the accounting
-        // from first principles (file table, volume ownership, load-counter
-        // sanity) and abort on drift rather than let a corrupted baseline
-        // silently skew every forked campaign that follows.
-        #[cfg(debug_assertions)]
-        if let Err(e) = self.audit_state() {
-            panic!("state audit failed after restore({id}): {e}");
+        // incremental counters claim, re-deriving the accounting from first
+        // principles (file table, volume ownership, load-counter sanity)
+        // and aborting on drift rather than letting a corrupted baseline
+        // silently skew every forked campaign that follows. Debug builds
+        // always run it; release builds opt in through
+        // [`DfsSim::set_runtime_audit`] (the crash explorer does).
+        if self.runtime_audit {
+            if let Err(e) = self.audit_state() {
+                panic!("state audit failed after restore({id}): {e}");
+            }
         }
         true
     }
@@ -2001,11 +2418,13 @@ impl DfsSim {
         self.check_timer.clone_from(&base.check_timer);
         self.migrate_timer.clone_from(&base.migrate_timer);
         self.base = Some(base);
+        self.crash = CrashRuntime::default();
         // Same guard as a fork restore: the base must land on exactly the
         // state the incremental counters claim.
-        #[cfg(debug_assertions)]
-        if let Err(e) = self.audit_state() {
-            panic!("state audit failed after restore_to_base: {e}");
+        if self.runtime_audit {
+            if let Err(e) = self.audit_state() {
+                panic!("state audit failed after restore_to_base: {e}");
+            }
         }
         true
     }
@@ -2868,5 +3287,206 @@ mod tests {
             "base restore must drop the per-cell fault plan"
         );
         assert!(s.crashed_nodes().is_empty());
+    }
+
+    // ------------------------------------------------------------------
+    // Crash-point exploration
+    // ------------------------------------------------------------------
+
+    /// A Gluster sim with enough queued imbalance that a rebalance window
+    /// executes a healthy number of migrations to crash inside.
+    fn crashable_sim() -> DfsSim {
+        let mut s = sim(Flavor::GlusterFs);
+        for i in 0..30 {
+            s.execute(&DfsRequest::Create {
+                path: format!("/f{i}"),
+                size: 16 * MIB,
+            })
+            .unwrap();
+        }
+        s.execute(&DfsRequest::AddStorageNode {
+            volumes: 2,
+            capacity: 4 << 30,
+        })
+        .unwrap();
+        s
+    }
+
+    /// Starts a rebalance and drives a fixed window of fixed-size ticks —
+    /// identical driving on every run, so crash-point indices line up
+    /// between an enumeration pass and a crash-at pass. Stops early once
+    /// an armed crash fires.
+    fn drive_window(s: &mut DfsSim, ticks: u32) {
+        s.rebalance();
+        for _ in 0..ticks {
+            if s.crashed_in_flight().is_some() {
+                return;
+            }
+            s.tick(1_500);
+        }
+    }
+
+    /// Enumerates the window, re-runs it with a crash armed at the first
+    /// point whose label starts with `step`, recovers, and returns the
+    /// oracle verdict.
+    fn crash_at_first(step: &str) -> Result<(), CrashViolation> {
+        let mut s = crashable_sim();
+        let mark = s.fork();
+        s.arm_crash_enumeration();
+        drive_window(&mut s, 60);
+        let labels = s.disarm_crash();
+        let k = labels
+            .iter()
+            .position(|l| l.starts_with(step))
+            .unwrap_or_else(|| panic!("no '{step}' point in {labels:?}"));
+        assert!(s.restore(mark));
+        s.arm_crash_at(k as u64);
+        drive_window(&mut s, 60);
+        let inf = s.recover_crashed_machine().expect("armed crash must fire");
+        assert!(
+            inf.label().starts_with(step),
+            "point {k} replayed as '{}', expected a '{step}' step",
+            inf.label()
+        );
+        s.check_crash_invariants()
+    }
+
+    #[test]
+    fn armed_enumeration_is_behaviour_transparent() {
+        // The micro-step path composed with no crash must be
+        // byte-identical to the atomic fast path.
+        let mut plain = crashable_sim();
+        let mut armed = crashable_sim();
+        armed.arm_crash_enumeration();
+        drive_window(&mut plain, 60);
+        drive_window(&mut armed, 60);
+        let labels = armed.disarm_crash();
+        assert!(!labels.is_empty(), "the window must pass crash points");
+        assert_eq!(fingerprint(&plain), fingerprint(&armed));
+        assert_eq!(plain.coverage_count(), armed.coverage_count());
+        // All five micro-step shapes appear in a real window.
+        for step in ["plan", "copy", "commit-swap", "commit-account", "cleanup"] {
+            assert!(
+                labels.iter().any(|l| l.starts_with(step)),
+                "no '{step}' point in {labels:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn crash_mid_copy_leaves_an_orphan_replica() {
+        let v = crash_at_first("copy").unwrap_err();
+        assert_eq!(v.class, CrashClass::OrphanReplica, "got: {v}");
+    }
+
+    #[test]
+    fn crash_between_commit_and_account_double_counts_blocks() {
+        let v = crash_at_first("commit-swap").unwrap_err();
+        assert_eq!(v.class, CrashClass::DoubleCountedBlocks, "got: {v}");
+    }
+
+    #[test]
+    fn plan_and_cleanup_crashes_recover_clean() {
+        for step in ["plan", "cleanup"] {
+            let verdict = crash_at_first(step);
+            assert!(
+                verdict.is_ok(),
+                "'{step}' crash must recover clean: {verdict:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn crash_after_commit_account_loses_a_linkfile_in_the_window() {
+        // The lost-linkfile class only manifests on moves whose post-move
+        // layout requires a different linkfile than the pre-move one, so
+        // scan every commit-account point in the window — exactly what
+        // the bounded explorer does.
+        let mut s = crashable_sim();
+        let mark = s.fork();
+        s.arm_crash_enumeration();
+        drive_window(&mut s, 60);
+        let labels = s.disarm_crash();
+        assert!(s.restore(mark));
+        let mut found = false;
+        for (k, label) in labels.iter().enumerate() {
+            if !label.starts_with("commit-account") {
+                continue;
+            }
+            s.arm_crash_at(k as u64);
+            drive_window(&mut s, 60);
+            s.recover_crashed_machine().expect("armed crash must fire");
+            match s.check_crash_invariants() {
+                Err(v) if v.class == CrashClass::LostLinkfile => found = true,
+                Err(v) => panic!("unexpected violation at point {k}: {v}"),
+                Ok(()) => {}
+            }
+            assert!(s.restore(mark));
+            if found {
+                break;
+            }
+        }
+        assert!(
+            found,
+            "some commit-account crash in the window must lose a linkfile"
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Release-mode oracle (the audit must not depend on debug_assertions;
+    // scripts/ci.sh re-runs these tests under `cargo test --release`)
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn release_oracle_catches_counter_drift() {
+        let mut s = sim(Flavor::Hdfs);
+        s.execute(&DfsRequest::Create {
+            path: "/a".into(),
+            size: 8 * MIB,
+        })
+        .unwrap();
+        s.audit_state().expect("fresh state audits clean");
+        // Bypass the journaling accessors — the corruption a buggy
+        // recovery would leave behind.
+        let node = s.cluster.online_storage()[0];
+        s.cluster.storage.get_mut(&node).unwrap().volumes[0].used += 1;
+        let err = s.audit_state().unwrap_err();
+        assert!(err.contains("file table"), "unexpected message: {err}");
+    }
+
+    #[test]
+    fn release_oracle_catches_ownership_divergence() {
+        let mut s = sim(Flavor::CephFs);
+        s.execute(&DfsRequest::Create {
+            path: "/a".into(),
+            size: 8 * MIB,
+        })
+        .unwrap();
+        let vid = *s.cluster.volume_owner.keys().next().unwrap();
+        s.cluster.volume_owner.remove(&vid);
+        assert!(s.audit_state().is_err());
+    }
+
+    #[test]
+    fn runtime_audit_flag_defaults_by_profile_and_toggles() {
+        let mut s = sim(Flavor::Hdfs);
+        assert_eq!(
+            s.runtime_audit_enabled(),
+            cfg!(debug_assertions),
+            "debug builds audit by default; release builds opt in"
+        );
+        s.set_runtime_audit(true);
+        s.execute(&DfsRequest::Create {
+            path: "/a".into(),
+            size: MIB,
+        })
+        .unwrap();
+        // With the audit forced on, a fork/restore cycle passes it in any
+        // build profile.
+        let mark = s.fork();
+        s.tick(1_000);
+        assert!(s.restore(mark));
+        s.set_runtime_audit(false);
+        assert!(!s.runtime_audit_enabled());
     }
 }

@@ -192,6 +192,84 @@ pub trait DfsAdaptor {
     fn snapshots(&mut self) -> Option<&mut dyn SnapshotCapable> {
         None
     }
+
+    /// Optional crash-point exploration capability (see
+    /// [`CrashExplorable`]). Targets that can decompose their
+    /// migration/rebalance pipeline into deterministic crash points return
+    /// `Some`; the default `None` means the crash campaign mode is
+    /// unavailable for this target.
+    fn crash_points(&mut self) -> Option<&mut dyn CrashExplorable> {
+        None
+    }
+}
+
+/// One crash-consistency violation reported by the target's oracle after
+/// a crash-and-recover cycle, in adaptor-neutral terms.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashOracleViolation {
+    /// Stable snake_case class name (e.g. `orphan_replica`); targets keep
+    /// these names fixed so reports aggregate across runs.
+    pub class: String,
+    /// First-principles description of the inconsistency.
+    pub detail: String,
+}
+
+impl std::fmt::Display for CrashOracleViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.class, self.detail)
+    }
+}
+
+/// Deterministic crash-point instrumentation over the target's
+/// migration/rebalance pipeline, exposed by adaptors through
+/// [`DfsAdaptor::crash_points`].
+///
+/// Contract (the explorer in `crate::crash` depends on each of these):
+/// - Crash points are **deterministic**: two runs from identical target
+///   state under identical driving pass the same points in the same
+///   order, so an index recorded while enumerating addresses the same
+///   micro-step when replayed with [`CrashExplorable::arm_crash_at`].
+/// - Arming is **tester-side probe state**: with nothing armed the target
+///   behaves bit-identically to an uninstrumented one, and enumeration
+///   mode (count, never crash) is behaviour-transparent too.
+/// - A fired crash halts the interrupted migration exactly as a machine
+///   power failure would; [`CrashExplorable::recover`] restarts the
+///   machine and runs the target's restart-time repair.
+pub trait CrashExplorable {
+    /// Arms enumeration mode: subsequent driving counts and labels every
+    /// crash point passed without crashing anything.
+    fn arm_enumeration(&mut self);
+
+    /// Arms a crash at the `k`-th (0-based) crash point passed from now on.
+    fn arm_crash_at(&mut self, k: u64);
+
+    /// Disarms the instrumentation, returning the labels of the crash
+    /// points passed since arming (empty outside enumeration mode).
+    fn disarm(&mut self) -> Vec<String>;
+
+    /// Whether an armed crash has fired and awaits recovery.
+    fn crash_fired(&mut self) -> bool;
+
+    /// Restarts the crashed machine and runs the target's recovery.
+    /// Returns the label of the interrupted micro-step, or `None` if no
+    /// crash is pending.
+    fn recover(&mut self) -> Option<String>;
+
+    /// Runs the target's crash-consistency oracle over the recovered
+    /// state; `None` means every invariant holds.
+    fn check_invariants(&mut self) -> Option<CrashOracleViolation>;
+
+    /// The canonical driving quantum of the target's migration pipeline
+    /// in ms (one balancer step). The explorer waits in multiples of this
+    /// so enumeration and crash runs stay aligned.
+    fn window_step_ms(&self) -> u64;
+
+    /// Opts the target in or out of its always-on state audit while
+    /// exploring (the release-mode oracle). Default: no-op for targets
+    /// whose audit is not switchable.
+    fn set_runtime_audit(&mut self, on: bool) {
+        let _ = on;
+    }
 }
 
 /// Cheap deterministic fork/restore over target state, exposed by

@@ -1,0 +1,588 @@
+//! Bounded crash-point exploration of the target's migration pipeline.
+//!
+//! Themis's environment faults fire at scheduled virtual-clock times, but
+//! imbalance *repair* — plan → copy → commit → cleanup — is exactly where
+//! crash-consistency bugs hide, and a randomly timed crash rarely lands
+//! inside those short windows. Following B3's bounded black-box crash
+//! testing, [`explore_bounded`] instead enumerates every deterministic
+//! crash point the target passes within one rebalance window (via
+//! [`CrashExplorable`]), then uses the fork/restore engine
+//! ([`SnapshotCapable`]) to replay the window once per point: fork, crash
+//! the machine applying that micro-step, restart it, run recovery, and ask
+//! the target's crash-consistency oracle whether every
+//! namespace/replica/accounting invariant still holds.
+//!
+//! [`explore_random`] is the control arm: the same fork budget spent on
+//! randomly timed crashes over an oversampled horizon (modelling how a
+//! scheduled fault usually misses the micro-windows). The campaign report
+//! carries both, so a run demonstrates not just *what* bounded exploration
+//! found but what random injection would have missed.
+//!
+//! [`SnapshotCapable`]: crate::adaptor::SnapshotCapable
+
+use crate::adaptor::{CrashOracleViolation, DfsAdaptor};
+use crate::spec::{Operand, Operation, Operator};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+pub use crate::adaptor::CrashExplorable;
+
+/// Tuning for one crash-exploration campaign.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashExplorerConfig {
+    /// Upper bound on crash points explored (the "bounded" in bounded
+    /// exploration): points past the bound are enumerated but not crashed.
+    pub bound: u64,
+    /// Driving quanta per window replay (each quantum is the target's
+    /// [`CrashExplorable::window_step_ms`]).
+    pub window_ticks: u32,
+    /// Priming workload: files created before the storage expansion.
+    pub prime_files: u32,
+    /// Priming workload: size of each created file in bytes.
+    pub prime_file_bytes: u64,
+    /// Priming workload: capacity of the storage node added to queue a
+    /// rebalance (and shift DHT hash ranges, so linkfile transitions
+    /// occur).
+    pub prime_storage_bytes: u64,
+    /// Seed for the random-time baseline arm.
+    pub seed: u64,
+    /// The random baseline draws crash indices from `points × oversample`:
+    /// the factor models wall-clock time that is *not* inside any
+    /// migration micro-window, which randomly timed faults mostly hit.
+    pub oversample: u64,
+}
+
+impl Default for CrashExplorerConfig {
+    fn default() -> Self {
+        CrashExplorerConfig {
+            bound: 96,
+            window_ticks: 60,
+            prime_files: 30,
+            prime_file_bytes: 16 << 20,
+            prime_storage_bytes: 4 << 30,
+            seed: 0x7EA1_5EED,
+            oversample: 32,
+        }
+    }
+}
+
+/// One explored crash point whose oracle check failed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashFinding {
+    /// 0-based crash-point index within the window.
+    pub point: u64,
+    /// Micro-step label of the interrupted move.
+    pub label: String,
+    /// The invariant violation the oracle reported after recovery.
+    pub violation: CrashOracleViolation,
+}
+
+/// Outcome of one exploration arm (bounded or random baseline).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashExplorationReport {
+    /// Crash points the enumeration pass counted in the window.
+    pub points_enumerated: u64,
+    /// Crash-and-recover cycles actually executed.
+    pub explored: u64,
+    /// Fork/restore cycles spent (enumeration included) — the execution
+    /// budget both arms are compared on.
+    pub forks: u64,
+    /// Explored points whose recovery passed every invariant.
+    pub clean: u64,
+    /// Violations, in crash-point order.
+    pub findings: Vec<CrashFinding>,
+    /// Violations per stable class name.
+    pub by_class: BTreeMap<String, u64>,
+}
+
+impl CrashExplorationReport {
+    /// Whether a violation of `class` was found.
+    pub fn found(&self, class: &str) -> bool {
+        self.by_class.contains_key(class)
+    }
+
+    fn record(&mut self, point: u64, label: String, violation: Option<CrashOracleViolation>) {
+        self.explored += 1;
+        match violation {
+            Some(v) => {
+                *self.by_class.entry(v.class.clone()).or_insert(0) += 1;
+                self.findings.push(CrashFinding {
+                    point,
+                    label,
+                    violation: v,
+                });
+            }
+            None => self.clean += 1,
+        }
+    }
+}
+
+/// A full crash-campaign result: the bounded arm plus the equal-budget
+/// random baseline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashCampaignResult {
+    /// Target name as reported by the adaptor.
+    pub target: String,
+    /// The bounded crash-point exploration arm.
+    pub bounded: CrashExplorationReport,
+    /// The random-time control arm, same fork budget.
+    pub baseline: CrashExplorationReport,
+}
+
+/// Standard splitmix64 step — the deterministic generator behind the
+/// random baseline's crash-index draws.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Starts a rebalance and drives a fixed window of fixed-size quanta —
+/// identical driving on every replay, so crash-point indices recorded
+/// while enumerating address the same micro-steps when crashed. Stops
+/// early once an armed crash fires (time is frozen for the dead machine).
+fn drive_window(a: &mut dyn DfsAdaptor, step_ms: u64, ticks: u32) {
+    a.rebalance();
+    for _ in 0..ticks {
+        if a.crash_points().is_some_and(|c| c.crash_fired()) {
+            return;
+        }
+        a.wait(step_ms);
+    }
+}
+
+/// Forks at the current state, crashes the target at crash point `k`
+/// within one replayed window, recovers, runs the oracle, and restores.
+/// Returns `None` if the armed crash never fired (the index lies beyond
+/// the window — a wasted run, which is the point of the random baseline).
+fn crash_once(
+    a: &mut dyn DfsAdaptor,
+    mark: u64,
+    step_ms: u64,
+    ticks: u32,
+    k: u64,
+) -> Result<Option<(String, Option<CrashOracleViolation>)>, String> {
+    a.crash_points()
+        .ok_or("target does not expose crash points")?
+        .arm_crash_at(k);
+    drive_window(a, step_ms, ticks);
+    let cp = a.crash_points().expect("capability checked above");
+    let outcome = match cp.recover() {
+        Some(label) => {
+            let violation = cp.check_invariants();
+            Some((label, violation))
+        }
+        None => None,
+    };
+    a.crash_points().expect("capability checked above").disarm();
+    if !a
+        .snapshots()
+        .ok_or("crash exploration requires fork/restore")?
+        .restore(mark)
+    {
+        return Err("window fork mark died mid-exploration".into());
+    }
+    Ok(outcome)
+}
+
+/// Bounded exploration: enumerate the window's crash points, then crash
+/// at each of the first `cfg.bound` in turn, recover, and oracle-check.
+///
+/// The target must expose both [`CrashExplorable`] and fork/restore;
+/// errors otherwise. The target's runtime audit is switched on for the
+/// duration — exploration *wants* the release-mode oracle on every
+/// restore.
+pub fn explore_bounded(
+    a: &mut dyn DfsAdaptor,
+    cfg: &CrashExplorerConfig,
+) -> Result<CrashExplorationReport, String> {
+    let cp = a
+        .crash_points()
+        .ok_or("target does not expose crash points")?;
+    let step_ms = cp.window_step_ms();
+    cp.set_runtime_audit(true);
+    let mark = a
+        .snapshots()
+        .ok_or("crash exploration requires fork/restore")?
+        .snapshot();
+
+    // Pass 1: enumerate.
+    a.crash_points()
+        .expect("capability checked above")
+        .arm_enumeration();
+    drive_window(a, step_ms, cfg.window_ticks);
+    let labels = a.crash_points().expect("capability checked above").disarm();
+    if !a
+        .snapshots()
+        .expect("capability checked above")
+        .restore(mark)
+    {
+        return Err("window fork mark died after enumeration".into());
+    }
+
+    // Pass 2: one crash-and-recover replay per point, up to the bound.
+    let mut report = CrashExplorationReport {
+        points_enumerated: labels.len() as u64,
+        forks: 1, // the enumeration replay
+        ..CrashExplorationReport::default()
+    };
+    let explore = (labels.len() as u64).min(cfg.bound);
+    for k in 0..explore {
+        report.forks += 1;
+        match crash_once(a, mark, step_ms, cfg.window_ticks, k)? {
+            Some((label, violation)) => report.record(k, label, violation),
+            None => {
+                return Err(format!(
+                    "enumerated crash point {k} did not fire on replay — \
+                     the target's crash points are not deterministic"
+                ))
+            }
+        }
+    }
+    a.snapshots()
+        .expect("capability checked above")
+        .release(mark);
+    Ok(report)
+}
+
+/// Random-time control arm: the same fork budget as a bounded run over
+/// `points` enumerated crash points, but each replay crashes at an index
+/// drawn uniformly from `points × cfg.oversample` — most draws land in
+/// "time" outside any migration micro-window and fire nothing, exactly
+/// how scheduled fault injection behaves.
+pub fn explore_random(
+    a: &mut dyn DfsAdaptor,
+    cfg: &CrashExplorerConfig,
+    points: u64,
+    budget: u64,
+) -> Result<CrashExplorationReport, String> {
+    let cp = a
+        .crash_points()
+        .ok_or("target does not expose crash points")?;
+    let step_ms = cp.window_step_ms();
+    cp.set_runtime_audit(true);
+    let mark = a
+        .snapshots()
+        .ok_or("crash exploration requires fork/restore")?
+        .snapshot();
+    let horizon = points.saturating_mul(cfg.oversample).max(1);
+    let mut report = CrashExplorationReport {
+        points_enumerated: points,
+        ..CrashExplorationReport::default()
+    };
+    for i in 0..budget {
+        let k = splitmix64(cfg.seed ^ i) % horizon;
+        report.forks += 1;
+        if let Some((label, violation)) = crash_once(a, mark, step_ms, cfg.window_ticks, k)? {
+            report.record(k, label, violation);
+        }
+    }
+    a.snapshots()
+        .expect("capability checked above")
+        .release(mark);
+    Ok(report)
+}
+
+/// The crash campaign mode: primes the target with a skewed create burst
+/// plus a storage expansion (queueing a real rebalance window and
+/// shifting hash ranges so linkfile transitions occur), then runs the
+/// bounded arm and the equal-budget random baseline from the same state.
+pub fn run_crash_campaign(
+    a: &mut dyn DfsAdaptor,
+    cfg: &CrashExplorerConfig,
+) -> Result<CrashCampaignResult, String> {
+    for i in 0..cfg.prime_files {
+        let op = Operation::new(
+            Operator::Create,
+            vec![
+                Operand::FileName(format!("/cf{i}")),
+                Operand::Size(cfg.prime_file_bytes),
+            ],
+        );
+        a.send(&op).map_err(|e| format!("priming create: {e}"))?;
+    }
+    let grow = Operation::new(
+        Operator::AddStorage,
+        vec![Operand::Size(cfg.prime_storage_bytes)],
+    );
+    a.send(&grow)
+        .map_err(|e| format!("priming expansion: {e}"))?;
+
+    let bounded = explore_bounded(a, cfg)?;
+    let baseline = explore_random(a, cfg, bounded.points_enumerated, bounded.forks)?;
+    Ok(CrashCampaignResult {
+        target: a.name(),
+        bounded,
+        baseline,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaptor::{AdaptorError, LoadReport, NodeInventory, SnapshotCapable};
+
+    /// A toy crash-explorable target: every window passes a fixed label
+    /// sequence, one point per wait() quantum, and recovery from some
+    /// steps leaves a seeded violation.
+    struct FakeTarget {
+        labels: Vec<&'static str>,
+        /// (tick cursor, armed plan, fired label) — the forkable state.
+        tick: u64,
+        plan: Option<FakePlan>,
+        fired: Option<usize>,
+        recovered: Option<usize>,
+        enumerated: Vec<String>,
+        snaps: Vec<(u64, Option<usize>, Option<usize>)>,
+        audit_on: bool,
+    }
+
+    #[derive(Clone, Copy)]
+    enum FakePlan {
+        Enumerate,
+        At(u64),
+    }
+
+    impl FakeTarget {
+        fn new() -> Self {
+            FakeTarget {
+                labels: vec![
+                    "plan f1 0->9",
+                    "copy 1/2 f1 0->9",
+                    "copy 2/2 f1 0->9",
+                    "commit-swap f1 0->9",
+                    "commit-account f1 0->9",
+                    "cleanup f1 0->9",
+                ],
+                tick: 0,
+                plan: None,
+                fired: None,
+                recovered: None,
+                enumerated: Vec::new(),
+                snaps: Vec::new(),
+                audit_on: false,
+            }
+        }
+
+        fn class_for(label: &str) -> Option<&'static str> {
+            if label.starts_with("copy") {
+                Some("orphan_replica")
+            } else if label.starts_with("commit-swap") {
+                Some("double_counted_blocks")
+            } else if label.starts_with("commit-account") {
+                Some("lost_linkfile")
+            } else {
+                None
+            }
+        }
+    }
+
+    impl DfsAdaptor for FakeTarget {
+        fn name(&self) -> String {
+            "fake-target".into()
+        }
+        fn send(&mut self, _op: &Operation) -> Result<(), AdaptorError> {
+            Ok(())
+        }
+        fn load_report(&mut self) -> LoadReport {
+            LoadReport::default()
+        }
+        fn rebalance(&mut self) {}
+        fn rebalance_done(&mut self) -> bool {
+            true
+        }
+        fn wait(&mut self, _ms: u64) {
+            if self.fired.is_some() {
+                return;
+            }
+            let idx = self.tick as usize;
+            self.tick += 1;
+            if idx >= self.labels.len() {
+                return;
+            }
+            match self.plan {
+                Some(FakePlan::Enumerate) => self.enumerated.push(self.labels[idx].to_string()),
+                Some(FakePlan::At(k)) if k == idx as u64 => self.fired = Some(idx),
+                _ => {}
+            }
+        }
+        fn reset(&mut self) {
+            self.tick = 0;
+            self.snaps.clear();
+        }
+        fn coverage(&mut self) -> u64 {
+            0
+        }
+        fn now_ms(&mut self) -> u64 {
+            self.tick
+        }
+        fn inventory(&mut self) -> NodeInventory {
+            NodeInventory::default()
+        }
+        fn snapshots(&mut self) -> Option<&mut dyn SnapshotCapable> {
+            Some(self)
+        }
+        fn crash_points(&mut self) -> Option<&mut dyn CrashExplorable> {
+            Some(self)
+        }
+    }
+
+    impl SnapshotCapable for FakeTarget {
+        fn snapshot(&mut self) -> u64 {
+            self.snaps.push((self.tick, self.fired, self.recovered));
+            self.snaps.len() as u64 - 1
+        }
+        fn restore(&mut self, id: u64) -> bool {
+            let Some(&(tick, fired, recovered)) = self.snaps.get(id as usize) else {
+                return false;
+            };
+            self.tick = tick;
+            self.fired = fired;
+            self.recovered = recovered;
+            self.snaps.truncate(id as usize + 1);
+            true
+        }
+        fn release(&mut self, _id: u64) {}
+    }
+
+    impl CrashExplorable for FakeTarget {
+        fn arm_enumeration(&mut self) {
+            self.plan = Some(FakePlan::Enumerate);
+            self.enumerated.clear();
+        }
+        fn arm_crash_at(&mut self, k: u64) {
+            self.plan = Some(FakePlan::At(k));
+            self.fired = None;
+            self.recovered = None;
+        }
+        fn disarm(&mut self) -> Vec<String> {
+            self.plan = None;
+            std::mem::take(&mut self.enumerated)
+        }
+        fn crash_fired(&mut self) -> bool {
+            self.fired.is_some()
+        }
+        fn recover(&mut self) -> Option<String> {
+            let idx = self.fired.take()?;
+            self.recovered = Some(idx);
+            Some(self.labels[idx].to_string())
+        }
+        fn check_invariants(&mut self) -> Option<CrashOracleViolation> {
+            let idx = self.recovered?;
+            let label = self.labels[idx];
+            Self::class_for(label).map(|class| CrashOracleViolation {
+                class: class.into(),
+                detail: format!("seeded at '{label}'"),
+            })
+        }
+        fn window_step_ms(&self) -> u64 {
+            1_000
+        }
+        fn set_runtime_audit(&mut self, on: bool) {
+            self.audit_on = on;
+        }
+    }
+
+    #[test]
+    fn bounded_exploration_visits_every_point_and_classifies() {
+        let mut t = FakeTarget::new();
+        let cfg = CrashExplorerConfig {
+            window_ticks: 10,
+            ..CrashExplorerConfig::default()
+        };
+        let report = explore_bounded(&mut t, &cfg).unwrap();
+        assert_eq!(report.points_enumerated, 6);
+        assert_eq!(report.explored, 6);
+        assert_eq!(report.forks, 7, "enumeration + one replay per point");
+        assert_eq!(report.clean, 2, "plan and cleanup recover clean");
+        assert_eq!(report.by_class.get("orphan_replica"), Some(&2));
+        assert_eq!(report.by_class.get("double_counted_blocks"), Some(&1));
+        assert_eq!(report.by_class.get("lost_linkfile"), Some(&1));
+        assert!(t.audit_on, "exploration opts into the runtime audit");
+    }
+
+    #[test]
+    fn the_bound_caps_explored_points() {
+        let mut t = FakeTarget::new();
+        let cfg = CrashExplorerConfig {
+            bound: 2,
+            window_ticks: 10,
+            ..CrashExplorerConfig::default()
+        };
+        let report = explore_bounded(&mut t, &cfg).unwrap();
+        assert_eq!(report.points_enumerated, 6);
+        assert_eq!(report.explored, 2);
+    }
+
+    #[test]
+    fn random_baseline_with_the_same_budget_misses_rare_windows() {
+        let mut t = FakeTarget::new();
+        let cfg = CrashExplorerConfig {
+            window_ticks: 10,
+            ..CrashExplorerConfig::default()
+        };
+        let bounded = explore_bounded(&mut t, &cfg).unwrap();
+        let baseline =
+            explore_random(&mut t, &cfg, bounded.points_enumerated, bounded.forks).unwrap();
+        assert_eq!(baseline.forks, bounded.forks, "equal execution budget");
+        let missed: Vec<&String> = bounded
+            .by_class
+            .keys()
+            .filter(|c| !baseline.found(c))
+            .collect();
+        assert!(
+            !missed.is_empty(),
+            "oversampled random draws must miss some class; baseline found {:?}",
+            baseline.by_class
+        );
+    }
+
+    #[test]
+    fn targets_without_the_capability_are_rejected() {
+        struct Plain;
+        impl DfsAdaptor for Plain {
+            fn name(&self) -> String {
+                "plain".into()
+            }
+            fn send(&mut self, _op: &Operation) -> Result<(), AdaptorError> {
+                Ok(())
+            }
+            fn load_report(&mut self) -> LoadReport {
+                LoadReport::default()
+            }
+            fn rebalance(&mut self) {}
+            fn rebalance_done(&mut self) -> bool {
+                true
+            }
+            fn wait(&mut self, _ms: u64) {}
+            fn reset(&mut self) {}
+            fn coverage(&mut self) -> u64 {
+                0
+            }
+            fn now_ms(&mut self) -> u64 {
+                0
+            }
+            fn inventory(&mut self) -> NodeInventory {
+                NodeInventory::default()
+            }
+        }
+        let cfg = CrashExplorerConfig::default();
+        assert!(explore_bounded(&mut Plain, &cfg).is_err());
+        assert!(explore_random(&mut Plain, &cfg, 4, 4).is_err());
+    }
+
+    #[test]
+    fn full_campaign_reports_both_arms() {
+        let mut t = FakeTarget::new();
+        let cfg = CrashExplorerConfig {
+            window_ticks: 10,
+            prime_files: 2,
+            ..CrashExplorerConfig::default()
+        };
+        let result = run_crash_campaign(&mut t, &cfg).unwrap();
+        assert_eq!(result.target, "fake-target");
+        assert_eq!(result.bounded.by_class.len(), 3);
+        assert!(result.baseline.forks == result.bounded.forks);
+    }
+}

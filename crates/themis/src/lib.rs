@@ -36,6 +36,7 @@
 pub mod adaptive;
 pub mod adaptor;
 pub mod campaign;
+pub mod crash;
 pub mod detector;
 pub mod gen;
 pub mod lvm;
@@ -48,11 +49,16 @@ pub mod strategies;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveThreshold};
 pub use adaptor::{
-    AdaptorError, DfsAdaptor, LoadReport, NodeInventory, NodeLoad, Role, SnapshotCapable,
+    AdaptorError, CrashExplorable, CrashOracleViolation, DfsAdaptor, LoadReport, NodeInventory,
+    NodeLoad, Role, SnapshotCapable,
 };
 pub use campaign::{
     run_campaign, run_campaign_with_mode, CampaignConfig, CampaignObserver, CampaignResult,
     CoveragePoint, ExecutionMode, NullObserver,
+};
+pub use crash::{
+    explore_bounded, explore_random, run_crash_campaign, CrashCampaignResult,
+    CrashExplorationReport, CrashExplorerConfig, CrashFinding,
 };
 pub use detector::{Candidate, Detector, DetectorConfig, ImbalanceKind};
 pub use gen::{OpDraw, MAX_SEQ_LEN};

@@ -28,6 +28,12 @@ test -s results/detlint.json
 
 run cargo test --workspace --offline -q
 
+# The crash-consistency oracle must hold with debug_assertions compiled
+# out: rerun the release-profile regression tests that seed counter
+# drift and ownership divergence and expect the runtime auditor to
+# catch both (plus the audit-flag default/toggle contract).
+run cargo test --release --offline -p simdfs -q -- release_oracle runtime_audit
+
 if [[ "${1:-}" != "--no-bench" ]]; then
     # Capture the committed baseline throughput BEFORE the bench run
     # overwrites the artifact: the regression gate compares the fresh
@@ -105,6 +111,32 @@ if [[ "${1:-}" != "--no-bench" ]]; then
     if grep -q 'false' <<<"$(grep -o '"mean_field_ok": [a-z]*' results/BENCH_3.json)"; then
         echo "==> heavy campaign drifted from the mean-field model"; exit 1
     fi
+
+    # Crash-exploration smoke: bounded crash-point exploration of the
+    # migration pipeline on every flavor (one bounded window each) plus
+    # the equal-budget random-time baseline, into results/BENCH_5.json.
+    run cargo run --release --offline -p bench --bin repro -- crash
+    test -s results/BENCH_5.json
+    echo "==> results/BENCH_5.json:"
+    cat results/BENCH_5.json
+
+    # Every seeded crash-window bug class must show up as a bounded-arm
+    # finding (lost_linkfile is GlusterFS-only — the other flavors have
+    # no linkfile layer), every flavor must find its full expected set,
+    # two same-seed passes must render byte-identical canonical reports,
+    # and the equal-budget random baseline must miss at least one class
+    # somewhere — otherwise bounded exploration demonstrates no advantage.
+    for class in lost_linkfile orphan_replica double_counted_blocks; do
+        grep -q "\"$class\": [0-9]" results/BENCH_5.json \
+            || { echo "==> crash exploration found no $class violations"; exit 1; }
+    done
+    grep -q '^  "all_classes_found": true' results/BENCH_5.json \
+        || { echo "==> a flavor's bounded arm missed an expected crash class"; exit 1; }
+    grep -q '^  "identical": true' results/BENCH_5.json \
+        || { echo "==> crash campaign is not same-seed byte-identical"; exit 1; }
+    grep -q '^  "baseline_misses_at_least_one": true' results/BENCH_5.json \
+        || { echo "==> random baseline found every class; bounded exploration shows no advantage"; exit 1; }
+    echo "==> crash exploration gate OK"
 fi
 
 if [[ "${1:-}" == "--bench-scaling" ]]; then
@@ -127,10 +159,21 @@ if [[ "${1:-}" == "--bench-scaling" ]]; then
     # Speedup gate: every measured worker count w with 1 < w <= the
     # host's available parallelism must hit >= 0.7x-per-worker speedup
     # (>= 1.4x @ 2 workers, >= 2.8x @ 4). The bench computes the verdict
-    # itself; single-core hosts record the gate as skipped instead.
+    # itself; single-core hosts record the gate as skipped instead. Skip
+    # and pass stay distinguishable: a skip must carry its reason in the
+    # artifact AND be consistent with the host topology the artifact
+    # itself recorded — a degraded multi-core run cannot masquerade as a
+    # single-core skip.
     if grep -q '"skipped": "single-core"' results/BENCH_4.json; then
-        echo "==> scaling gate skipped: single-core host"
-    elif grep -q '"passed": true' results/BENCH_4.json; then
+        ap=$(grep -o '"available_parallelism": *[0-9]*' results/BENCH_4.json \
+            | head -n1 | grep -o '[0-9]*$')
+        if [[ "${ap:-1}" -gt 1 ]]; then
+            echo "==> INCONSISTENT SKIP: gate claims a single-core skip but the artifact records available_parallelism=$ap"
+            exit 1
+        fi
+        echo "==> scaling gate SKIPPED (not passed): single-core host, reason recorded in BENCH_4.json"
+    elif grep -q '"passed": true' results/BENCH_4.json \
+        && grep -q '"skipped": null' results/BENCH_4.json; then
         echo "==> scaling gate OK: >= 0.7x-per-worker speedup"
     else
         echo "==> SCALING REGRESSION:"
