@@ -2,8 +2,8 @@
 //!
 //! Usage: `repro [--workers N] [artifact...]` where artifact is one of
 //! `table1..table8`, `figure2`, `figure12`, `perf`, `faults`, `scale`,
-//! `scaling`, `crash`, or `all` (default; excludes `perf`, `faults`,
-//! `scale`, `scaling`, and `crash`). The comparison tables share one
+//! `scaling`, `crash`, `scale100k`, or `all` (default; excludes `perf`,
+//! `faults`, `scale`, `scaling`, `crash`, and `scale100k`). The comparison tables share one
 //! matrix run (Table 3 /
 //! Table 5 / Figure 12). `perf` times the cached-vs-baseline campaign hot
 //! path, the snapshot-fork engine against full replay and the redeploy
@@ -16,7 +16,10 @@
 //! at 1/2/4/8 workers and writes `results/BENCH_4.json`. `crash` runs
 //! bounded crash-point exploration of the migration pipeline (plus the
 //! equal-budget random baseline) on every flavor and writes
-//! `results/BENCH_5.json`.
+//! `results/BENCH_5.json`. `scale100k` measures 100k-node topologies —
+//! variance-probe flatness to 100k nodes, sampled-vs-full placement
+//! quality, batch amortization, and a batched 100k campaign with a
+//! same-seed identity check — and writes `results/BENCH_6.json`.
 //!
 //! `--workers N` pins the grid executor's worker count for every matrix
 //! run whose spec does not set one explicitly (0 restores the default of
@@ -165,6 +168,35 @@ fn main() {
         write(
             "BENCH_3.json",
             &bench::scale::bench3_json(cores, &variance, &campaigns, &det, &grid),
+        );
+    }
+    // Scale100k is opt-in: 100k-node topology measurements — variance-probe
+    // flatness at 10/10k/100k (with preload wall time per point),
+    // sampled-vs-full placement quality differentials, the serial-vs-batched
+    // request-loop amortization, and a batched 100k-node campaign run twice
+    // for a same-seed byte-identity check. Writes `results/BENCH_6.json`.
+    if args.iter().any(|a| a == "scale100k") {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let probe = bench::scale100k::measure_probe_scaling(&[10, 10_000, 100_000]);
+        let diffs = vec![
+            bench::scale100k::run_sampled_vs_full(simdfs::Flavor::Hdfs, 10_000, 0xbe, 2_000),
+            bench::scale100k::run_sampled_vs_full(simdfs::Flavor::GlusterFs, 10_000, 0xbe, 2_000),
+            bench::scale100k::run_sampled_vs_full(simdfs::Flavor::Hdfs, 100_000, 0xbe, 800),
+        ];
+        let amort =
+            bench::scale100k::measure_batch_amortization(simdfs::Flavor::Hdfs, 10_000, 20_000, 64);
+        let det = bench::scale100k::check_batched_determinism(
+            simdfs::Flavor::Hdfs,
+            100_000,
+            0xbe,
+            64,
+            128,
+        );
+        write(
+            "BENCH_6.json",
+            &bench::scale100k::bench6_json(cores, &probe, &diffs, &amort, &det),
         );
     }
 }

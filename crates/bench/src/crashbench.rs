@@ -193,6 +193,7 @@ pub fn canonical_json(cells: &[FlavorCrash]) -> String {
 pub fn bench5_json(bench: &CrashBench) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"schema\": \"themis-bench-v5\",\n");
+    out.push_str("  \"schema_version\": 5,\n");
     out.push_str(&format!("  \"host\": {},\n", bench.host.to_json()));
     out.push_str(&format!("  \"wall_s\": {},\n", json_f64(bench.wall_s)));
     out.push_str(&format!("  \"forks\": {},\n", bench.total_forks()));
@@ -270,6 +271,7 @@ mod tests {
         assert!(b.total_forks() > 0);
         let j = bench5_json(&b);
         assert!(j.contains("\"schema\": \"themis-bench-v5\""));
+        assert!(j.contains("\"schema_version\": 5"));
         assert!(j.contains("\"identical\": true"));
         assert!(j.contains("\"GlusterFS\": {"));
         assert!(j.contains("\"crash_points\": "));

@@ -11,6 +11,7 @@ pub mod grid;
 pub mod harness;
 pub mod perf;
 pub mod scale;
+pub mod scale100k;
 pub mod scaling;
 pub mod tables;
 

@@ -472,6 +472,7 @@ pub(crate) fn json_f64(v: f64) -> String {
 pub fn bench_json(raw: &[RawMeasurement], campaign: &CampaignPerf, grid: &GridScaling) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"schema\": \"themis-bench-v1\",\n");
+    out.push_str("  \"schema_version\": 1,\n");
     out.push_str(&format!(
         "  \"host\": {},\n",
         HostTopology::detect().to_json()
@@ -578,6 +579,7 @@ pub fn bench2_json(
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"schema\": \"themis-bench-v2\",\n");
+    out.push_str("  \"schema_version\": 2,\n");
     let topo = HostTopology::detect();
     out.push_str(&format!(
         "  \"host\": {{\"cores\": {cores}, \"available_parallelism\": {}, \"logical_cores\": {}}},\n",
@@ -710,6 +712,7 @@ mod tests {
         }];
         let j = bench_json(&raw, &campaign, &grid);
         assert!(j.contains("\"schema\": \"themis-bench-v1\""));
+        assert!(j.contains("\"schema_version\": 1"));
         assert!(j.contains("\"host\": {\"available_parallelism\": "));
         assert!(j.contains("\"speedup\": 3.0"));
         assert!(j.contains("\\\"x\\\""));
@@ -790,6 +793,7 @@ mod tests {
         }];
         let j = bench2_json(4, &raw, std::slice::from_ref(&c), &grid);
         assert!(j.contains("\"schema\": \"themis-bench-v2\""));
+        assert!(j.contains("\"schema_version\": 2"));
         assert!(j.contains("\"host\": {\"cores\": 4, \"available_parallelism\": "));
         assert!(j.contains("\"fault_profile\": \"crash\""));
         assert!(j.contains("\"speedup_vs_replay\": 5.0"));

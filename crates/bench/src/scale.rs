@@ -381,6 +381,7 @@ pub fn bench3_json(
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"schema\": \"themis-bench-v3\",\n");
+    out.push_str("  \"schema_version\": 3,\n");
     let topo = crate::perf::HostTopology::detect();
     out.push_str(&format!(
         "  \"host\": {{\"cores\": {cores}, \"available_parallelism\": {}, \"logical_cores\": {}}},\n",
@@ -590,6 +591,7 @@ mod tests {
         };
         let j = bench3_json(4, &v, std::slice::from_ref(&c), &d, &g);
         assert!(j.contains("\"schema\": \"themis-bench-v3\""));
+        assert!(j.contains("\"schema_version\": 3"));
         assert!(j.contains("\"variance_probe_cost_ratio\""));
         assert!(j.contains("\"mean_field_ok\": true"));
         assert!(j.contains("\\\"quoted\\\""));

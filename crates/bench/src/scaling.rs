@@ -172,6 +172,7 @@ pub fn measure_scaling(spec: &GridSpec, worker_counts: &[usize]) -> ScalingBench
 pub fn bench4_json(bench: &ScalingBench) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"schema\": \"themis-bench-v4\",\n");
+    out.push_str("  \"schema_version\": 4,\n");
     out.push_str(&format!("  \"host\": {},\n", bench.host.to_json()));
 
     out.push_str("  \"grid\": {\n");
@@ -322,6 +323,7 @@ mod tests {
         let b = fake_bench(1, vec![(1, 2.0, true), (2, 2.1, true)]);
         let j = bench4_json(&b);
         assert!(j.contains("\"schema\": \"themis-bench-v4\""));
+        assert!(j.contains("\"schema_version\": 4"));
         assert!(j.contains("\"available_parallelism\": 1"));
         assert!(j.contains("\"skipped\": \"single-core\""));
         assert!(j.contains("\"worker_stats\": ["));

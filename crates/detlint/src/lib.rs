@@ -477,6 +477,10 @@ mod tests {
         assert!(out.should_fail(true));
         let out = lint_one("crates/themis/src/campaign.rs", src);
         assert!(out.violations.is_empty());
+        // The streaming-tracker module carries float reduction only in its
+        // pragma-documented differential reference arm, so it is covered.
+        let out = lint_one("crates/simdfs/src/loadstats.rs", src);
+        assert_eq!(rules_hit(&out), vec!["float-accum"]);
     }
 
     // ---- unsafe-code -----------------------------------------------------

@@ -153,7 +153,7 @@ pub const RULES: &[Rule] = &[
         ],
         include: &[],
         exclude: &[],
-        only_files: &["lvm.rs", "balancer.rs", "metrics.rs"],
+        only_files: &["lvm.rs", "balancer.rs", "metrics.rs", "loadstats.rs"],
     },
     Rule {
         id: "unsafe-code",
@@ -218,6 +218,7 @@ mod tests {
         let r = find("float-accum").unwrap();
         assert!(r.applies_to("crates/themis/src/lvm.rs"));
         assert!(r.applies_to("crates/simdfs/src/balancer.rs"));
+        assert!(r.applies_to("crates/simdfs/src/loadstats.rs"));
         assert!(!r.applies_to("crates/simdfs/src/sim.rs"));
     }
 

@@ -7,6 +7,7 @@
 //! made by [`crate::sim::DfsSim`] using the flavor's placement policy and
 //! balancer.
 
+use crate::arena::{NodeArena, NodeHot, VolumeDirectory};
 use crate::error::{SimError, SimResult};
 use crate::loadstats::UtilTracker;
 use crate::node::{MgmtNode, StorageNode, Volume};
@@ -52,8 +53,8 @@ struct FilesJournal {
 #[derive(Debug, Clone)]
 pub(crate) struct ClusterCheckpoint {
     mgmt: BTreeMap<NodeId, MgmtNode>,
-    storage: BTreeMap<NodeId, StorageNode>,
-    volume_owner: BTreeMap<VolumeId, NodeId>,
+    storage: NodeArena,
+    volume_owner: VolumeDirectory,
     next_node: u32,
     next_volume: u32,
     generation: u64,
@@ -72,17 +73,21 @@ impl ClusterCheckpoint {
 /// The full cluster state.
 #[derive(Debug, Clone, Default)]
 pub struct Cluster {
-    /// Management nodes by id.
+    /// Management nodes by id. Stays a BTreeMap: clusters carry 2–5
+    /// management nodes, so there is nothing for an arena to win, and the
+    /// map keeps mgmt ids out of the storage arena's slot space accounting.
     pub mgmt: BTreeMap<NodeId, MgmtNode>,
-    /// Storage nodes by id.
-    pub storage: BTreeMap<NodeId, StorageNode>,
+    /// Storage nodes in an arena indexed by raw id, with SoA hot columns
+    /// (see [`crate::arena`]). Iteration order is id order, exactly as the
+    /// former BTreeMap.
+    pub storage: NodeArena,
     /// Physical file metadata by file id (ordered for deterministic
     /// balancer planning). Private so every mutation is forced through a
     /// journaling accessor — direct writes would silently corrupt
     /// snapshot restores.
     files: BTreeMap<crate::types::FileId, FileMeta>,
-    /// Owner node of each live volume.
-    pub volume_owner: BTreeMap<VolumeId, NodeId>,
+    /// Owner node of each live volume (dense, indexed by raw volume id).
+    pub volume_owner: VolumeDirectory,
     next_node: u32,
     next_volume: u32,
     /// Placement topology generation: bumped on every mutation that changes
@@ -106,13 +111,21 @@ pub struct Cluster {
     /// mutations patch entries in place via `sync_view_used`, view-changing
     /// mutations invalidate by bumping `generation`.
     views_cache: Vec<VolumeView>,
-    /// Position of each volume in `views_cache` (valid when fresh).
-    view_index: BTreeMap<VolumeId, u32>,
+    /// Position of each volume in `views_cache`, indexed by raw volume id
+    /// (`u32::MAX` = not visible; valid when the cache is fresh).
+    view_index: Vec<u32>,
     /// Generation `views_cache` was built at; `None` after a snapshot
     /// restore (divergent suffixes reuse generation numbers, so equality
     /// with `generation` would be a false match).
     views_built: Option<u64>,
+    /// When set, fill mutations skip per-call tracker/view maintenance;
+    /// [`Cluster::end_bulk_load`] rebuilds both exactly. Never true across
+    /// a checkpoint.
+    bulk_load: bool,
 }
+
+/// Slot value in `view_index` meaning "volume not in the cached views".
+const NO_VIEW: u32 = u32::MAX;
 
 impl Cluster {
     /// Creates an empty cluster (nodes are added by the simulator).
@@ -132,10 +145,11 @@ impl Cluster {
         &self.util_stats
     }
 
-    /// Re-derives one storage node's entry in the streaming stats from its
-    /// current volumes. Called by every mutation that can change the
-    /// node's utilization or eligibility.
+    /// Re-derives one storage node's hot columns and streaming-stats entry
+    /// from its current volumes. Called by every mutation that can change
+    /// the node's utilization or eligibility.
     fn refresh_node_stats(&mut self, id: NodeId) {
+        self.storage.sync_hot(id);
         let q = self.storage.get(&id).and_then(|n| n.util_q());
         self.util_stats.update(id, q);
     }
@@ -143,6 +157,9 @@ impl Cluster {
     /// Refreshes the streaming stats and the cached canonical view for the
     /// node owning `vol`, after a fill-level mutation.
     fn touch_volume(&mut self, vol: VolumeId) {
+        if self.bulk_load {
+            return; // end_bulk_load rebuilds trackers and views exactly
+        }
         if let Some(&owner) = self.volume_owner.get(&vol) {
             self.refresh_node_stats(owner);
         }
@@ -154,7 +171,12 @@ impl Cluster {
         if self.views_built != Some(self.generation) {
             return;
         }
-        let Some(&i) = self.view_index.get(&vol) else {
+        let Some(i) = self
+            .view_index
+            .get(vol.0 as usize)
+            .copied()
+            .filter(|&i| i != NO_VIEW)
+        else {
             return;
         };
         if let Some(v) = self.volume(vol) {
@@ -163,6 +185,30 @@ impl Cluster {
             view.used = used;
             view.capacity = capacity;
         }
+    }
+
+    /// Enters bulk-load mode: fill mutations (store/free/migrate) skip the
+    /// per-call streaming-stats and cached-view maintenance. Intended for
+    /// the preload phase of scaled topologies, where touching the tracker
+    /// per replica dominates wall time at 100k nodes. Must be paired with
+    /// [`Cluster::end_bulk_load`] before anything reads the stats, views,
+    /// or hot columns; topology mutations remain fully maintained.
+    pub fn begin_bulk_load(&mut self) {
+        self.bulk_load = true;
+    }
+
+    /// Leaves bulk-load mode, rebuilding the hot columns and streaming
+    /// stats for every storage node from ground truth. The accumulators
+    /// are exact integers, so the rebuilt state is identical to what
+    /// per-mutation maintenance would have produced; the views cache is
+    /// invalidated and rebuilt lazily.
+    pub fn end_bulk_load(&mut self) {
+        self.bulk_load = false;
+        let ids: Vec<NodeId> = self.storage.keys().copied().collect();
+        for id in ids {
+            self.refresh_node_stats(id);
+        }
+        self.views_built = None;
     }
 
     /// The canonical volume views (every volume on online storage nodes),
@@ -175,8 +221,9 @@ impl Cluster {
             self.volume_views_into(&mut buf);
             self.views_cache = buf;
             self.view_index.clear();
+            self.view_index.resize(self.next_volume as usize, NO_VIEW);
             for (i, v) in self.views_cache.iter().enumerate() {
-                self.view_index.insert(v.volume, i as u32);
+                self.view_index[v.volume.0 as usize] = i as u32;
             }
             self.views_built = Some(self.generation);
         }
@@ -189,7 +236,11 @@ impl Cluster {
         if self.views_built != Some(self.generation) {
             return None;
         }
-        self.view_index.get(&vol).map(|&i| i as usize)
+        self.view_index
+            .get(vol.0 as usize)
+            .copied()
+            .filter(|&i| i != NO_VIEW)
+            .map(|i| i as usize)
     }
 
     /// Speculatively bumps a cached view's fill during placement planning
@@ -236,6 +287,7 @@ impl Cluster {
     /// Captures the state needed to rewind back to this point. Only valid
     /// while journaling is enabled.
     pub(crate) fn checkpoint(&self) -> ClusterCheckpoint {
+        debug_assert!(!self.bulk_load, "checkpoint during bulk load");
         ClusterCheckpoint {
             mgmt: self.mgmt.clone(),
             storage: self.storage.clone(),
@@ -766,48 +818,52 @@ impl Cluster {
     /// Bytes stored per online storage node with at least one volume.
     ///
     /// Diskless nodes (all volumes detached) are excluded: they are out of
-    /// the storage pool and neither hold nor can receive data.
+    /// the storage pool and neither hold nor can receive data. Walks the
+    /// contiguous hot columns, not the node structs.
     pub fn node_storage(&self) -> Vec<(NodeId, Bytes)> {
         self.storage
-            .values()
-            .filter(|n| n.online && !n.volumes.is_empty())
-            .map(|n| (n.id, n.used()))
+            .hot_iter()
+            .filter(|(_, h)| h.online && h.volumes > 0)
+            .map(|(id, h)| (id, h.used))
             .collect()
     }
 
     /// Per-node (used, capacity) for online storage nodes with volumes.
     pub fn node_fill(&self) -> Vec<(NodeId, Bytes, Bytes)> {
         self.storage
-            .values()
-            .filter(|n| n.online && !n.volumes.is_empty())
-            .map(|n| (n.id, n.used(), n.capacity()))
+            .hot_iter()
+            .filter(|(_, h)| h.online && h.volumes > 0)
+            .map(|(id, h)| (id, h.used, h.capacity))
             .collect()
     }
 
-    /// Total free bytes across online storage nodes.
+    /// Total free bytes across online storage nodes (hot-column scan).
     pub fn total_free(&self) -> Bytes {
         self.storage
-            .values()
-            .filter(|n| n.online)
-            .map(|n| n.free())
+            .hot_rows()
+            .iter()
+            .filter(|h| h.online)
+            .map(|h| h.capacity.saturating_sub(h.used))
             .sum()
     }
 
-    /// Total capacity across online storage nodes.
+    /// Total capacity across online storage nodes (hot-column scan).
     pub fn total_capacity(&self) -> Bytes {
         self.storage
-            .values()
-            .filter(|n| n.online)
-            .map(|n| n.capacity())
+            .hot_rows()
+            .iter()
+            .filter(|h| h.online)
+            .map(|h| h.capacity)
             .sum()
     }
 
-    /// Total bytes stored across online storage nodes.
+    /// Total bytes stored across online storage nodes (hot-column scan).
     pub fn total_used(&self) -> Bytes {
         self.storage
-            .values()
-            .filter(|n| n.online)
-            .map(|n| n.used())
+            .hot_rows()
+            .iter()
+            .filter(|h| h.online)
+            .map(|h| h.used)
             .sum()
     }
 
@@ -879,7 +935,9 @@ impl Cluster {
                 // Offline storage nodes drop out of `volume_views`.
                 self.generation += 1;
                 self.online_storage_nodes -= 1;
-                self.util_stats.update(id, None);
+                // util_q is None offline, so this removes the tracker
+                // entry and flips the hot row in one refresh.
+                self.refresh_node_stats(id);
             }
         }
         if let Some(n) = self.mgmt.get_mut(&id) {
@@ -1023,6 +1081,27 @@ impl Cluster {
                 "online storage count drifted: tracked {} but {} nodes are online",
                 self.online_storage_nodes, online
             ));
+        }
+        // The SoA hot columns (online/volumes/used/capacity per arena slot)
+        // feed totals and placement scans; recompute every row from the
+        // node structs and require empty slots to hold the default row.
+        let hot = self.storage.hot_rows();
+        for (nid, node) in &self.storage {
+            let want = NodeHot::of(node);
+            let got = hot.get(nid.0 as usize).copied().unwrap_or_default();
+            if got != want {
+                return Err(format!(
+                    "hot columns drifted for node {nid:?}: row {got:?} \
+                     but the node recomputes to {want:?}"
+                ));
+            }
+        }
+        for (i, row) in hot.iter().enumerate() {
+            if self.storage.get(&NodeId(i as u32)).is_none() && *row != NodeHot::default() {
+                return Err(format!(
+                    "empty arena slot {i} holds a non-default hot row {row:?}"
+                ));
+            }
         }
         // A fresh canonical-views cache must agree with a from-scratch
         // rebuild (fill mutations patch it in place).
@@ -1493,6 +1572,40 @@ mod tests {
         c.set_view_used(pos, old);
         assert!(cache_matches_rebuild(&mut c));
         c.audit().unwrap();
+    }
+
+    #[test]
+    fn bulk_load_rebuild_matches_incremental_maintenance() {
+        let mut a = cluster_with(3, 2, 10_000);
+        let mut b = cluster_with(3, 2, 10_000);
+        let views = a.volume_views();
+        b.begin_bulk_load();
+        for (i, v) in views.iter().enumerate() {
+            let fid = FileId(i as u64 + 1);
+            let bytes = 100 * (i as Bytes + 1);
+            a.store(fid, v.volume, bytes).unwrap();
+            b.store(fid, v.volume, bytes).unwrap();
+        }
+        b.end_bulk_load();
+        assert_eq!(a.util_stats(), b.util_stats());
+        assert_eq!(a.total_used(), b.total_used());
+        a.audit().unwrap();
+        b.audit().unwrap();
+        let av = a.canonical_views().to_vec();
+        assert_eq!(av, b.canonical_views());
+    }
+
+    #[test]
+    fn audit_catches_hot_column_drift() {
+        let mut c = cluster_with(2, 1, 10_000);
+        let node = c.online_storage()[0];
+        // An offline node is invisible to the file-table and streaming
+        // checks, so a stale hot row is exactly what the hot-column audit
+        // exists to catch.
+        c.set_offline(node);
+        c.storage.get_mut(&node).unwrap().volumes[0].capacity += 7;
+        let err = c.audit().unwrap_err();
+        assert!(err.contains("hot columns"), "unexpected message: {err}");
     }
 
     #[test]

@@ -7,7 +7,10 @@
 //! reports in Table 5).
 
 use crate::coverage::CoverageUniverse;
-use crate::placement::{CrushStraw2, DhtHashRing, FreeSpaceWeighted, PlacementPolicy, VnodeRing};
+use crate::placement::{
+    CrushStraw2, DhtHashRing, FreeSpaceWeighted, PlacementPolicy, PowerOfDChoices,
+    StrideSampledDht, VnodeRing,
+};
 use crate::types::{Bytes, GIB, MIB};
 use serde::{Deserialize, Serialize};
 
@@ -100,6 +103,15 @@ pub enum PlacementKind {
     DhtRing,
     /// Consistent hashing with virtual nodes (LeoFS).
     VnodeRing,
+    /// Power-of-d-choices sampling over free-space scores: scores `d`
+    /// candidates per replica instead of every volume. The O(d) stand-in
+    /// for [`PlacementKind::FreeSpaceWeighted`] / [`PlacementKind::Crush`]
+    /// on 100k-node topologies.
+    PowerOfD,
+    /// Stride-sampled DHT ring: same hash ring as
+    /// [`PlacementKind::DhtRing`], probed at `d` strided points per replica
+    /// instead of walked in full. The O(d) stand-in for the ring policies.
+    StrideDht,
 }
 
 impl PlacementKind {
@@ -110,6 +122,22 @@ impl PlacementKind {
             PlacementKind::Crush => Box::new(CrushStraw2),
             PlacementKind::DhtRing => Box::new(DhtHashRing),
             PlacementKind::VnodeRing => Box::new(VnodeRing::default()),
+            PlacementKind::PowerOfD => Box::new(PowerOfDChoices::default()),
+            PlacementKind::StrideDht => Box::new(StrideSampledDht::default()),
+        }
+    }
+
+    /// The candidate-sampling counterpart of this placement family: scoring
+    /// policies map to power-of-d sampling, ring policies to the strided
+    /// ring. Sampling kinds map to themselves.
+    pub fn sampled(self) -> PlacementKind {
+        match self {
+            PlacementKind::FreeSpaceWeighted | PlacementKind::Crush | PlacementKind::PowerOfD => {
+                PlacementKind::PowerOfD
+            }
+            PlacementKind::DhtRing | PlacementKind::VnodeRing | PlacementKind::StrideDht => {
+                PlacementKind::StrideDht
+            }
         }
     }
 }
@@ -331,8 +359,33 @@ impl FlavorConfig {
             // Leave headroom for AddStorageNode churn on top of the
             // requested fleet (10%, at least 2 slots).
             cfg.max_storage_nodes = storage_nodes.saturating_add((storage_nodes / 10).max(2));
-            cfg.base_file_size = GIB;
+            // From 50k nodes up the binding constraint flips: bulk-load
+            // preload made per-store cost cheap, so what matters is the
+            // *starting-state quantization imbalance* — k fragments per
+            // volume leave max/mean ≈ 1 + 1/k, and coarse GiB fragments at
+            // 100k nodes (k ≈ 8) start the cluster above every flavor's
+            // balancer threshold, which contradicts the balanced-deploy
+            // premise of preload. 512 MiB keeps k ≈ 17 (ratio ≈ 1.01, under
+            // all thresholds) while preload stays around a million
+            // round-robin placements.
+            cfg.base_file_size = if storage_nodes >= 50_000 {
+                512 * MIB
+            } else {
+                GIB
+            };
         }
+        cfg
+    }
+
+    /// Like [`FlavorConfig::scaled`], but swaps the flavor's full-scan
+    /// placement policy for its candidate-sampling counterpart
+    /// ([`PlacementKind::sampled`]): O(d) scored candidates per fragment
+    /// instead of O(V). Everything else — balancer, routing, topology —
+    /// matches `scaled` exactly, so differential runs isolate the placement
+    /// policy.
+    pub fn sampled_scaled(flavor: Flavor, storage_nodes: u32) -> Self {
+        let mut cfg = Self::scaled(flavor, storage_nodes);
+        cfg.placement = cfg.placement.sampled();
         cfg
     }
 
@@ -409,6 +462,47 @@ mod tests {
             assert_eq!(small.storage_nodes, base.storage_nodes);
             assert_eq!(small.base_file_size, base.base_file_size);
         }
+    }
+
+    #[test]
+    fn scaled_100k_refines_base_files_below_balancer_thresholds() {
+        for f in Flavor::all() {
+            let big = FlavorConfig::scaled(f, 100_000);
+            assert_eq!(big.storage_nodes, 100_000);
+            // 512 MiB fragments keep the deploy-time quantization
+            // imbalance (≈ 1 + size / (base_fill · volume_capacity))
+            // safely under the flavor's balancer threshold: a fresh
+            // scaled cluster must start *balanced*.
+            assert_eq!(big.base_file_size, 512 * MIB);
+            let frag_ratio =
+                big.base_file_size as f64 / (big.base_fill * big.volume_capacity as f64);
+            assert!(
+                frag_ratio < big.balance_threshold,
+                "{}: deploy quantization {} >= threshold {}",
+                f.name(),
+                frag_ratio,
+                big.balance_threshold
+            );
+            // Below the 100k tier the 10k preload sizing holds.
+            assert_eq!(FlavorConfig::scaled(f, 10_000).base_file_size, GIB);
+        }
+    }
+
+    #[test]
+    fn sampled_scaled_swaps_only_the_placement_policy() {
+        for f in Flavor::all() {
+            let full = FlavorConfig::scaled(f, 1_000);
+            let sampled = FlavorConfig::sampled_scaled(f, 1_000);
+            assert_eq!(sampled.placement, full.placement.sampled());
+            assert_ne!(sampled.placement, full.placement, "{f}");
+            assert_eq!(sampled.storage_nodes, full.storage_nodes);
+            assert_eq!(sampled.replicas, full.replicas);
+            assert_eq!(sampled.base_file_size, full.base_file_size);
+            assert!((sampled.balance_threshold - full.balance_threshold).abs() < 1e-12);
+        }
+        // Idempotent: sampling a sampled kind is a no-op.
+        assert_eq!(PlacementKind::PowerOfD.sampled(), PlacementKind::PowerOfD);
+        assert_eq!(PlacementKind::StrideDht.sampled(), PlacementKind::StrideDht);
     }
 
     #[test]

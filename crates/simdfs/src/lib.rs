@@ -32,6 +32,7 @@
 //! assert!(snapshot.storage_imbalance() >= 1.0);
 //! ```
 
+pub mod arena;
 pub mod balancer;
 pub mod bugs;
 pub mod clock;
@@ -52,6 +53,7 @@ pub mod request;
 pub mod sim;
 pub mod types;
 
+pub use arena::{NodeArena, NodeHot, VolumeDirectory};
 pub use balancer::{Balancer, MigrationMove, RebalanceStatus};
 pub use bugs::{BugEngine, BugSpec, Effect, FailureKind, Gate, Metric, SimEvent, Trigger};
 pub use cluster::Cluster;

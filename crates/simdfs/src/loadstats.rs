@@ -45,6 +45,10 @@ pub fn quantize(used: Bytes, capacity: Bytes) -> u64 {
     ((used as u128 * (1u128 << Q_SCALE_BITS)) / capacity as u128) as u64
 }
 
+/// Sentinel marking an untracked arena slot. Valid quantized values are
+/// at most `2³²` (saturated full), so `u64::MAX` is unreachable.
+const NO_ENTRY: u64 = u64::MAX;
+
 /// Streaming accumulator over per-node quantized utilizations.
 ///
 /// Tracks Σx, Σx², count, and the exact min/max via an ordered multiset.
@@ -52,17 +56,48 @@ pub fn quantize(used: Bytes, capacity: Bytes) -> u64 {
 /// storage dimension: online, has volumes, positive capacity) and calls
 /// [`UtilTracker::update`] with `None` to remove a node that became
 /// ineligible.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Entries live in a dense arena indexed by the raw node id (see
+/// `crate::arena`): updates are one array write plus the multiset
+/// adjustment, and the per-node column is contiguous — at 100k nodes the
+/// former `BTreeMap<NodeId, u64>` paid a pointer-chasing descent per
+/// maintenance call on every store/free/migrate.
+#[derive(Debug, Clone, Default)]
 pub struct UtilTracker {
-    /// Current quantized utilization per eligible node.
-    entries: BTreeMap<NodeId, u64>,
-    /// Multiset of the values in `entries`, for exact min/max under removal.
+    /// Quantized utilization per node id slot; [`NO_ENTRY`] = untracked.
+    entries: Vec<u64>,
+    /// Number of tracked (eligible) nodes.
+    live: usize,
+    /// Multiset of the tracked values, for exact min/max under removal.
     dist: BTreeMap<u64, u32>,
-    /// Σ quantized utilization. 10k nodes × 2³² < 2⁴⁶ — far inside u128.
+    /// Σ quantized utilization. 100k nodes × 2³² < 2⁵⁰ — far inside u128.
     sum: u128,
-    /// Σ (quantized utilization)². 10k × 2⁶⁴ < 2⁷⁸ — far inside u128.
+    /// Σ (quantized utilization)². 100k × 2⁶⁴ < 2⁸¹ — far inside u128.
     sum_sq: u128,
 }
+
+/// Trackers compare by *content*: two trackers are equal when they track
+/// the same nodes at the same values, regardless of how many trailing
+/// sentinel slots each arena happens to carry (a fresh recomputation may
+/// have a shorter entries vector than a tracker that once saw higher ids).
+impl PartialEq for UtilTracker {
+    fn eq(&self, other: &Self) -> bool {
+        if self.live != other.live
+            || self.sum != other.sum
+            || self.sum_sq != other.sum_sq
+            || self.dist != other.dist
+        {
+            return false;
+        }
+        let n = self.entries.len().max(other.entries.len());
+        (0..n).all(|i| {
+            self.entries.get(i).copied().unwrap_or(NO_ENTRY)
+                == other.entries.get(i).copied().unwrap_or(NO_ENTRY)
+        })
+    }
+}
+
+impl Eq for UtilTracker {}
 
 impl UtilTracker {
     /// An empty tracker.
@@ -71,13 +106,20 @@ impl UtilTracker {
     }
 
     /// Sets, replaces, or removes (`q = None`) a node's quantized
-    /// utilization. O(log n).
+    /// utilization. One arena write plus an O(log distinct-values)
+    /// multiset adjustment.
     pub fn update(&mut self, node: NodeId, q: Option<u64>) {
-        let old = match q {
-            Some(v) => self.entries.insert(node, v),
-            None => self.entries.remove(&node),
-        };
-        if let Some(old) = old {
+        let idx = node.0 as usize;
+        if idx >= self.entries.len() {
+            if q.is_none() {
+                return; // removing a node that was never tracked
+            }
+            self.entries.resize(idx + 1, NO_ENTRY);
+        }
+        debug_assert!(q != Some(NO_ENTRY), "utilization collides with sentinel");
+        let old = std::mem::replace(&mut self.entries[idx], q.unwrap_or(NO_ENTRY));
+        if old != NO_ENTRY {
+            self.live -= 1;
             self.sum -= old as u128;
             self.sum_sq -= (old as u128) * (old as u128);
             match self.dist.get_mut(&old) {
@@ -88,6 +130,7 @@ impl UtilTracker {
             }
         }
         if let Some(v) = q {
+            self.live += 1;
             self.sum += v as u128;
             self.sum_sq += (v as u128) * (v as u128);
             *self.dist.entry(v).or_insert(0) += 1;
@@ -96,7 +139,7 @@ impl UtilTracker {
 
     /// Number of eligible nodes.
     pub fn count(&self) -> usize {
-        self.entries.len()
+        self.live
     }
 
     /// Smallest tracked quantized utilization, if any node is tracked.
@@ -121,15 +164,15 @@ impl UtilTracker {
 
     /// Mean utilization as a fraction in `[0, 1]`.
     pub fn mean(&self) -> f64 {
-        if self.entries.is_empty() {
+        if self.live == 0 {
             return 0.0;
         }
-        (self.sum as f64 / self.entries.len() as f64) / (1u64 << Q_SCALE_BITS) as f64
+        (self.sum as f64 / self.live as f64) / (1u64 << Q_SCALE_BITS) as f64
     }
 
     /// Population variance of the utilization fractions.
     pub fn variance(&self) -> f64 {
-        let n = self.entries.len();
+        let n = self.live;
         if n < 2 {
             return 0.0;
         }
@@ -148,7 +191,7 @@ impl UtilTracker {
     ///
     /// [`ClusterSnapshot::imbalance_ratio_iter`]: crate::metrics::ClusterSnapshot
     pub fn imbalance_ratio(&self) -> f64 {
-        let n = self.entries.len();
+        let n = self.live;
         if n < 2 || self.sum == 0 {
             return 1.0;
         }
@@ -161,7 +204,7 @@ impl UtilTracker {
     /// `max > mean·(1 + threshold)`: false with fewer than two nodes or an
     /// all-zero load.
     pub fn is_imbalanced(&self, threshold: f64) -> bool {
-        let n = self.entries.len();
+        let n = self.live;
         if n < 2 || self.sum == 0 {
             return false;
         }
@@ -171,8 +214,30 @@ impl UtilTracker {
 
     /// The tracked quantized utilization for `node`, if eligible.
     pub fn get(&self, node: NodeId) -> Option<u64> {
-        self.entries.get(&node).copied()
+        self.entries
+            .get(node.0 as usize)
+            .copied()
+            .filter(|&q| q != NO_ENTRY)
     }
+}
+
+/// From-scratch `f64` mean and population variance over utilization
+/// fractions — the reference arm of the tracker's differential tests.
+/// The tracker's integer accumulators must agree with this to float
+/// precision after arbitrarily long churn sequences.
+pub fn float_mean_variance(utils: impl Iterator<Item = f64>) -> (f64, f64) {
+    let vals: Vec<f64> = utils.collect();
+    if vals.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = vals.len() as f64;
+    // This is the float recompute the exact integer tracker is checked
+    // against; it never feeds simulation state.
+    // detlint:allow(float-accum): differential-test reference arm
+    let mean = vals.iter().sum::<f64>() / n;
+    // detlint:allow(float-accum): same reference arm as above.
+    let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    (mean, if vals.len() < 2 { 0.0 } else { var })
 }
 
 #[cfg(test)]
@@ -258,6 +323,28 @@ mod tests {
         t.update(NodeId(3), None);
         t.update(NodeId(4), None);
         assert_eq!(t, UtilTracker::new());
+    }
+
+    #[test]
+    fn equality_ignores_trailing_sentinel_slots() {
+        // A tracker that once saw a high node id keeps the (empty) slots;
+        // a fresh recomputation does not. They must still compare equal.
+        let mut a = tracker(&[(1, 7), (500, 9)]);
+        a.update(NodeId(500), None);
+        let b = tracker(&[(1, 7)]);
+        assert_eq!(a, b);
+        assert_eq!(b, a);
+        let c = tracker(&[(2, 7)]);
+        assert_ne!(b, c, "same value on a different node is not equal");
+    }
+
+    #[test]
+    fn float_reference_matches_tracker_statistics() {
+        let t = tracker(&[(0, 0), (1, 1 << 32), (2, 1 << 31)]);
+        let (mean, var) = float_mean_variance([0.0, 1.0, 0.5].into_iter());
+        assert!((t.mean() - mean).abs() < 1e-9);
+        assert!((t.variance() - var).abs() < 1e-9);
+        assert_eq!(float_mean_variance(std::iter::empty()), (0.0, 0.0));
     }
 
     #[test]

@@ -108,6 +108,14 @@ pub struct DfsSim {
     /// Reusable fragment-plan buffer (returned to the pool by the
     /// `plan_fragments` callers after they consume the plan).
     frags_buf: Vec<(VolumeId, Bytes)>,
+    /// Reusable speculative-fill undo list for the canonical planner:
+    /// `(view position, previous used)` — O(touched) per plan, reused so
+    /// the hot path allocates nothing.
+    undo_buf: Vec<(usize, Bytes)>,
+    /// Reusable volume→position index for the filtered (partition/hotspot)
+    /// planner, so its intra-plan fill updates are O(log V) lookups
+    /// instead of an O(V) scan per placed replica.
+    view_pos_buf: Vec<(VolumeId, u32)>,
     balancer: Balancer,
     bugs: BugEngine,
     coverage: CoverageModel,
@@ -219,6 +227,8 @@ impl DfsSim {
             views_buf: Vec::new(),
             placed_buf: Vec::new(),
             frags_buf: Vec::new(),
+            undo_buf: Vec::new(),
+            view_pos_buf: Vec::new(),
             balancer: Balancer::new(cfg.balance_threshold),
             coverage: CoverageModel::new(cfg.coverage),
             bugs,
@@ -282,8 +292,18 @@ impl DfsSim {
         let mut views = self.cluster.volume_views();
         views.sort_by_key(|v| v.volume);
         let mut rr = 0usize;
+        // Bulk-load mode defers the per-store tracker/view maintenance:
+        // `end_bulk_load` rebuilds the hot columns and streaming stats from
+        // ground truth in one O(V) pass, which is bit-identical to the
+        // per-mutation path because the accumulators are exact integers.
+        // At 100k nodes this turns preload from the dominant cost into a
+        // linear file-table fill.
+        self.cluster.begin_bulk_load();
+        let mut path = String::with_capacity(32);
         for i in 0..count {
-            let path = format!("/sys/base{i}");
+            use std::fmt::Write as _;
+            path.clear();
+            let _ = write!(path, "/sys/base{i}");
             let Ok(fid) = self.ns.create(&path, self.cfg.base_file_size) else {
                 continue;
             };
@@ -304,6 +324,7 @@ impl DfsSim {
                 meta.key = hash_str(&path);
             }
         }
+        self.cluster.end_bulk_load();
         // Deploy-time writes are not runtime load.
         for m in self.cluster.mgmt.values_mut() {
             m.load.reset();
@@ -458,6 +479,77 @@ impl DfsSim {
             out.latency_ms = cost;
             out
         })
+    }
+
+    /// Executes a run of requests as one batch, appending one result per
+    /// request to `out` (cleared first).
+    ///
+    /// When the simulator is *quiescent* — no bug specs armed, no fault
+    /// plan, crash instrumentation disarmed, balancer idle — and the batch
+    /// contains only data-path requests, the per-op epilogue (clock
+    /// advance, fault-schedule check, variance sampling, balancer
+    /// activation) is amortized across the batch: requests execute
+    /// back-to-back at the same virtual instant and the clock advances
+    /// once by the summed cost at the end, exactly like a burst of
+    /// concurrent clients. Routing, namespace/cluster mutation, statistics
+    /// and coverage stay per-op, so placements and load accounting are
+    /// identical to serial execution. Outside the quiescent case — or when
+    /// the batch contains membership or config requests, which must
+    /// observe their own epilogue — every request goes through
+    /// [`DfsSim::execute`] unchanged.
+    pub fn execute_batch(&mut self, reqs: &[DfsRequest], out: &mut Vec<SimResult<ReqOutcome>>) {
+        out.clear();
+        out.reserve(reqs.len());
+        if !self.batch_fast_path(reqs) {
+            for req in reqs {
+                out.push(self.execute(req));
+            }
+            return;
+        }
+        if self.cluster_down() {
+            for _ in reqs {
+                out.push(Err(SimError::ClusterDown));
+            }
+            return;
+        }
+        let mut total_cost = 0u64;
+        for req in reqs {
+            let class = req.class();
+            let mgmt = self.route_request(req);
+            let cost = self.request_cost(req);
+            self.charge_mgmt(mgmt, req);
+            let result = self.apply_request(req);
+            let ok = result.is_ok();
+            self.stats.ops += 1;
+            if ok {
+                self.stats.class_counts[class.index() as usize] += 1;
+            } else {
+                self.stats.failed_ops += 1;
+            }
+            self.touch_op_coverage(req, ok);
+            total_cost = total_cost.saturating_add(cost);
+            out.push(result.map(|mut o| {
+                o.latency_ms = cost;
+                o
+            }));
+        }
+        self.advance(total_cost);
+        self.sample_variance();
+        self.maybe_activate_balancer(OpClass::Read, true);
+    }
+
+    /// Whether `reqs` may take the amortized batch path: nothing
+    /// time-sensitive is armed and no request needs its own epilogue.
+    fn batch_fast_path(&self, reqs: &[DfsRequest]) -> bool {
+        self.bugs.bugs().is_empty()
+            && !self.faults.any()
+            && !self.crash.armed()
+            && self.crash.in_flight.is_none()
+            && self.balancer.status() == RebalanceStatus::Done
+            && reqs.iter().all(|r| {
+                let c = r.class();
+                !c.is_membership() && !c.is_config()
+            })
     }
 
     fn cluster_down(&self) -> bool {
@@ -814,6 +906,18 @@ impl DfsSim {
         let mut out = std::mem::take(&mut self.frags_buf);
         out.clear();
         let mut placed = std::mem::take(&mut self.placed_buf);
+        // Volume→position index for the intra-plan fill updates below: on
+        // large view lists a per-replica linear scan is an ambient O(V)
+        // inside the block loop, so build the sorted index once. Small
+        // lists stay on the linear scan (the index costs more than it
+        // saves there).
+        const LINEAR_SCAN_MAX: usize = 64;
+        let mut pos_index = std::mem::take(&mut self.view_pos_buf);
+        pos_index.clear();
+        if views.len() > LINEAR_SCAN_MAX {
+            pos_index.extend(views.iter().enumerate().map(|(i, v)| (v.volume, i as u32)));
+            pos_index.sort_unstable_by_key(|&(vol, _)| vol);
+        }
         let mut remaining = size;
         let mut block_idx = 0u64;
         let mut failed = None;
@@ -857,8 +961,16 @@ impl DfsSim {
                 }
                 // Keep the planning views' fill levels current so later
                 // blocks avoid volumes this plan already filled.
-                if let Some(v) = views.iter_mut().find(|v| v.volume == vol) {
-                    v.used = v.used.saturating_add(b);
+                let pos = if pos_index.is_empty() {
+                    views.iter().position(|v| v.volume == vol)
+                } else {
+                    pos_index
+                        .binary_search_by_key(&vol, |&(v, _)| v)
+                        .ok()
+                        .map(|i| pos_index[i].1 as usize)
+                };
+                if let Some(p) = pos {
+                    views[p].used = views[p].used.saturating_add(b);
                 }
             }
             remaining -= b;
@@ -866,6 +978,7 @@ impl DfsSim {
         }
         self.views_buf = views;
         self.placed_buf = placed;
+        self.view_pos_buf = pos_index;
         match failed {
             Some(e) => {
                 self.frags_buf = out;
@@ -912,7 +1025,10 @@ impl DfsSim {
         let mut failed = None;
         let generation = self.cluster.generation();
         // Speculative fill bumps to unwind: (view position, previous used).
-        let mut undo: Vec<(usize, Bytes)> = Vec::new();
+        // The buffer is a reusable field so the hot path allocates nothing;
+        // its length is the number of *touched* views, never O(V).
+        let mut undo = std::mem::take(&mut self.undo_buf);
+        undo.clear();
         while remaining > 0 {
             let b = block.min(remaining);
             self.placement.place_cached_into(
@@ -955,9 +1071,10 @@ impl DfsSim {
         }
         // Unwind the speculative bumps in reverse so repeated bumps of the
         // same view settle back to the original fill level exactly.
-        for (pos, old) in undo.into_iter().rev() {
+        for (pos, old) in undo.drain(..).rev() {
             self.cluster.set_view_used(pos, old);
         }
+        self.undo_buf = undo;
         self.placed_buf = placed;
         match failed {
             Some(e) => {
@@ -3462,9 +3579,98 @@ mod tests {
             size: 8 * MIB,
         })
         .unwrap();
-        let vid = *s.cluster.volume_owner.keys().next().unwrap();
+        let vid = s.cluster.volume_owner.keys().next().unwrap();
         s.cluster.volume_owner.remove(&vid);
         assert!(s.audit_state().is_err());
+    }
+
+    #[test]
+    fn batch_matches_serial_data_path_state() {
+        // The amortized batch path must leave the storage state — file
+        // table, fill levels, streaming tracker, virtual clock, op stats —
+        // exactly where serial execution leaves it: mutation stays per-op
+        // and the clock advances once by the summed cost.
+        let reqs: Vec<DfsRequest> = (0..40)
+            .map(|i| DfsRequest::Create {
+                path: format!("/f{i}"),
+                size: (1 + i % 7) * MIB,
+            })
+            .chain((0..10).map(|i| DfsRequest::Delete {
+                path: format!("/f{}", i * 3),
+            }))
+            .chain((0..10).map(|i| DfsRequest::Open {
+                path: format!("/f{}", 1 + i * 2),
+            }))
+            .collect();
+        for flavor in Flavor::all() {
+            // Suppress balancer activation: a continuous balancer may start
+            // a round *between* ops serially but only at the batch edge
+            // when amortized — a documented semantic of the batch API, not
+            // what this test isolates (the per-op mutation path).
+            let mk = || {
+                let mut cfg = flavor.config();
+                cfg.base_fill = 0.0;
+                cfg.balance_threshold = 1e9;
+                DfsSim::with_config(cfg, BugSet::None)
+            };
+            let mut serial = mk();
+            let mut batched = mk();
+            let serial_res: Vec<_> = reqs.iter().map(|r| serial.execute(r)).collect();
+            let mut batched_res = Vec::new();
+            batched.execute_batch(&reqs, &mut batched_res);
+            assert_eq!(serial_res.len(), batched_res.len());
+            for (a, b) in serial_res.iter().zip(batched_res.iter()) {
+                assert_eq!(a.is_ok(), b.is_ok(), "{flavor}");
+            }
+            assert_eq!(serial.cluster.total_used(), batched.cluster.total_used());
+            assert_eq!(serial.cluster.files().len(), batched.cluster.files().len());
+            assert_eq!(
+                serial.cluster.util_stats(),
+                batched.cluster.util_stats(),
+                "{flavor} tracker diverged"
+            );
+            assert_eq!(serial.now(), batched.now(), "{flavor} clock diverged");
+            assert_eq!(serial.stats().ops, batched.stats().ops);
+            assert_eq!(serial.stats().failed_ops, batched.stats().failed_ops);
+            batched.audit_state().expect("batched state audits clean");
+        }
+    }
+
+    #[test]
+    fn batch_falls_back_to_serial_when_not_quiescent() {
+        // Membership requests need their own epilogue (balancer recovery,
+        // fault bookkeeping), so a batch containing one must behave exactly
+        // like serial execution — including the per-op clock advance.
+        let reqs = vec![
+            DfsRequest::Create {
+                path: "/a".into(),
+                size: 4 * MIB,
+            },
+            DfsRequest::AddStorageNode {
+                volumes: 1,
+                capacity: 1024 * MIB,
+            },
+            DfsRequest::Create {
+                path: "/b".into(),
+                size: 4 * MIB,
+            },
+        ];
+        let mut serial = sim(Flavor::GlusterFs);
+        let mut batched = sim(Flavor::GlusterFs);
+        assert!(!batched.batch_fast_path(&reqs));
+        for r in &reqs {
+            let _ = serial.execute(r);
+        }
+        let mut out = Vec::new();
+        batched.execute_batch(&reqs, &mut out);
+        assert_eq!(out.len(), reqs.len());
+        assert_eq!(serial.now(), batched.now());
+        assert_eq!(serial.cluster.total_used(), batched.cluster.total_used());
+        assert_eq!(serial.cluster.storage.len(), batched.cluster.storage.len());
+        // A sim with armed bug specs is never quiescent.
+        let armed = DfsSim::new(Flavor::Hdfs, BugSet::New);
+        let data_only = [DfsRequest::Open { path: "/x".into() }];
+        assert!(!armed.batch_fast_path(&data_only));
     }
 
     #[test]

@@ -3,9 +3,10 @@
 
 use proptest::prelude::*;
 use simdfs::bugs::{SimEvent, Trigger};
+use simdfs::loadstats::float_mean_variance;
 use simdfs::{
-    BugSet, DfsRequest, DfsSim, FaultPlan, Flavor, NodeId, OpClass, RebalanceStatus, SimTime,
-    VolumeId, MIB,
+    BugSet, DfsRequest, DfsSim, FaultPlan, Flavor, FlavorConfig, NodeId, OpClass, RebalanceStatus,
+    SimTime, VolumeId, MIB,
 };
 
 /// An arbitrary request referencing small id spaces so that a useful
@@ -215,5 +216,94 @@ proptest! {
             }
             prop_assert!(fired <= 1);
         }
+    }
+}
+
+/// One step of the 100k churn walk (see below): a data-path or
+/// lifecycle mutation keyed by small deterministic operands.
+fn churn_request(kind: u8, id: u32, mibs: u64) -> DfsRequest {
+    let path = format!("/churn{}", id % 64);
+    match kind % 6 {
+        0 | 1 => DfsRequest::Create {
+            path,
+            size: mibs * MIB,
+        },
+        2 => DfsRequest::Delete { path },
+        3 => DfsRequest::Append {
+            path,
+            delta: mibs * MIB,
+        },
+        4 => DfsRequest::Overwrite {
+            path,
+            size: mibs * MIB,
+        },
+        _ => DfsRequest::Open { path },
+    }
+}
+
+proptest! {
+    // A fresh 100k-node topology per case is the dominant cost, so this
+    // block runs few cases with long churn streams rather than many short
+    // ones.
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// On a 100k-node topology, the streaming `UtilTracker` equals a
+    /// from-scratch `f64` recompute over the node tables after long churn
+    /// sequences — store/free/resize via data requests, crash/heal via a
+    /// fault plan, and a fork/restore rewind in the middle. This is the
+    /// differential guard for the arena-indexed tracker at the scale the
+    /// sampled-placement campaigns run at.
+    #[test]
+    fn tracker_matches_float_recompute_after_churn_100k(
+        ops in proptest::collection::vec((0u8..6, any::<u32>(), 1u64..48), 60..140),
+        fault_seed in any::<u64>(),
+    ) {
+        let mut cfg = FlavorConfig::scaled(Flavor::Hdfs, 100_000);
+        cfg.base_fill = 0.0; // the churn below provides all the load
+        cfg.volumes_per_node = 1;
+        let mut sim = DfsSim::with_config(cfg, BugSet::None);
+        sim.set_fault_plan(FaultPlan::named("crash", fault_seed).expect("known profile"));
+
+        let check = |sim: &DfsSim| -> Result<(), TestCaseError> {
+            let t = sim.cluster().util_stats();
+            let utils: Vec<f64> = sim
+                .cluster()
+                .storage
+                .values()
+                .filter(|n| n.util_q().is_some())
+                .map(|n| n.used() as f64 / n.capacity() as f64)
+                .collect();
+            prop_assert_eq!(t.count(), utils.len(), "eligible-node count drifted");
+            let (fmean, fvar) = float_mean_variance(utils.into_iter());
+            // Quantization error is <= 2^-32 per node; 1e-6 is orders of
+            // magnitude above it and catches any real maintenance bug.
+            prop_assert!(
+                (t.mean() - fmean).abs() <= 1e-6,
+                "mean drifted: tracker {} vs float {}",
+                t.mean(),
+                fmean
+            );
+            prop_assert!(
+                (t.variance() - fvar).abs() <= 1e-6,
+                "variance drifted: tracker {} vs float {}",
+                t.variance(),
+                fvar
+            );
+            Ok(())
+        };
+
+        // First half, rewound via fork/restore, then the full stream.
+        let mark = sim.fork();
+        for &(kind, id, mibs) in &ops[..ops.len() / 2] {
+            let _ = sim.execute(&churn_request(kind, id, mibs));
+        }
+        check(&sim)?;
+        prop_assert!(sim.restore(mark), "fork mark must stay valid");
+        check(&sim)?;
+        for &(kind, id, mibs) in &ops {
+            let _ = sim.execute(&churn_request(kind, id, mibs));
+        }
+        check(&sim)?;
+        prop_assert!(sim.audit_state().is_ok(), "{:?}", sim.audit_state());
     }
 }

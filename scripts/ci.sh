@@ -2,16 +2,27 @@
 # CI gate: formatting, lints, the full test suite, and a bench smoke run
 # that exercises the grid executor and dumps the perf JSON artifact.
 #
-# Usage: scripts/ci.sh [--no-bench|--bench-scaling]
+# Usage: scripts/ci.sh [--no-bench|--bench-scaling|--bench-scale100k]
 #   --no-bench        skip the bench smoke step (fast pre-push check)
 #   --bench-scaling   also run the heavy-cell worker-scaling bench and
 #                     gate results/BENCH_4.json (slow; multi-core boxes)
+#   --bench-scale100k also run the 100k-node topology bench and gate
+#                     results/BENCH_6.json (slow; probe flatness, sampled
+#                     placement quality, same-seed identity at 100k)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run() {
     echo "==> $*"
     "$@"
+}
+
+# Every bench artifact states its schema version; a missing or mismatched
+# number means a stale baseline is about to be gated against fresh code —
+# fail loudly instead of comparing apples to last month's oranges.
+check_schema() {
+    grep -q "\"schema_version\": $2" "$1" \
+        || { echo "==> $1 missing schema_version $2 (stale or truncated artifact)"; exit 1; }
 }
 
 run cargo fmt --all --check
@@ -47,9 +58,11 @@ if [[ "${1:-}" != "--no-bench" ]]; then
     # fallback into results/BENCH_2.json.
     run cargo run --release --offline -p bench --bin repro -- perf
     test -s results/BENCH_1.json
+    check_schema results/BENCH_1.json 1
     echo "==> results/BENCH_1.json:"
     cat results/BENCH_1.json
     test -s results/BENCH_2.json
+    check_schema results/BENCH_2.json 2
     echo "==> results/BENCH_2.json:"
     cat results/BENCH_2.json
 
@@ -84,6 +97,7 @@ if [[ "${1:-}" != "--no-bench" ]]; then
     # scaling over large-topology cells, into results/BENCH_3.json.
     run cargo run --release --offline -p bench --bin repro -- scale
     test -s results/BENCH_3.json
+    check_schema results/BENCH_3.json 3
     echo "==> results/BENCH_3.json:"
     cat results/BENCH_3.json
 
@@ -117,6 +131,7 @@ if [[ "${1:-}" != "--no-bench" ]]; then
     # the equal-budget random-time baseline, into results/BENCH_5.json.
     run cargo run --release --offline -p bench --bin repro -- crash
     test -s results/BENCH_5.json
+    check_schema results/BENCH_5.json 5
     echo "==> results/BENCH_5.json:"
     cat results/BENCH_5.json
 
@@ -147,6 +162,7 @@ if [[ "${1:-}" == "--bench-scaling" ]]; then
     # results/BENCH_4.json.
     run cargo run --release --offline -p bench --bin repro -- scaling
     test -s results/BENCH_4.json
+    check_schema results/BENCH_4.json 4
     echo "==> results/BENCH_4.json:"
     cat results/BENCH_4.json
 
@@ -180,6 +196,51 @@ if [[ "${1:-}" == "--bench-scaling" ]]; then
         grep -o '"why": "[^"]*"' results/BENCH_4.json || true
         exit 1
     fi
+fi
+
+if [[ "${1:-}" == "--bench-scale100k" ]]; then
+    # 100k-node topology artifact: variance-probe flatness at 10/10k/100k
+    # nodes (with per-point bulk-load preload wall time), sampled-vs-full
+    # placement-quality differentials, serial-vs-batched request-loop
+    # amortization, and a batched 100k-node campaign run twice for a
+    # same-seed byte-identity check, into results/BENCH_6.json.
+    run cargo run --release --offline -p bench --bin repro -- scale100k
+    test -s results/BENCH_6.json
+    check_schema results/BENCH_6.json 6
+    echo "==> results/BENCH_6.json:"
+    cat results/BENCH_6.json
+
+    # Probe flatness gate: the last order of magnitude must be free —
+    # the per-op variance probe at 100k nodes may not cost more than
+    # twice what it costs at 10k. A regression here means some mutation
+    # path reintroduced an O(V) walk into the probe.
+    ratio=$(grep -o '"probe_cost_ratio_10k_100k": *[0-9.]*' results/BENCH_6.json \
+        | grep -o '[0-9.]*$')
+    awk -v r="$ratio" 'BEGIN {
+        if (r == "" || r > 2.0) {
+            printf "==> PROBE SCALING REGRESSION: 100k/10k probe cost ratio %s > 2.0\n", r
+            exit 1
+        }
+        printf "==> probe scaling gate OK: 100k/10k probe cost ratio %s\n", r
+    }'
+
+    # Sampled-placement quality gate: every differential pair must satisfy
+    # the documented bound sampled_cv <= 2 * full_cv + 0.05.
+    grep -q '"within_bound": true' results/BENCH_6.json \
+        || { echo "==> no sampled-vs-full differential recorded"; exit 1; }
+    if grep -q '"within_bound": false' results/BENCH_6.json; then
+        echo "==> sampled placement exceeded the documented variance bound"; exit 1
+    fi
+    echo "==> sampled placement gate OK: all pairs within 2*full_cv + 0.05"
+
+    # The batched 100k-node campaign must be same-seed byte-identical and
+    # pass the full state audit.
+    grep -q '"identical": true' results/BENCH_6.json \
+        || { echo "==> 100k-node batched campaign is not deterministic"; exit 1; }
+    if grep -q 'false' <<<"$(grep -o '"audit_ok": [a-z]*' results/BENCH_6.json)"; then
+        echo "==> 100k-node batched campaign failed the state audit"; exit 1
+    fi
+    echo "==> scale100k gate OK"
 fi
 
 echo "CI OK"
