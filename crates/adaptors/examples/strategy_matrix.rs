@@ -25,6 +25,7 @@ impl CampaignObserver for Attr {
 }
 
 fn main() {
+    // detlint:allow(env-read): example CLI picks which fixed bug set to run; seeds stay hardcoded, so results are unaffected by ambient state
     let mode = std::env::args().nth(1).unwrap_or_else(|| "new".into());
     let bugs = if mode == "hist" {
         BugSet::Historical

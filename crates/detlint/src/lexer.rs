@@ -445,4 +445,101 @@ let b = 2; // detlint:allow(env-read): test helper\n";
         assert_eq!(s.pragmas[0].rule, "wall-clock");
         assert!(s.pragmas[0].reason.is_empty());
     }
+
+    #[test]
+    fn crlf_sources_preserve_offsets_and_pragma_text() {
+        // Windows checkouts hand us \r\n; the mask must stay byte-for-byte
+        // aligned and pragma rule/reason must not pick up a stray \r.
+        let src = "// detlint:allow(nondet-iteration): membership probe\r\n\
+                   let m = std::collections::HashSet::new();\r\n\
+                   let t = Instant::now(); // trailing comment\r\n";
+        let s = strip(src);
+        assert_eq!(s.masked.len(), src.len());
+        assert_eq!(s.pragmas.len(), 1);
+        assert_eq!(s.pragmas[0].rule, "nondet-iteration");
+        assert_eq!(s.pragmas[0].reason, "membership probe");
+        assert!(!s.pragmas[0].code_before);
+        assert_eq!(s.pragmas[0].target_line(), 2);
+        // Code survives, comments vanish, every \r outside a comment stays
+        // put so byte offsets keep matching the original file.
+        assert!(s.masked.contains("HashSet::new();\r\n"));
+        assert!(s.masked.contains("Instant::now();"));
+        assert!(!s.masked.contains("trailing"));
+    }
+
+    #[test]
+    fn crlf_trailing_pragma_targets_its_own_line() {
+        let src = "let a = 1;\r\nlet b = 2; // detlint:allow(env-read): helper\r\n";
+        let s = strip(src);
+        assert_eq!(s.pragmas.len(), 1);
+        assert!(s.pragmas[0].code_before);
+        assert_eq!(s.pragmas[0].target_line(), 2);
+        assert_eq!(s.pragmas[0].reason, "helper");
+    }
+
+    #[test]
+    fn raw_hash_guard_decoys_do_not_terminate_early() {
+        // A `"#` inside an `r##"…"##` literal is a decoy, not a terminator:
+        // the guard needs two hashes. The literal spans lines; everything in
+        // it must be masked, everything after the true `"##` must survive.
+        let src = "let s = r##\"line one \"# decoy\nHashMap inside\"##;\nlet x = HashSet::new();\n";
+        let s = strip(src);
+        assert_eq!(s.masked.len(), src.len());
+        assert!(!s.masked.contains("decoy"));
+        assert!(!s.masked.contains("HashMap"));
+        assert!(s.masked.contains("let x = HashSet::new();"));
+    }
+
+    #[test]
+    fn byte_raw_string_with_hash_guard_is_masked() {
+        let src = "let b = br##\"x\"# y\"##; let z = 1;\n";
+        let s = strip(src);
+        assert!(!s.masked.contains('y'));
+        assert!(s.masked.contains("let z = 1;"));
+        assert_eq!(s.masked.len(), src.len());
+    }
+
+    #[test]
+    fn unterminated_raw_string_masks_to_eof_without_panic() {
+        // Guard is two hashes; the file ends after a one-hash decoy, so the
+        // literal never closes. Everything to EOF is string content.
+        let src = "let s = r##\"never closed \" nor \"# thread_rng";
+        let s = strip(src);
+        assert_eq!(s.masked.len(), src.len());
+        assert!(s.masked.starts_with("let s = "));
+        assert!(!s.masked.contains("thread_rng"));
+    }
+
+    #[test]
+    fn nested_block_comments_with_crlf_preserve_length() {
+        let src = "a /* outer\r\n /* inner Instant */\r\n tail */ b\r\n";
+        let s = strip(src);
+        assert_eq!(s.masked.len(), src.len());
+        assert!(!s.masked.contains("Instant"));
+        assert!(!s.masked.contains("tail"));
+        assert!(s.masked.starts_with('a'));
+        assert!(s.masked.contains('b'));
+        // Both newlines survive so later lines keep their numbers.
+        assert_eq!(s.masked.matches('\n').count(), 3);
+    }
+
+    #[test]
+    fn unterminated_block_comment_masks_to_eof() {
+        let src = "ok(); /* no close /* deeper */ still open\nthread_rng()\n";
+        let s = strip(src);
+        assert_eq!(s.masked.len(), src.len());
+        assert!(s.masked.contains("ok();"));
+        assert!(!s.masked.contains("thread_rng"));
+    }
+
+    #[test]
+    fn escaped_line_continuation_in_crlf_string() {
+        // `\` + CRLF inside a string literal: the \r must not be re-emitted
+        // as a newline (that would shift every later line number by one).
+        let src = "let s = \"ab\\\r\ncd\"; let x = 1;\r\n";
+        let s = strip(src);
+        assert_eq!(s.masked.len(), src.len());
+        assert_eq!(s.masked.matches('\n').count(), 2);
+        assert!(s.masked.contains("let x = 1;"));
+    }
 }

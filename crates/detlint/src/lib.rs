@@ -11,23 +11,40 @@
 //!
 //! The tool is deliberately self-contained (no parser crates — the build
 //! environment is offline, see `crates/compat/`): a comment/string
-//! stripping lexer ([`lexer`]) feeds path-scoped pattern rules ([`rules`]).
+//! stripping lexer ([`lexer`]) feeds two analysis layers sharing one
+//! suppression/report pipeline:
+//!
+//! * path-scoped pattern rules ([`rules`]) over the masked text, and
+//! * semantic rule packs ([`semantic`]) over a per-crate syntax model
+//!   ([`syntax`]: item parser, symbol tables, intra-crate call graph)
+//!   that prove the journal/tracker/crash-point/steal contracts hold.
+//!
 //! Violations can be suppressed inline with
 //! `// detlint:allow(<rule>): <reason>` (the reason is mandatory) or for a
-//! whole file with `// detlint:allow-file(<rule>): <reason>`.
+//! whole file with `// detlint:allow-file(<rule>): <reason>`. Allows that
+//! never suppress anything are themselves reported (`unused-pragma`,
+//! warn — an error under `--strict`) so the audit trail cannot rot.
 //!
 //! Diagnostics are rustc-style `file:line:col`; a machine-readable JSON
-//! report is written under `results/` by the CLI.
+//! report (schema_version [`SCHEMA_VERSION`]) is written under `results/`
+//! by the CLI.
 
 pub mod lexer;
 pub mod rules;
+pub mod semantic;
+pub mod syntax;
 
-use rules::{Rule, Severity, PRAGMA_RULE, RULES};
+use rules::{Severity, PRAGMA_RULE, RULES, UNUSED_PRAGMA_RULE};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+
+/// Version stamped into the JSON report and asserted by `scripts/ci.sh`
+/// (matching the `BENCH_*` writers): 2 = the semantic-analysis engine with
+/// the contract packs and unused-pragma reporting.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// One rule violation at a source location.
 #[derive(Debug, Clone)]
@@ -111,7 +128,8 @@ impl LintOutcome {
     /// other JSON artifact in this offline workspace).
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(1024);
-        s.push_str("{\n  \"tool\": \"detlint\",\n  \"version\": 1,\n");
+        s.push_str("{\n  \"tool\": \"detlint\",\n");
+        let _ = writeln!(s, "  \"schema_version\": {SCHEMA_VERSION},");
         let _ = writeln!(s, "  \"files_scanned\": {},", self.files_scanned);
         let _ = writeln!(s, "  \"deny\": {},", self.deny_count());
         let _ = writeln!(s, "  \"warn\": {},", self.warn_count());
@@ -194,100 +212,217 @@ fn find_word(hay: &str, pat: &str) -> Option<usize> {
     None
 }
 
-/// Lints one file's source text, appending to `out`. `path` must be the
-/// repo-relative `/`-separated path (rule scoping keys off it).
-pub fn lint_source(path: &str, src: &str, out: &mut LintOutcome) {
-    let stripped = lexer::strip(src);
-    let src_lines: Vec<&str> = src.lines().collect();
+/// One rule match before suppression resolution (shared shape for the
+/// lexical and semantic layers).
+struct Candidate {
+    rule: String,
+    severity: Severity,
+    line: usize,
+    col: usize,
+    message: String,
+}
 
-    // Index pragmas; flag hygiene errors (unknown rule / missing reason) —
-    // a broken pragma must never silently suppress.
-    let mut file_allows: BTreeMap<&str, &lexer::Pragma> = BTreeMap::new();
-    let mut line_allows: BTreeMap<usize, Vec<&lexer::Pragma>> = BTreeMap::new();
-    for p in &stripped.pragmas {
-        let known = rules::find(&p.rule).is_some();
-        if !known || p.reason.is_empty() {
-            let why = if p.rule.is_empty() {
-                "malformed detlint pragma (expected `detlint:allow(<rule>): <reason>`)".to_string()
-            } else if !known {
-                format!("detlint pragma names unknown rule `{}`", p.rule)
-            } else {
-                format!(
-                    "detlint pragma for `{}` is missing its mandatory reason \
-                     (`detlint:allow({}): <why this is sound>`)",
-                    p.rule, p.rule
-                )
-            };
-            out.violations.push(Violation {
-                rule: PRAGMA_RULE.to_string(),
-                severity: Severity::Deny,
-                file: path.to_string(),
-                line: p.line,
-                col: 1,
-                excerpt: src_lines
-                    .get(p.line - 1)
-                    .map(|l| l.trim().to_string())
-                    .unwrap_or_default(),
-                message: why,
-            });
-            continue;
-        }
-        if p.file_level {
-            file_allows.entry(p.rule.as_str()).or_insert(p);
-        } else {
-            line_allows.entry(p.target_line()).or_default().push(p);
-        }
+/// The crate a repo-relative path belongs to, for symbol-table and
+/// call-graph grouping. Compat shims are crates of their own.
+fn crate_root(path: &str) -> String {
+    let mut parts = path.split('/');
+    match (parts.next(), parts.next(), parts.next()) {
+        (Some("crates"), Some("compat"), Some(shim)) => format!("crates/compat/{shim}"),
+        (Some("crates"), Some(name), _) => format!("crates/{name}"),
+        (Some(top), _, _) => top.to_string(),
+        (None, _, _) => String::new(),
     }
+}
 
-    let applicable: Vec<&Rule> = RULES.iter().filter(|r| r.applies_to(path)).collect();
-    if applicable.is_empty() {
-        return;
+/// Lints a file set through the full pipeline: lexical pattern rules plus
+/// the semantic contract packs over per-crate syntax models, unified
+/// pragma suppression, and unused-pragma reporting. `files` holds
+/// `(repo-relative path, source)` pairs; violations come out sorted by
+/// `(file, line, col, rule)` so reports are deterministic regardless of
+/// input order.
+pub fn lint_files(files: &[(String, String)]) -> LintOutcome {
+    let mut out = LintOutcome {
+        files_scanned: files.len(),
+        ..LintOutcome::default()
+    };
+
+    let stripped: Vec<lexer::Stripped> = files.iter().map(|(_, src)| lexer::strip(src)).collect();
+
+    // Per-crate syntax models for the semantic packs, then findings
+    // bucketed back onto their file index.
+    let mut by_crate: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (i, (path, _)) in files.iter().enumerate() {
+        by_crate.entry(crate_root(path)).or_default().push(i);
     }
-
-    for (idx, masked_line) in stripped.masked.lines().enumerate() {
-        let lineno = idx + 1;
-        for rule in &applicable {
-            let hit = rule
-                .patterns
+    let file_index: BTreeMap<&str, usize> = files
+        .iter()
+        .enumerate()
+        .map(|(i, (p, _))| (p.as_str(), i))
+        .collect();
+    let mut sem_findings: Vec<semantic::SemFinding> = Vec::new();
+    for (root, idxs) in &by_crate {
+        let cm = syntax::CrateModel {
+            root: root.clone(),
+            files: idxs
                 .iter()
-                .filter_map(|pat| find_word(masked_line, pat))
-                .min();
-            let Some(col0) = hit else { continue };
-            // Suppression: file-level first, then line-level.
-            if let Some(p) = file_allows.get(rule.id) {
-                out.suppressions.push(Suppression {
-                    rule: rule.id.to_string(),
-                    file: path.to_string(),
-                    line: lineno,
-                    reason: p.reason.clone(),
+                .map(|&i| syntax::parse_file(&files[i].0, &stripped[i].masked))
+                .collect(),
+        };
+        semantic::run_packs(&cm, &mut sem_findings);
+    }
+
+    for (i, (path, src)) in files.iter().enumerate() {
+        let src_lines: Vec<&str> = src.lines().collect();
+        let excerpt = |line: usize| {
+            src_lines
+                .get(line.wrapping_sub(1))
+                .map(|l| l.trim().to_string())
+                .unwrap_or_default()
+        };
+
+        // Index pragmas; flag hygiene errors (unknown rule / missing
+        // reason) — a broken pragma must never silently suppress, and it
+        // is excluded from unused-pragma tracking (one diagnostic, not
+        // two, per bad pragma).
+        let pragmas = &stripped[i].pragmas;
+        let mut used = vec![false; pragmas.len()];
+        let mut valid = vec![false; pragmas.len()];
+        let mut file_allows: BTreeMap<&str, usize> = BTreeMap::new();
+        let mut line_allows: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (pi, p) in pragmas.iter().enumerate() {
+            let known = rules::known_rule(&p.rule);
+            if !known || p.reason.is_empty() {
+                let why = if p.rule.is_empty() {
+                    "malformed detlint pragma (expected `detlint:allow(<rule>): <reason>`)"
+                        .to_string()
+                } else if !known {
+                    format!("detlint pragma names unknown rule `{}`", p.rule)
+                } else {
+                    format!(
+                        "detlint pragma for `{}` is missing its mandatory reason \
+                         (`detlint:allow({}): <why this is sound>`)",
+                        p.rule, p.rule
+                    )
+                };
+                out.violations.push(Violation {
+                    rule: PRAGMA_RULE.to_string(),
+                    severity: Severity::Deny,
+                    file: path.clone(),
+                    line: p.line,
+                    col: 1,
+                    excerpt: excerpt(p.line),
+                    message: why,
                 });
                 continue;
             }
-            if let Some(ps) = line_allows.get(&lineno) {
-                if let Some(p) = ps.iter().find(|p| p.rule == rule.id) {
-                    out.suppressions.push(Suppression {
-                        rule: rule.id.to_string(),
-                        file: path.to_string(),
-                        line: lineno,
-                        reason: p.reason.clone(),
-                    });
-                    continue;
-                }
+            valid[pi] = true;
+            if p.file_level {
+                file_allows.entry(p.rule.as_str()).or_insert(pi);
+            } else {
+                line_allows.entry(p.target_line()).or_default().push(pi);
             }
-            out.violations.push(Violation {
-                rule: rule.id.to_string(),
-                severity: rule.severity,
-                file: path.to_string(),
-                line: lineno,
-                col: col0 + 1,
-                excerpt: src_lines
-                    .get(idx)
-                    .map(|l| l.trim().to_string())
-                    .unwrap_or_default(),
-                message: rule.message.to_string(),
+        }
+
+        // Candidate pool: lexical matches plus this file's semantic
+        // findings, all resolved against the same pragma index.
+        let mut candidates: Vec<Candidate> = Vec::new();
+        for rule in RULES.iter().filter(|r| r.applies_to(path)) {
+            for (idx, masked_line) in stripped[i].masked.lines().enumerate() {
+                let hit = rule
+                    .patterns
+                    .iter()
+                    .filter_map(|pat| find_word(masked_line, pat))
+                    .min();
+                let Some(col0) = hit else { continue };
+                candidates.push(Candidate {
+                    rule: rule.id.to_string(),
+                    severity: rule.severity,
+                    line: idx + 1,
+                    col: col0 + 1,
+                    message: rule.message.to_string(),
+                });
+            }
+        }
+        for f in sem_findings
+            .iter()
+            .filter(|f| file_index.get(f.file.as_str()) == Some(&i))
+        {
+            candidates.push(Candidate {
+                rule: f.rule.to_string(),
+                severity: f.severity,
+                line: f.line,
+                col: 1,
+                message: f.message.clone(),
             });
         }
+        candidates.sort_by(|a, b| (a.line, a.col, &a.rule).cmp(&(b.line, b.col, &b.rule)));
+
+        for c in candidates {
+            // Suppression: file-level first, then line-level.
+            let pragma = file_allows.get(c.rule.as_str()).copied().or_else(|| {
+                line_allows
+                    .get(&c.line)
+                    .and_then(|ps| ps.iter().copied().find(|&pi| pragmas[pi].rule == c.rule))
+            });
+            if let Some(pi) = pragma {
+                used[pi] = true;
+                out.suppressions.push(Suppression {
+                    rule: c.rule,
+                    file: path.clone(),
+                    line: c.line,
+                    reason: pragmas[pi].reason.clone(),
+                });
+                continue;
+            }
+            out.violations.push(Violation {
+                rule: c.rule,
+                severity: c.severity,
+                file: path.clone(),
+                line: c.line,
+                col: c.col,
+                excerpt: excerpt(c.line),
+                message: c.message,
+            });
+        }
+
+        // A valid allow that suppressed nothing is stale: the hazard it
+        // documented is gone, or it never matched where it pointed. Warn
+        // (an error under --strict) so the audit trail tracks the code.
+        for (pi, p) in pragmas.iter().enumerate() {
+            if valid[pi] && !used[pi] {
+                out.violations.push(Violation {
+                    rule: UNUSED_PRAGMA_RULE.to_string(),
+                    severity: Severity::Warn,
+                    file: path.clone(),
+                    line: p.line,
+                    col: 1,
+                    excerpt: excerpt(p.line),
+                    message: format!(
+                        "detlint:allow{}({}) suppresses nothing in its scope — \
+                         the rule no longer fires here; remove the stale pragma",
+                        if p.file_level { "-file" } else { "" },
+                        p.rule
+                    ),
+                });
+            }
+        }
     }
+
+    out.violations
+        .sort_by(|a, b| (&a.file, a.line, a.col, &a.rule).cmp(&(&b.file, b.line, b.col, &b.rule)));
+    out.suppressions
+        .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    out
+}
+
+/// Lints one file's source text, appending to `out`. `path` must be the
+/// repo-relative `/`-separated path (rule scoping keys off it). The file
+/// runs through the full pipeline — semantic packs see a single-file
+/// crate model, so intra-file call graphs still resolve.
+pub fn lint_source(path: &str, src: &str, out: &mut LintOutcome) {
+    let one = lint_files(&[(path.to_string(), src.to_string())]);
+    out.violations.extend(one.violations);
+    out.suppressions.extend(one.suppressions);
 }
 
 /// Directories never descended into.
@@ -327,18 +462,21 @@ pub fn lint_root(root: &Path) -> io::Result<LintOutcome> {
         })
         .collect();
     rels.sort();
-    let mut out = LintOutcome::default();
-    for rel in &rels {
+    let mut sources = Vec::with_capacity(rels.len());
+    for rel in rels {
         let src = fs::read_to_string(root.join(rel.replace('/', std::path::MAIN_SEPARATOR_STR)))?;
-        lint_source(rel, &src, &mut out);
-        out.files_scanned += 1;
+        sources.push((rel, src));
     }
-    Ok(out)
+    Ok(lint_files(&sources))
 }
 
 /// The rule ids that pragma hygiene accepts, for documentation output.
 pub fn rule_ids() -> BTreeSet<&'static str> {
-    RULES.iter().map(|r| r.id).collect()
+    RULES
+        .iter()
+        .map(|r| r.id)
+        .chain(semantic::SEM_RULES.iter().map(|r| r.id))
+        .collect()
 }
 
 #[cfg(test)]
@@ -446,8 +584,11 @@ mod tests {
         assert!(rules_hit(&out).contains(&"env-read"));
         let out = lint_one("crates/bench/src/bin/repro.rs", src);
         assert!(out.violations.is_empty());
+        // Examples and integration tests are in scope since the v2 sweep.
         let out = lint_one("crates/adaptors/examples/strategy_matrix.rs", src);
-        assert!(out.violations.is_empty());
+        assert!(rules_hit(&out).contains(&"env-read"));
+        let out = lint_one("crates/bench/tests/grid_determinism.rs", src);
+        assert!(rules_hit(&out).contains(&"env-read"));
     }
 
     // ---- float-order / float-accum --------------------------------------
@@ -557,6 +698,77 @@ mod tests {
     }
 
     #[test]
+    fn unused_pragma_is_warn_and_strict_fails() {
+        let out = lint_one(
+            "crates/themis/src/gen.rs",
+            "// detlint:allow(nondet-iteration): was a HashSet once\nlet x = 1;\n",
+        );
+        assert_eq!(rules_hit(&out), vec!["unused-pragma"]);
+        assert_eq!(out.violations[0].severity, Severity::Warn);
+        assert_eq!(out.violations[0].line, 1);
+        assert!(out.violations[0].message.contains("suppresses nothing"));
+        assert!(!out.should_fail(false));
+        assert!(out.should_fail(true));
+    }
+
+    #[test]
+    fn unused_file_level_pragma_is_flagged() {
+        let out = lint_one(
+            "crates/themis/src/lvm.rs",
+            "// detlint:allow-file(float-accum): reductions were here once\nlet x = 1;\n",
+        );
+        assert_eq!(rules_hit(&out), vec!["unused-pragma"]);
+        assert!(out.violations[0]
+            .message
+            .contains("allow-file(float-accum)"));
+    }
+
+    #[test]
+    fn used_pragma_is_not_flagged_unused() {
+        let out = lint_one(
+            "crates/themis/src/gen.rs",
+            "// detlint:allow(nondet-iteration): membership only, never iterated\n\
+             let mut seen = std::collections::HashSet::new();\n",
+        );
+        assert!(out.violations.is_empty());
+        assert_eq!(out.suppressions.len(), 1);
+    }
+
+    #[test]
+    fn hygiene_broken_pragma_is_not_double_flagged_as_unused() {
+        // One diagnostic per bad pragma: the hygiene error, not hygiene +
+        // unused.
+        let out = lint_one(
+            "crates/themis/src/gen.rs",
+            "// detlint:allow(nondet-iteration)\nlet x = 1;\n",
+        );
+        assert_eq!(rules_hit(&out), vec!["pragma-hygiene"]);
+    }
+
+    #[test]
+    fn semantic_pack_pragmas_pass_hygiene_and_suppress() {
+        let out = lint_one(
+            "crates/simdfs/src/sim.rs",
+            "impl DfsSim { fn corrupt(&mut self) {\n\
+                // detlint:allow(journal-coverage): deliberate corruption for the auditor test\n\
+                self.cluster.storage.get_mut(&id).unwrap().volumes[0].used += 1;\n\
+             } }\n",
+        );
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert_eq!(out.suppressions.len(), 1);
+        assert_eq!(out.suppressions[0].rule, "journal-coverage");
+    }
+
+    #[test]
+    fn meta_rules_are_not_allowable() {
+        let out = lint_one(
+            "crates/themis/src/gen.rs",
+            "// detlint:allow(unused-pragma): trying to excuse staleness\nlet x = 1;\n",
+        );
+        assert_eq!(rules_hit(&out), vec!["pragma-hygiene"]);
+    }
+
+    #[test]
     fn pragma_does_not_suppress_other_rules() {
         let out = lint_one(
             "crates/simdfs/src/sim.rs",
@@ -578,6 +790,7 @@ mod tests {
         );
         out.files_scanned = 1;
         let js = out.to_json();
+        assert!(js.contains(&format!("\"schema_version\": {SCHEMA_VERSION}")));
         assert!(js.contains("\"deny\": 1"));
         assert!(js.contains("\"rule\": \"nondet-iteration\""));
         assert!(js.contains("\\u0008"));

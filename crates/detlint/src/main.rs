@@ -86,11 +86,18 @@ fn main() -> ExitCode {
 
     if opts.list_rules {
         for r in detlint::rules::RULES {
-            println!("{:5} {:18} {}", r.severity.label(), r.id, r.message);
+            println!("{:5} {:20} {}", r.severity.label(), r.id, r.message);
+        }
+        for r in detlint::semantic::SEM_RULES {
+            println!("{:5} {:20} {}", r.severity.label(), r.id, r.summary);
         }
         println!(
-            "      {:18} malformed/unjustified suppression pragmas",
+            "deny  {:20} malformed/unjustified suppression pragmas",
             detlint::rules::PRAGMA_RULE
+        );
+        println!(
+            "warn  {:20} detlint:allow pragmas that suppress nothing",
+            detlint::rules::UNUSED_PRAGMA_RULE
         );
         return ExitCode::SUCCESS;
     }

@@ -123,9 +123,12 @@ pub const RULES: &[Rule] = &[
             "crates/themis",
             "crates/adaptors",
             "crates/workload",
+            "crates/bench/tests",
             "src",
+            "tests",
+            "examples",
         ],
-        exclude: &["crates/adaptors/examples"],
+        exclude: &[],
         only_files: &[],
     },
     Rule {
@@ -171,9 +174,22 @@ pub const RULES: &[Rule] = &[
 /// rule, missing reason). Not in [`RULES`] because it has no code pattern.
 pub const PRAGMA_RULE: &str = "pragma-hygiene";
 
+/// Rule id for `detlint:allow` pragmas that suppress nothing in their
+/// scope. Warn severity (fails under `--strict`); not itself allowable —
+/// a stale pragma is removed, not excused.
+pub const UNUSED_PRAGMA_RULE: &str = "unused-pragma";
+
 /// Looks up a rule by id.
 pub fn find(id: &str) -> Option<&'static Rule> {
     RULES.iter().find(|r| r.id == id)
+}
+
+/// Whether `id` names a rule an allow pragma may reference: any lexical
+/// rule or semantic pack. The meta rules ([`PRAGMA_RULE`],
+/// [`UNUSED_PRAGMA_RULE`]) are deliberately NOT allowable — hygiene and
+/// staleness diagnostics must be fixed, never suppressed.
+pub fn known_rule(id: &str) -> bool {
+    find(id).is_some() || crate::semantic::find(id).is_some()
 }
 
 fn path_in(path: &str, prefix: &str) -> bool {
@@ -223,12 +239,30 @@ mod tests {
     }
 
     #[test]
-    fn env_read_exempts_examples_and_bench() {
+    fn env_read_covers_examples_and_integration_tests() {
         let r = find("env-read").unwrap();
         assert!(r.applies_to("crates/simdfs/src/sim.rs"));
-        assert!(!r.applies_to("crates/adaptors/examples/strategy_matrix.rs"));
+        // Examples and integration tests exercise simulated behavior, so
+        // ambient process state is just as illegal there (a legit CLI arg
+        // read carries a reasoned pragma instead of a scope hole).
+        assert!(r.applies_to("crates/adaptors/examples/strategy_matrix.rs"));
+        assert!(r.applies_to("crates/simdfs/tests/sim_properties.rs"));
+        assert!(r.applies_to("crates/bench/tests/grid_determinism.rs"));
+        // The repro binary and detlint itself own their process env.
         assert!(!r.applies_to("crates/bench/src/bin/repro.rs"));
         assert!(!r.applies_to("crates/detlint/src/main.rs"));
+    }
+
+    #[test]
+    fn semantic_pack_ids_are_known_but_meta_rules_are_not_allowable() {
+        assert!(known_rule("nondet-iteration"));
+        assert!(known_rule("journal-coverage"));
+        assert!(known_rule("tracker-completeness"));
+        assert!(known_rule("crash-decomposition"));
+        assert!(known_rule("steal-protocol"));
+        assert!(!known_rule(PRAGMA_RULE));
+        assert!(!known_rule(UNUSED_PRAGMA_RULE));
+        assert!(!known_rule("no-such-rule"));
     }
 
     #[test]

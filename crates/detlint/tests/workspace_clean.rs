@@ -118,6 +118,118 @@ fn fixture_tree_with_one_seeded_violation_per_rule_fails() {
 }
 
 #[test]
+fn fixture_tree_with_one_seeded_violation_per_semantic_pack_fails() {
+    // End-to-end over `lint_root`: each semantic pack must fire on its
+    // seeded contract breach, through the same crate-grouping, pragma and
+    // JSON machinery the real scan uses.
+    let fixture = write_fixture(
+        "sem-rules",
+        &[
+            // journal-coverage: a helper outside the owning impls writes
+            // through Cluster's journaled `storage` table.
+            (
+                "crates/simdfs/src/poke.rs",
+                "pub fn corrupt(c: &mut Cluster, id: NodeId) {\n\
+                     c.storage.get_mut(&id).unwrap().hot += 1;\n\
+                 }\n",
+            ),
+            // tracker-completeness: a Cluster method moves fill without
+            // reaching any UtilTracker hook.
+            (
+                "crates/simdfs/src/cluster.rs",
+                "impl Cluster {\n\
+                     pub fn shrink(&mut self, id: NodeId) {\n\
+                         let v = self.volume_mut(id);\n\
+                         v.used = 0;\n\
+                     }\n\
+                 }\n",
+            ),
+            // crash-decomposition: two mutations straddle a charged RPC
+            // with no crash_point registration.
+            (
+                "crates/simdfs/src/sim.rs",
+                "impl DfsSim {\n\
+                     fn do_wipe(&mut self, p: &str) {\n\
+                         let fid = self.ns.delete(p);\n\
+                         self.charge_mgmt(m, req);\n\
+                         self.cluster.free_file(fid);\n\
+                     }\n\
+                 }\n",
+            ),
+            // steal-protocol: a single-task steal outside the shim.
+            (
+                "crates/bench/src/grid.rs",
+                "fn lone(v: &Stealer<u32>) {\n\
+                     let _t = v.steal();\n\
+                 }\n",
+            ),
+            // A pragma-documented breach must be suppressed (and counted),
+            // proving the escape hatch works for semantic packs too.
+            (
+                "crates/simdfs/src/audit.rs",
+                "pub fn wreck(c: &mut Cluster, id: NodeId) {\n\
+                     // detlint:allow(journal-coverage): deliberate corruption probe\n\
+                     c.mgmt.get_mut(&id).unwrap().hot += 1;\n\
+                 }\n",
+            ),
+        ],
+    );
+
+    let outcome = detlint::lint_root(&fixture).expect("fixture scan failed");
+    let hit: Vec<(&str, &str)> = outcome
+        .violations
+        .iter()
+        .map(|v| (v.rule.as_str(), v.file.as_str()))
+        .collect();
+    let expected = [
+        ("steal-protocol", "crates/bench/src/grid.rs"),
+        ("tracker-completeness", "crates/simdfs/src/cluster.rs"),
+        ("journal-coverage", "crates/simdfs/src/poke.rs"),
+        ("crash-decomposition", "crates/simdfs/src/sim.rs"),
+    ];
+    assert_eq!(
+        hit,
+        expected,
+        "each semantic pack must fire exactly on its seed:\n{}",
+        outcome.render_text()
+    );
+    assert!(outcome.should_fail(false), "semantic packs are deny-level");
+    // The reasoned pragma suppressed the audit probe — and is not itself
+    // flagged as unused.
+    assert_eq!(outcome.suppressions.len(), 1);
+    assert_eq!(outcome.suppressions[0].rule, "journal-coverage");
+    assert!(outcome
+        .violations
+        .iter()
+        .all(|v| v.rule != "unused-pragma" && v.rule != "pragma-hygiene"));
+    // The report schema carries the v2 stamp CI asserts on.
+    assert!(outcome
+        .to_json()
+        .contains(&format!("\"schema_version\": {}", detlint::SCHEMA_VERSION)));
+
+    fs::remove_dir_all(&fixture).unwrap();
+}
+
+#[test]
+fn fixture_with_stale_pragma_warns_and_fails_only_under_strict() {
+    let fixture = write_fixture(
+        "stale-pragma",
+        &[(
+            "crates/simdfs/src/lib.rs",
+            "// detlint:allow(wall-clock): once needed, code since rewritten\n\
+             pub fn now_free() -> u64 { 42 }\n",
+        )],
+    );
+    let outcome = detlint::lint_root(&fixture).expect("fixture scan failed");
+    assert_eq!(outcome.deny_count(), 0);
+    assert_eq!(outcome.warn_count(), 1);
+    assert_eq!(outcome.violations[0].rule, "unused-pragma");
+    assert!(!outcome.should_fail(false));
+    assert!(outcome.should_fail(true), "stale pragmas block strict runs");
+    fs::remove_dir_all(&fixture).unwrap();
+}
+
+#[test]
 fn fixture_with_only_warnings_fails_only_under_strict() {
     let fixture = write_fixture(
         "warn-only",

@@ -36,6 +36,7 @@ run cargo clippy --workspace --all-targets --offline -- -D warnings
 run cargo build --workspace --offline
 run cargo run --offline -p detlint -- --strict
 test -s results/detlint.json
+check_schema results/detlint.json 2
 
 run cargo test --workspace --offline -q
 
